@@ -1,0 +1,91 @@
+// Ablation study over the cost-model design choices DESIGN.md calls
+// out. Not a paper figure — this quantifies how sensitive the headline
+// result (cross-architecture speedup over single-architecture
+// combinations) is to the three calibrated mechanisms:
+//   1. PCIe handoff cost (latency/bandwidth sweep);
+//   2. per-level launch overhead asymmetry (CPU vs GPU);
+//   3. the GPU's bottom-up miss-scan penalty.
+#include "bench_common.h"
+
+#include "core/level_trace.h"
+#include "core/tuner.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+struct Outcome {
+  double cross;
+  double gpu_cb;
+  double cpu_cb;
+};
+
+Outcome evaluate(const core::LevelTrace& tr, const sim::ArchSpec& cpu,
+                 const sim::ArchSpec& gpu, const sim::InterconnectSpec& link) {
+  const core::SwitchCandidates cands = core::SwitchCandidates::paper_grid();
+  Outcome o{};
+  const core::TunedPolicy gpu_cb =
+      core::pick_best(core::sweep_single(tr, gpu, cands), cands);
+  o.gpu_cb = gpu_cb.seconds;
+  o.cpu_cb = core::pick_best(core::sweep_single(tr, cpu, cands), cands).seconds;
+  o.cross = core::pick_best(
+                core::sweep_cross(tr, cpu, gpu, link, cands, gpu_cb.policy),
+                cands)
+                .seconds;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation", "cost-model sensitivity of the headline result");
+  const int scale = pick_scale(19, 22);
+  const BuiltGraph bg = make_graph(scale, 16);
+  const core::LevelTrace tr = core::build_level_trace(bg.csr, bg.root);
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+
+  std::printf("\n1) PCIe sensitivity (cross-CB seconds as the link degrades; "
+              "tuner may retreat to a single device)\n");
+  for (double bw : {64.0, 6.0, 0.5, 0.05}) {
+    for (double lat_us : {1.0, 10.0, 1000.0}) {
+      sim::InterconnectSpec link;
+      link.bandwidth_gbps = bw;
+      link.latency_us = lat_us;
+      const Outcome o = evaluate(tr, cpu, gpu, link);
+      std::printf("  bw=%6.2f GB/s lat=%7.1f us: cross=%8.4f ms "
+                  "(vs GPUCB %.2fx, CPUCB %.2fx)\n",
+                  bw, lat_us, o.cross * 1e3, o.gpu_cb / o.cross,
+                  o.cpu_cb / o.cross);
+    }
+  }
+
+  std::printf("\n2) launch-overhead asymmetry (GPU per-level overhead scaled; "
+              "the tail-level switchback depends on it)\n");
+  for (double mult : {0.1, 1.0, 4.0, 16.0}) {
+    sim::ArchSpec gpu2 = gpu;
+    gpu2.level_overhead_us *= mult;
+    const Outcome o = evaluate(tr, cpu, gpu2, sim::InterconnectSpec{});
+    std::printf("  gpu overhead x%-5.1f: cross=%8.4f ms GPUCB=%8.4f ms "
+                "CPUCB=%8.4f ms\n",
+                mult, o.cross * 1e3, o.gpu_cb * 1e3, o.cpu_cb * 1e3);
+  }
+
+  std::printf("\n3) GPU bottom-up miss penalty (drives the early-level "
+              "handoff decision)\n");
+  for (double mult : {0.25, 1.0, 4.0}) {
+    sim::ArchSpec gpu2 = gpu;
+    gpu2.bu_edge_miss_ns *= mult;
+    const Outcome o = evaluate(tr, cpu, gpu2, sim::InterconnectSpec{});
+    std::printf("  miss cost x%-5.2f: cross=%8.4f ms GPUCB=%8.4f ms "
+                "(cross/GPUCB advantage %.2fx)\n",
+                mult, o.cross * 1e3, o.gpu_cb * 1e3, o.gpu_cb / o.cross);
+  }
+
+  std::printf("\n-> expected reading: the cross-architecture win persists "
+              "under moderate perturbation and collapses only when the link "
+              "becomes absurdly slow — in which case the tuned handoff "
+              "policy retreats toward a single device, capping the loss.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: bit-map vs bool-map current-queue representation
+// (paper Section V-A mentions both). Wall-clock comparison of the two
+// bottom-up implementations on this host via google-benchmark, plus an
+// exactness cross-check.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+#include "bfs/boolmap.h"
+#include "bfs/drivers.h"
+#include "bfs/validate.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+const BuiltGraph& bench_graph() {
+  static const BuiltGraph bg = make_graph(pick_scale(16, 20), 16);
+  return bg;
+}
+
+void BM_BottomUpBitmap(benchmark::State& state) {
+  const BuiltGraph& bg = bench_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs::run_bottom_up(bg.csr, bg.root));
+  }
+  state.SetItemsProcessed(state.iterations() * bg.csr.num_edges());
+}
+BENCHMARK(BM_BottomUpBitmap)->Unit(benchmark::kMillisecond);
+
+void BM_BottomUpBoolmap(benchmark::State& state) {
+  const BuiltGraph& bg = bench_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs::run_bottom_up_boolmap(bg.csr, bg.root));
+  }
+  state.SetItemsProcessed(state.iterations() * bg.csr.num_edges());
+}
+BENCHMARK(BM_BottomUpBoolmap)->Unit(benchmark::kMillisecond);
+
+void BM_TopDownForReference(benchmark::State& state) {
+  const BuiltGraph& bg = bench_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs::run_top_down(bg.csr, bg.root));
+  }
+  state.SetItemsProcessed(state.iterations() * bg.csr.num_edges());
+}
+BENCHMARK(BM_TopDownForReference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Ablation: frontier representation (paper V-A: \"bit-map or "
+              "bool-map to store the queue vector\")\n");
+  const BuiltGraph& bg = bench_graph();
+  const bfs::BfsResult a = bfs::run_bottom_up(bg.csr, bg.root);
+  const bfs::BfsResult b = bfs::run_bottom_up_boolmap(bg.csr, bg.root);
+  std::printf("exactness cross-check: levels %s, reached %d vs %d\n\n",
+              bfs::same_levels(a, b) ? "IDENTICAL" : "DIFFER (BUG)",
+              a.reached, b.reached);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

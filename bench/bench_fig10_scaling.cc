@@ -1,0 +1,94 @@
+// Reproduces paper Fig. 10: (a) strong scaling — performance of the
+// combination on CPU and MIC as the core count grows on a fixed graph;
+// (b) weak scaling — each core keeps a fixed share of vertices/edges as
+// cores grow.
+#include "bench_common.h"
+
+#include "core/level_trace.h"
+#include "core/tuner.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+double tuned_seconds(const core::LevelTrace& tr, const sim::ArchSpec& arch) {
+  const core::SwitchCandidates cands = core::SwitchCandidates::paper_grid();
+  return core::pick_best(core::sweep_single(tr, arch, cands), cands).seconds;
+}
+
+void strong_scaling(int scale) {
+  std::printf("\n(a) strong scaling: SCALE=%d (paper: SCALE 22, 4M vertices), "
+              "GTEPS per core count\n", scale);
+  const BuiltGraph bg = make_graph(scale, 16);
+  const core::LevelTrace tr = core::build_level_trace(bg.csr, bg.root);
+  const double edges = static_cast<double>(tr.num_edges) / 2.0;
+
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  std::printf("%-8s", "CPU:");
+  double cpu1 = 0;
+  for (int p : {1, 2, 4, 8}) {
+    const double t = tuned_seconds(tr, cpu.with_cores(p));
+    if (p == 1) cpu1 = t;
+    std::printf("  %d-core %.3f GTEPS (%.1fx)", p, edges / t / 1e9, cpu1 / t);
+  }
+  std::printf("\n");
+
+  const sim::ArchSpec mic = sim::make_knights_corner_mic();
+  std::printf("%-8s", "MIC:");
+  double mic1 = 0;
+  for (int p : {1, 8, 16, 30, 61}) {
+    const double t = tuned_seconds(tr, mic.with_cores(p));
+    if (p == 1) mic1 = t;
+    std::printf("  %d-core %.3f GTEPS (%.1fx)", p, edges / t / 1e9, mic1 / t);
+  }
+  std::printf("\n");
+
+  // Section V-C: the paper's 8-core CPU is ~3.3x the 60-core MIC, and a
+  // single CPU core is far faster than a single MIC core.
+  const double cpu_full = tuned_seconds(tr, cpu);
+  const double mic_full = tuned_seconds(tr, mic);
+  std::printf("-> full CPU over full MIC: %.1fx (paper: 3.3x); serial CPU "
+              "over serial MIC: %.1fx (paper: ~20x)\n",
+              mic_full / cpu_full, tuned_seconds(tr, mic.with_cores(1)) /
+                                       tuned_seconds(tr, cpu.with_cores(1)));
+}
+
+void weak_scaling(int base_scale) {
+  std::printf("\n(b) weak scaling: per-core load fixed (paper: 1M vertices "
+              "per CPU core, 0.25M per MIC core)\n");
+  // Each doubling of cores doubles the graph: constant per-core load.
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  std::printf("%-8s", "CPU:");
+  for (int p : {1, 2, 4, 8}) {
+    const int scale = base_scale + static_cast<int>(std::log2(p));
+    const BuiltGraph bg = make_graph(scale, 16);
+    const core::LevelTrace tr = core::build_level_trace(bg.csr, bg.root);
+    const double edges = static_cast<double>(tr.num_edges) / 2.0;
+    const double t = tuned_seconds(tr, cpu.with_cores(p));
+    std::printf("  %d-core/2^%d %.3f GTEPS", p, scale, edges / t / 1e9);
+  }
+  std::printf("\n");
+  const sim::ArchSpec mic = sim::make_knights_corner_mic();
+  std::printf("%-8s", "MIC:");
+  for (int p : {2, 4, 8, 16}) {
+    const int scale = base_scale + static_cast<int>(std::log2(p)) - 1;
+    const BuiltGraph bg = make_graph(scale, 16);
+    const core::LevelTrace tr = core::build_level_trace(bg.csr, bg.root);
+    const double edges = static_cast<double>(tr.num_edges) / 2.0;
+    const double t = tuned_seconds(tr, mic.with_cores(p));
+    std::printf("  %d-core/2^%d %.3f GTEPS", p, scale, edges / t / 1e9);
+  }
+  std::printf("\n-> rising GTEPS with constant per-core load = good weak "
+              "scaling (paper Fig. 10b)\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 10", "strong and weak scaling of the combination");
+  const int scale = pick_scale(17, 22);
+  strong_scaling(scale);
+  weak_scaling(scale - 3);
+  return 0;
+}

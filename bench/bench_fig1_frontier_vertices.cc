@@ -1,0 +1,46 @@
+// Reproduces paper Fig. 1: the number of vertices in the current queue
+// per BFS level — small at first, peaking in the middle, small again.
+// One series per SCALE; edges = edgefactor 16 (the paper plots
+// 2^(SCALE+4) edges, i.e. edgefactor 16).
+#include "bench_common.h"
+
+#include "bfs/drivers.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+void run_series(int scale) {
+  const BuiltGraph bg = make_graph(scale, 16);
+  bfs::TraversalLog log;
+  (void)bfs::run_top_down(bg.csr, bg.root, &log);
+  std::printf("SCALE=%d (|V|=%s, |E|=2^%d x16):", scale,
+              scale_label(scale).c_str(), scale);
+  for (const bfs::LevelRecord& lvl : log.levels) {
+    std::printf(" L%d=%d", lvl.level, lvl.frontier_vertices);
+  }
+  std::printf("\n");
+
+  // The Fig. 1 shape claim: rise then fall, with an interior peak.
+  graph::vid_t peak = 0;
+  std::size_t peak_at = 0;
+  for (std::size_t i = 0; i < log.levels.size(); ++i) {
+    if (log.levels[i].frontier_vertices > peak) {
+      peak = log.levels[i].frontier_vertices;
+      peak_at = i;
+    }
+  }
+  std::printf("  -> peak |V|cq = %d at level %zu of %zu (interior: %s)\n",
+              peak, peak_at, log.levels.size(),
+              (peak_at > 0 && peak_at + 1 < log.levels.size()) ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 1", "|V|cq per level is small, peaks mid-traversal, then shrinks");
+  const int base = pick_scale(16, 21);
+  for (int scale : {base - 2, base - 1, base}) run_series(scale);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces paper Fig. 2: the number of edges in the current queue
+// (|E|cq) per BFS level, same rise-peak-fall shape as Fig. 1.
+#include "bench_common.h"
+
+#include "bfs/drivers.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+void run_series(int scale) {
+  const BuiltGraph bg = make_graph(scale, 16);
+  bfs::TraversalLog log;
+  (void)bfs::run_top_down(bg.csr, bg.root, &log);
+  std::printf("SCALE=%d:", scale);
+  for (const bfs::LevelRecord& lvl : log.levels) {
+    std::printf(" L%d=%lld", lvl.level,
+                static_cast<long long>(lvl.frontier_edges));
+  }
+  std::printf("\n");
+
+  graph::eid_t peak = 0;
+  std::size_t peak_at = 0;
+  for (std::size_t i = 0; i < log.levels.size(); ++i) {
+    if (log.levels[i].frontier_edges > peak) {
+      peak = log.levels[i].frontier_edges;
+      peak_at = i;
+    }
+  }
+  const double peak_share =
+      static_cast<double>(peak) / static_cast<double>(bg.csr.num_edges());
+  std::printf("  -> peak |E|cq = %lld at level %zu (%.0f%% of |E|, interior: %s)\n",
+              static_cast<long long>(peak), peak_at, 100.0 * peak_share,
+              (peak_at > 0 && peak_at + 1 < log.levels.size()) ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 2", "|E|cq per level is small, peaks mid-traversal, then shrinks");
+  const int base = pick_scale(16, 21);
+  for (int scale : {base - 2, base - 1, base}) run_series(scale);
+  return 0;
+}

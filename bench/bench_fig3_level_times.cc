@@ -1,0 +1,45 @@
+// Reproduces paper Fig. 3: per-level time of pure top-down vs pure
+// bottom-up on the CPU. Bottom-up starts slower, wins through the fat
+// middle, and loses again in the final levels.
+#include "bench_common.h"
+
+#include "core/level_trace.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+}  // namespace
+
+int main() {
+  print_header("Figure 3",
+               "per-level top-down vs bottom-up time (CPU model)");
+  const int scale = pick_scale(18, 22);
+  const BuiltGraph bg = make_graph(scale, 16);
+  const core::LevelTrace trace = core::build_level_trace(bg.csr, bg.root);
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+
+  std::printf("SCALE=%d edgefactor=16, times in milliseconds\n", scale);
+  std::printf("%-6s %12s %12s %12s %10s\n", "level", "|V|cq", "TD(ms)",
+              "BU(ms)", "faster");
+  int crossings = 0;
+  bool bu_was_faster = false;
+  for (std::size_t i = 0; i < trace.levels.size(); ++i) {
+    const core::TraceLevel& lvl = trace.levels[i];
+    const double td =
+        sim::top_down_level_seconds(cpu, lvl.frontier_edges) * 1e3;
+    const double bu =
+        sim::bottom_up_level_seconds(cpu, trace.num_vertices,
+                                     lvl.bu_edges_hit, lvl.bu_edges_miss) *
+        1e3;
+    const bool bu_faster = bu < td;
+    if (i > 0 && bu_faster != bu_was_faster) ++crossings;
+    bu_was_faster = bu_faster;
+    std::printf("%-6d %12d %12.4f %12.4f %10s\n", lvl.level,
+                lvl.frontier_vertices, td, bu, bu_faster ? "BU" : "TD");
+  }
+  std::printf("-> direction advantage flips %d time(s); the paper's Fig. 3 "
+              "shows TD -> BU -> TD\n", crossings);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Runs the full Graph 500 protocol the paper benchmarks against
+// (Section V-D): kernel 1 (construction, timed for real), kernel 2
+// (BFS from sampled roots, modelled time per architecture), validation
+// on every run, and the official output rows.
+#include <chrono>
+
+#include "bench_common.h"
+
+#include "core/level_trace.h"
+#include "core/tuner.h"
+#include "graph500/runner.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+}  // namespace
+
+int main() {
+  print_header("Graph 500 report",
+               "kernel 1 + kernel 2 + validation, official output rows");
+  const int scale = pick_scale(17, 21);
+  const int edgefactor = 16;
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  graph::RmatParams params;
+  params.scale = scale;
+  params.edgefactor = edgefactor;
+  const graph::EdgeList el = graph::generate_rmat(params);
+  const auto t1 = clock::now();
+  const graph::CsrGraph g = graph::build_csr(el);
+  const auto t2 = clock::now();
+
+  std::printf("SCALE:                %d\n", scale);
+  std::printf("edgefactor:           %d\n", edgefactor);
+  std::printf("NBFS:                 16\n");
+  std::printf("generation_time:      %.4f s (wall)\n",
+              std::chrono::duration<double>(t1 - t0).count());
+  std::printf("construction_time:    %.4f s (wall, kernel 1)\n",
+              std::chrono::duration<double>(t2 - t1).count());
+
+  // Tuned combination engine on the CPU model (the paper's CPU entry).
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  const graph::vid_t tune_root = graph::sample_roots(g, 1, 1)[0];
+  const core::LevelTrace trace = core::build_level_trace(g, tune_root);
+  const core::SwitchCandidates cands = core::SwitchCandidates::paper_grid();
+  const core::HybridPolicy policy =
+      core::pick_best(core::sweep_single(trace, cpu.spec(), cands), cands)
+          .policy;
+
+  graph500::RunnerOptions opts;
+  opts.num_roots = 16;
+  const graph500::BenchmarkResult res = graph500::run_benchmark(
+      g,
+      [&cpu, policy](const graph::CsrGraph& gg, graph::vid_t root) {
+        core::CombinationRun run =
+            core::run_combination(gg, root, cpu, policy);
+        return graph500::TimedBfs{std::move(run.result), run.seconds};
+      },
+      opts);
+
+  std::printf("%s", graph500::format_teps_stats(res.stats).c_str());
+  std::printf("validation:           %s (%d failures)\n",
+              res.validation_failures == 0 ? "PASS" : "FAIL",
+              res.validation_failures);
+  std::printf("mean_bfs_time:        %.6f s (modelled, Sandy Bridge)\n",
+              res.mean_seconds());
+  return res.validation_failures == 0 ? 0 : 1;
+}

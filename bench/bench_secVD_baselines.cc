@@ -1,0 +1,73 @@
+// Reproduces paper Section V-D: comparisons against other
+// implementations —
+//   * the Graph 500 reference code on the CPU (paper: our CPU
+//     combination is 4.96-21.0x faster, average 11x);
+//   * the cross-architecture combination over the Graph 500 reference
+//     (paper: 16.4-63.2x, average 29.3x);
+//   * the state-of-the-art MIC implementation (Gao et al., modelled as
+//     the reference code on the MIC; paper: 13x).
+#include "bench_common.h"
+
+#include "core/level_trace.h"
+#include "core/tuner.h"
+#include "graph500/reference_bfs.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+}  // namespace
+
+int main() {
+  print_header("Section V-D", "speedups over reference implementations");
+  const int base = pick_scale(16, 20);
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const sim::ArchSpec mic = sim::make_knights_corner_mic();
+  const sim::InterconnectSpec link;
+  const core::SwitchCandidates cands = core::SwitchCandidates::paper_grid();
+
+  std::printf("%-16s %12s %12s %12s %12s\n", "graph", "CPUCB/ref",
+              "cross/ref", "MICCB/micref", "ref(ms)");
+  double s1 = 0;
+  double s2 = 0;
+  double s3 = 0;
+  int n = 0;
+  for (int scale : {base, base + 1, base + 2}) {
+    for (int ef : {16, 32}) {
+      const BuiltGraph bg = make_graph(scale, ef);
+      const core::LevelTrace tr = core::build_level_trace(bg.csr, bg.root);
+      // Reference = pure top-down at the reference-code penalty.
+      const double ref_cpu =
+          core::replay_pure(tr, cpu, bfs::Direction::kTopDown) *
+          graph500::kReferencePenalty;
+      const double ref_mic =
+          core::replay_pure(tr, mic, bfs::Direction::kTopDown) *
+          graph500::kReferencePenalty;
+      const double cpu_cb =
+          core::pick_best(core::sweep_single(tr, cpu, cands), cands).seconds;
+      const core::TunedPolicy gpu_cb =
+          core::pick_best(core::sweep_single(tr, gpu, cands), cands);
+      const double cross =
+          core::pick_best(
+              core::sweep_cross(tr, cpu, gpu, link, cands, gpu_cb.policy),
+              cands)
+              .seconds;
+      const double mic_cb =
+          core::pick_best(core::sweep_single(tr, mic, cands), cands).seconds;
+      s1 += ref_cpu / cpu_cb;
+      s2 += ref_cpu / cross;
+      s3 += ref_mic / mic_cb;
+      ++n;
+      std::printf("scale%-2d ef%-6d %11.1fx %11.1fx %11.1fx %12.3f\n", scale,
+                  ef, ref_cpu / cpu_cb, ref_cpu / cross, ref_mic / mic_cb,
+                  ref_cpu * 1e3);
+    }
+  }
+  std::printf("\n-> averages: CPU combination %.1fx over the reference "
+              "(paper: 11.0x), cross-architecture %.1fx (paper: 29.3x), MIC "
+              "combination %.1fx over the MIC baseline (paper: 13x)\n",
+              s1 / n, s2 / n, s3 / n);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces paper Table III: the best switching point M for different
+// (SCALE, edgefactor) graphs on the CPU, searched over [1, 300].
+// The paper's point: best M varies a lot across graphs (54..275), which
+// is why a fixed hand-tuned M cannot work.
+#include "bench_common.h"
+
+#include "core/tuner.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+}  // namespace
+
+int main() {
+  print_header("Table III", "best M per graph on CPUs (search range [1, 300])");
+  const int base = pick_scale(15, 21);
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  // Dense M grid, N grid matching the paper's protocol (M is reported;
+  // N is co-tuned).
+  core::SwitchCandidates cands;
+  cands.m_values = core::SwitchCandidates::log_spaced(1.0, 300.0, 60);
+  cands.n_values = core::SwitchCandidates::log_spaced(1.0, 300.0, 12);
+
+  // Many (M, N) candidates induce the *same* per-level plan (the rule
+  // only changes behaviour when a threshold crosses an actual frontier
+  // size), so the optimum is a whole REGION of M values. The paper's
+  // single "best M" per graph is one measurement-noise-broken sample
+  // from that region; we report the region itself, whose location and
+  // width shift per graph — the same no-single-M-fits-all conclusion.
+  std::printf("%-8s %-12s %-16s %-14s %-14s\n", "SCALE", "edgefactor",
+              "best-M region", "best(ms)", "worst(ms)");
+  bool regions_differ = false;
+  double prev_lo = -1;
+  for (int scale : {base, base + 1, base + 2}) {
+    for (int ef : {8, 16, 32}) {
+      const BuiltGraph bg = make_graph(scale, ef);
+      const core::LevelTrace trace =
+          core::build_level_trace(bg.csr, bg.root);
+      const core::CandidateSweep sweep =
+          core::sweep_single(trace, cpu, cands);
+      const core::TunedPolicy best = core::pick_best(sweep, cands);
+      double lo_m = 1e18;
+      double hi_m = 0;
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (sweep.seconds[i] <= best.seconds * (1.0 + 1e-9)) {
+          const core::HybridPolicy p = cands.at(i);
+          lo_m = std::min(lo_m, p.m);
+          hi_m = std::max(hi_m, p.m);
+        }
+      }
+      if (prev_lo >= 0 && std::abs(lo_m - prev_lo) > 1e-9) {
+        regions_differ = true;
+      }
+      prev_lo = lo_m;
+      std::printf("%-8d %-12d [%5.1f, %6.1f] %-14.4f %-14.4f\n", scale, ef,
+                  lo_m, hi_m, best.seconds * 1e3,
+                  sweep.worst_seconds() * 1e3);
+    }
+  }
+  std::printf("-> optimal-M regions move across graphs (%s); the paper's "
+              "single-sample best M ranged 54..275 — either way, no "
+              "hand-picked constant fits all graphs\n",
+              regions_differ ? "confirmed" : "NOT CONFIRMED");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Reproduces paper Table IV: the step-by-step optimisation story. For
+// one R-MAT graph, per-level times (seconds) of the eight approaches:
+//   GPUTD GPUBU GPUCB | CPUTD CPUBU CPUCB | CPUTD+GPUBU CPUTD+GPUCB
+// plus a total row and a speedup-over-GPUTD row.
+//
+// The paper's graph is 8M vertices / 128M edges (SCALE 23, ef 16);
+// default here is SCALE 20, BFSX_FULL=1 for the original size.
+#include "bench_common.h"
+
+#include <map>
+
+#include "core/level_trace.h"
+#include "core/tuner.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+using core::HybridPolicy;
+using core::LevelTrace;
+using core::TraceLevel;
+
+struct Column {
+  std::string name;
+  std::vector<double> level_seconds;
+  std::vector<std::string> tags;  // "TD"/"BU" (+device for cross columns)
+  double total = 0.0;
+};
+
+double td_cost(const sim::ArchSpec& a, const TraceLevel& l) {
+  return sim::top_down_level_seconds(a, l.frontier_edges);
+}
+double bu_cost(const sim::ArchSpec& a, const LevelTrace& t,
+               const TraceLevel& l) {
+  return sim::bottom_up_level_seconds(a, t.num_vertices, l.bu_edges_hit,
+                                      l.bu_edges_miss);
+}
+
+Column pure_column(const std::string& name, const sim::ArchSpec& arch,
+                   const LevelTrace& trace, bfs::Direction dir) {
+  Column c;
+  c.name = name;
+  for (const TraceLevel& l : trace.levels) {
+    const double s = dir == bfs::Direction::kTopDown
+                         ? td_cost(arch, l)
+                         : bu_cost(arch, trace, l);
+    c.level_seconds.push_back(s);
+    c.tags.emplace_back(to_string(dir));
+    c.total += s;
+  }
+  return c;
+}
+
+Column combination_column(const std::string& name, const sim::ArchSpec& arch,
+                          const LevelTrace& trace, const HybridPolicy& p) {
+  Column c;
+  c.name = name;
+  for (const TraceLevel& l : trace.levels) {
+    const bfs::Direction dir = p.decide(l.frontier_edges, l.frontier_vertices,
+                                        trace.num_edges, trace.num_vertices);
+    const double s = dir == bfs::Direction::kTopDown
+                         ? td_cost(arch, l)
+                         : bu_cost(arch, trace, l);
+    c.level_seconds.push_back(s);
+    c.tags.emplace_back(to_string(dir));
+    c.total += s;
+  }
+  return c;
+}
+
+Column cross_column(const std::string& name, const sim::ArchSpec& host,
+                    const sim::ArchSpec& accel,
+                    const sim::InterconnectSpec& link, const LevelTrace& trace,
+                    const HybridPolicy& handoff, const HybridPolicy* inner) {
+  Column c;
+  c.name = name;
+  bool on_accel = false;
+  for (const TraceLevel& l : trace.levels) {
+    double s = 0.0;
+    std::string tag;
+    if (!on_accel &&
+        handoff.decide(l.frontier_edges, l.frontier_vertices, trace.num_edges,
+                       trace.num_vertices) == bfs::Direction::kTopDown) {
+      s = td_cost(host, l);
+      tag = "hostTD";
+    } else {
+      if (!on_accel) {
+        on_accel = true;
+        s += sim::transfer_seconds(link,
+                                   sim::handoff_bytes(trace.num_vertices));
+      }
+      const bfs::Direction dir =
+          inner != nullptr
+              ? inner->decide(l.frontier_edges, l.frontier_vertices,
+                              trace.num_edges, trace.num_vertices)
+              : bfs::Direction::kBottomUp;
+      s += dir == bfs::Direction::kTopDown ? td_cost(accel, l)
+                                           : bu_cost(accel, trace, l);
+      tag = dir == bfs::Direction::kTopDown ? "accTD" : "accBU";
+    }
+    c.level_seconds.push_back(s);
+    c.tags.push_back(tag);
+    c.total += s;
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table IV",
+               "step-by-step per-level times of the eight approaches");
+  const int scale = pick_scale(20, 23);
+  const BuiltGraph bg = make_graph(scale, 16);
+  std::printf("graph: SCALE=%d edgefactor=16 -> |V|=%d, |E|=%lld directed\n",
+              scale, bg.csr.num_vertices(),
+              static_cast<long long>(bg.csr.num_edges()));
+
+  const LevelTrace trace = core::build_level_trace(bg.csr, bg.root);
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const sim::InterconnectSpec link;
+  const core::SwitchCandidates cands = core::SwitchCandidates::paper_grid();
+
+  const HybridPolicy cpu_cb =
+      core::pick_best(core::sweep_single(trace, cpu, cands), cands).policy;
+  const HybridPolicy gpu_cb =
+      core::pick_best(core::sweep_single(trace, gpu, cands), cands).policy;
+  const HybridPolicy handoff =
+      core::pick_best(
+          core::sweep_cross(trace, cpu, gpu, link, cands, gpu_cb), cands)
+          .policy;
+
+  std::vector<Column> cols;
+  cols.push_back(pure_column("GPUTD", gpu, trace, bfs::Direction::kTopDown));
+  cols.push_back(pure_column("GPUBU", gpu, trace, bfs::Direction::kBottomUp));
+  cols.push_back(combination_column("GPUCB", gpu, trace, gpu_cb));
+  cols.push_back(pure_column("CPUTD", cpu, trace, bfs::Direction::kTopDown));
+  cols.push_back(pure_column("CPUBU", cpu, trace, bfs::Direction::kBottomUp));
+  cols.push_back(combination_column("CPUCB", cpu, trace, cpu_cb));
+  cols.push_back(
+      cross_column("CPUTD+GPUBU", cpu, gpu, link, trace, handoff, nullptr));
+  cols.push_back(
+      cross_column("CPUTD+GPUCB", cpu, gpu, link, trace, handoff, &gpu_cb));
+
+  std::printf("\n%-9s", "Level");
+  for (const Column& c : cols) std::printf(" %16s", c.name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < trace.levels.size(); ++i) {
+    std::printf("%-9zu", i + 1);  // the paper numbers levels from 1
+    for (const Column& c : cols) {
+      std::printf(" %9.6f %-6s", c.level_seconds[i], c.tags[i].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%-9s", "Total");
+  for (const Column& c : cols) std::printf(" %9.6f %-6s", c.total, "");
+  std::printf("\n%-9s", "Speedup");
+  const double base_total = cols.front().total;
+  for (const Column& c : cols) {
+    std::printf(" %9.1fx%-6s", base_total / c.total, "");
+  }
+  std::printf("\n");
+  std::printf("\npaper Table IV speedups: 1.0 / 1.1 / 16.5 / 3.8 / 4.6 / 13.0 "
+              "/ 32.8 / 36.1 (SCALE 23; shapes shrink with graph size)\n");
+  return 0;
+}

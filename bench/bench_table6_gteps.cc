@@ -1,0 +1,59 @@
+// Reproduces paper Table VI: average combination performance (GTEPS)
+// for three data sizes on CPU, GPU and MIC, through the Graph 500
+// multi-root protocol. Paper row (GTEPS):
+//   2M: 3.06/6.32/1.64   4M: 6.14/6.23/1.55   8M: 5.66/5.00/1.33
+#include "bench_common.h"
+
+#include "core/level_trace.h"
+#include "core/tuner.h"
+#include "graph500/runner.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+/// Tuned-combination engine on one device for the Graph 500 runner.
+graph500::BfsEngine make_tuned_engine(const sim::Device& dev,
+                                      const core::HybridPolicy& policy) {
+  return [&dev, policy](const graph::CsrGraph& g,
+                        graph::vid_t root) -> graph500::TimedBfs {
+    core::CombinationRun run = core::run_combination(g, root, dev, policy);
+    return {std::move(run.result), run.seconds};
+  };
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table VI", "average GTEPS per data size per architecture");
+  const int base = pick_scale(17, 21);
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  const sim::Device gpu{sim::make_kepler_gpu()};
+  const sim::Device mic{sim::make_knights_corner_mic()};
+  const core::SwitchCandidates cands = core::SwitchCandidates::paper_grid();
+
+  graph500::RunnerOptions opts;
+  opts.num_roots = full_mode() ? 16 : 8;
+
+  std::printf("%-14s %12s %12s %12s   (harmonic-mean GTEPS over %d roots)\n",
+              "graph", "CPU", "GPU", "MIC", opts.num_roots);
+  for (int scale : {base, base + 1, base + 2}) {
+    const BuiltGraph bg = make_graph(scale, 16);
+    const core::LevelTrace tr = core::build_level_trace(bg.csr, bg.root);
+    std::printf("%s vertices ", scale_label(scale).c_str());
+    for (const sim::Device* dev : {&cpu, &gpu, &mic}) {
+      const core::HybridPolicy policy =
+          core::pick_best(core::sweep_single(tr, dev->spec(), cands), cands)
+              .policy;
+      const graph500::BenchmarkResult res =
+          graph500::run_benchmark(bg.csr, make_tuned_engine(*dev, policy),
+                                  opts);
+      std::printf(" %12.3f", res.stats.harmonic_mean / 1e9);
+    }
+    std::printf("\n");
+  }
+  std::printf("-> paper (SCALE 21-23): CPU and GPU within ~2x of each other, "
+              "MIC ~3-4x behind both\n");
+  return 0;
+}

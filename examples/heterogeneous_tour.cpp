@@ -1,0 +1,99 @@
+// Heterogeneous-platform tour — the paper's contribution (3): "a
+// pairwise comparison between CPU, GPU and MIC, which can hopefully
+// help the readers select the best architectures for similar
+// applications."
+//
+// For one graph, runs every engine the paper names — pure directions,
+// per-device combinations, and the two cross-architecture variants —
+// and prints a ranking with the per-phase explanation.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "core/level_trace.h"
+#include "core/tuner.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+int main() {
+  using namespace bfsx;
+
+  graph::RmatParams params;
+  params.scale = 16;
+  params.edgefactor = 16;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(params));
+  const graph::vid_t root = graph::sample_roots(g, 1, 9)[0];
+  std::printf("graph: %s\n\n", graph::summarize(g).c_str());
+
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  const sim::Device gpu{sim::make_kepler_gpu()};
+  const sim::Device mic{sim::make_knights_corner_mic()};
+  const sim::InterconnectSpec link;
+
+  // Tune each combination with the exhaustive oracle (cheap via trace
+  // replay) so the tour shows each platform at its best.
+  const core::LevelTrace trace = core::build_level_trace(g, root);
+  const core::SwitchCandidates cands = core::SwitchCandidates::paper_grid();
+  auto tuned = [&](const sim::Device& d) {
+    return core::pick_best(core::sweep_single(trace, d.spec(), cands), cands)
+        .policy;
+  };
+  const core::HybridPolicy cpu_cb = tuned(cpu);
+  const core::HybridPolicy gpu_cb = tuned(gpu);
+  const core::HybridPolicy mic_cb = tuned(mic);
+  const core::HybridPolicy handoff =
+      core::pick_best(
+          core::sweep_cross(trace, cpu.spec(), gpu.spec(), link, cands, gpu_cb),
+          cands)
+          .policy;
+
+  struct Row {
+    std::string name;
+    double seconds;
+    std::string note;
+  };
+  std::vector<Row> rows;
+  auto add = [&rows](std::string name, const core::CombinationRun& run,
+                     std::string note) {
+    rows.push_back({std::move(name), run.seconds, std::move(note)});
+  };
+  add("CPU top-down", core::run_pure(g, root, cpu, bfs::Direction::kTopDown),
+      "low per-level overhead, drowns at the frontier peak");
+  add("CPU bottom-up", core::run_pure(g, root, cpu, bfs::Direction::kBottomUp),
+      "pays the all-miss scans of the first levels");
+  add("CPU combination", core::run_combination(g, root, cpu, cpu_cb),
+      "Beamer-style hybrid on one socket");
+  add("GPU top-down", core::run_pure(g, root, gpu, bfs::Direction::kTopDown),
+      "2496 lanes starve on small frontiers");
+  add("GPU bottom-up", core::run_pure(g, root, gpu, bfs::Direction::kBottomUp),
+      "fast V-sweep, brutal miss penalty early");
+  add("GPU combination", core::run_combination(g, root, gpu, gpu_cb),
+      "hybrid confined to the GPU");
+  add("MIC combination", core::run_combination(g, root, mic, mic_cb),
+      "simple cores + slow barrier = slowest hybrid");
+  add("CPU-TD + GPU-BU",
+      core::run_cross_arch_bu_only(g, root, cpu, gpu, link, handoff),
+      "first cross-architecture split");
+  add("CPU-TD + GPU-CB",
+      core::run_cross_arch(g, root, cpu, gpu, link, handoff, gpu_cb),
+      "the paper's winner at paper-scale graphs");
+
+  double best = rows.front().seconds;
+  for (const Row& r : rows) best = std::min(best, r.seconds);
+  std::printf("%-18s %12s %10s   %s\n", "engine", "time(ms)", "vs best",
+              "why");
+  for (const Row& r : rows) {
+    std::printf("%-18s %12.4f %9.1fx   %s\n", r.name.c_str(),
+                r.seconds * 1e3, r.seconds / best, r.note.c_str());
+  }
+  std::printf("\nlesson (paper Section IV): use the CPU where the frontier "
+              "is small, the GPU where parallelism is abundant, and never "
+              "pay a device's weak phase. At this demo size the CPU's "
+              "per-level overhead still rivals whole GPU levels, so the "
+              "GPU-only hybrid can edge out the cross split — the "
+              "cross-architecture advantage materialises from SCALE ~20 "
+              "(see bench_fig9_cross_arch and EXPERIMENTS.md).\n");
+  return 0;
+}

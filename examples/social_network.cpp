@@ -1,0 +1,71 @@
+// Social-network analysis — the workload class the paper's introduction
+// motivates (reference [1]: "User interactions in social networks").
+//
+// Models a follower graph as an R-MAT instance and answers two classic
+// questions with the adaptive BFS engine:
+//   * degrees-of-separation distribution from a set of seed users
+//     (how many hops reach how much of the network);
+//   * reachable audience per seed (the root's component).
+// Every traversal runs through the cross-architecture engine so you can
+// see the switching plan pay off on a real analytics loop.
+#include <cstdio>
+#include <vector>
+
+#include "core/api.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+int main() {
+  using namespace bfsx;
+
+  // A "social network": heavy-tailed degrees (celebrities vs lurkers).
+  graph::RmatParams params;
+  params.scale = 15;       // ~32k users
+  params.edgefactor = 24;  // ~786k follow relations
+  params.seed = 777;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(params));
+  const graph::DegreeStats deg = graph::compute_degree_stats(g);
+  std::printf("network: %d users, %lld follow edges (max followers %lld, "
+              "mean %.1f)\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges() / 2),
+              static_cast<long long>(deg.max), deg.mean);
+
+  std::printf("training predictor once (offline)...\n");
+  const core::SwitchPredictor predictor = core::train_predictor(
+      core::generate_training_data(core::default_trainer_config()));
+  sim::Machine machine = sim::make_paper_node();
+  const core::GraphFeatures features = core::features_from_rmat(params);
+
+  const std::vector<graph::vid_t> seeds = graph::sample_roots(g, 5, 42);
+  std::printf("\n%-10s %-10s %-8s %-12s %-30s\n", "seed", "audience",
+              "diameter", "time(ms)", "hop histogram (users per hop)");
+  double total_seconds = 0.0;
+  for (graph::vid_t seed : seeds) {
+    const core::CombinationRun run =
+        core::run_adaptive(g, seed, features, machine, predictor);
+    total_seconds += run.seconds;
+
+    // Degrees-of-separation histogram from the level map.
+    std::vector<int> hops;
+    for (graph::vid_t v = 0; v < g.num_vertices(); ++v) {
+      const std::int32_t lv = run.result.level[static_cast<std::size_t>(v)];
+      if (lv < 0) continue;
+      if (static_cast<std::size_t>(lv) >= hops.size()) {
+        hops.resize(static_cast<std::size_t>(lv) + 1, 0);
+      }
+      ++hops[static_cast<std::size_t>(lv)];
+    }
+    std::printf("%-10d %-10d %-8zu %-12.3f ", seed, run.result.reached,
+                hops.size() - 1, run.seconds * 1e3);
+    for (std::size_t h = 0; h < hops.size(); ++h) {
+      std::printf("%d%s", hops[h], h + 1 < hops.size() ? "/" : "");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n5 audience queries in %.2f ms modelled time; the "
+              "small-world effect keeps every user within a handful of "
+              "hops — exactly the frontier bulge the hybrid BFS exploits.\n",
+              total_seconds * 1e3);
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "bfs/boolmap.h"
+
+#include <algorithm>
+
+namespace bfsx::bfs {
+
+std::size_t BoolMap::count() const noexcept {
+  std::size_t total = 0;
+  for (std::uint8_t b : bytes_) total += b != 0;
+  return total;
+}
+
+BfsResult run_bottom_up_boolmap(const CsrGraph& g, vid_t root,
+                                TraversalLog* log) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  BfsResult r;
+  r.parent.assign(n, kNoVertex);
+  r.level.assign(n, -1);
+  r.parent[static_cast<std::size_t>(root)] = root;
+  r.level[static_cast<std::size_t>(root)] = 0;
+  r.reached = 1;
+
+  BoolMap frontier(n);
+  BoolMap visited(n);
+  frontier.set(static_cast<std::size_t>(root));
+  visited.set(static_cast<std::size_t>(root));
+  vid_t frontier_count = 1;
+  std::int32_t level = 0;
+
+  while (frontier_count > 0) {
+    const std::int32_t next_level = level + 1;
+    BoolMap next(n);
+    vid_t found = 0;
+    eid_t scanned = 0;
+    // |E|cq for the log: out-edges of the current frontier.
+    eid_t cq_edges = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (frontier.test(static_cast<std::size_t>(v))) {
+        cq_edges += g.out_degree(v);
+      }
+    }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : found, scanned)
+#endif
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (visited.test(static_cast<std::size_t>(v))) continue;
+      for (vid_t u : g.in_neighbors(v)) {
+        ++scanned;
+        if (frontier.test(static_cast<std::size_t>(u))) {
+          r.parent[static_cast<std::size_t>(v)] = u;
+          r.level[static_cast<std::size_t>(v)] = next_level;
+          next.set(static_cast<std::size_t>(v));
+          ++found;
+          break;
+        }
+      }
+    }
+    // Byte writes from the owning thread only, so folding into visited
+    // after the scan needs no atomics at all — a bool-map perk.
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (next.test(static_cast<std::size_t>(v))) {
+        visited.set(static_cast<std::size_t>(v));
+      }
+    }
+    if (log != nullptr) {
+      log->levels.push_back({level, frontier_count, cq_edges, scanned, found});
+    }
+    r.reached += found;
+    frontier.swap(next);
+    frontier_count = found;
+    level = next_level;
+  }
+
+  eid_t directed = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (r.parent[static_cast<std::size_t>(v)] != kNoVertex) {
+      directed += g.out_degree(v);
+    }
+  }
+  r.edges_in_component = g.is_symmetric() ? directed / 2 : directed;
+  return r;
+}
+
+}  // namespace bfsx::bfs

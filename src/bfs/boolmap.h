@@ -1,0 +1,46 @@
+// Bool-map (byte-per-vertex) frontier representation.
+//
+// Paper Section V-A: "We use the CSR format to store the graph and
+// bit-map or bool-map to store the queue vector." The two
+// representations trade memory traffic (bitmap: V/8 bytes per scan)
+// against access cost (bool-map: no shift/mask, simpler vectorisation).
+// This module provides the bool-map bottom-up traversal so the trade
+// can be measured (bench_ablation_frontier_rep) and cross-checked for
+// exact equivalence in tests.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bfs/drivers.h"
+
+namespace bfsx::bfs {
+
+/// Byte-per-vertex set with the Bitmap's interface subset used by the
+/// bottom-up kernel.
+class BoolMap {
+ public:
+  BoolMap() = default;
+  explicit BoolMap(std::size_t size) : bytes_(size, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] bool test(std::size_t pos) const noexcept {
+    return bytes_[pos] != 0;
+  }
+  void set(std::size_t pos) noexcept { bytes_[pos] = 1; }
+  void reset() noexcept { std::fill(bytes_.begin(), bytes_.end(), 0); }
+  void swap(BoolMap& other) noexcept { bytes_.swap(other.bytes_); }
+  [[nodiscard]] std::size_t count() const noexcept;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Pure bottom-up traversal using bool-maps for the frontier and the
+/// visited set. Produces results identical to run_bottom_up (levels,
+/// reached, scan counts); only the memory layout differs.
+[[nodiscard]] BfsResult run_bottom_up_boolmap(const CsrGraph& g, vid_t root,
+                                              TraversalLog* log = nullptr);
+
+}  // namespace bfsx::bfs

@@ -1,0 +1,110 @@
+#include "bfs/bottomup.h"
+
+#include <cstddef>
+
+#include "bfs/frontier.h"
+
+namespace bfsx::bfs {
+
+BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
+  BottomUpStats stats;
+  stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
+
+  const vid_t n = g.num_vertices();
+  const std::int32_t next_level = state.current_level + 1;
+  Bitmap next(static_cast<std::size_t>(n));
+
+  vid_t unvisited = 0;
+  eid_t scanned_hit = 0;
+  eid_t scanned_miss = 0;
+  vid_t found = 0;
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1024) \
+    reduction(+ : unvisited, scanned_hit, scanned_miss, found)
+#endif
+  for (vid_t v = 0; v < n; ++v) {
+    if (state.visited.test(static_cast<std::size_t>(v))) continue;
+    ++unvisited;
+    // Algorithm 2 lines 9-12: scan predecessors, adopt the first one
+    // found in the current frontier, then break.
+    eid_t walked = 0;
+    bool hit = false;
+    for (vid_t u : g.in_neighbors(v)) {
+      ++walked;
+      if (state.frontier_bitmap.test(static_cast<std::size_t>(u))) {
+        state.parent[static_cast<std::size_t>(v)] = u;
+        state.level[static_cast<std::size_t>(v)] = next_level;
+        next.set_atomic(static_cast<std::size_t>(v));
+        ++found;
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      scanned_hit += walked;
+    } else {
+      scanned_miss += walked;
+    }
+  }
+
+  // Fold the discoveries into the visited set. Deferring this to after
+  // the scan keeps the level semantics exact: a vertex discovered this
+  // level must not act as a parent within the same level.
+  next.for_each_set([&state](vid_t v) {
+    state.visited.set(static_cast<std::size_t>(v));
+  });
+
+  stats.unvisited_vertices = unvisited;
+  stats.edges_scanned_hit = scanned_hit;
+  stats.edges_scanned_miss = scanned_miss;
+  stats.next_vertices = found;
+  state.reached += found;
+  state.current_level = next_level;
+  state.frontier_bitmap.swap(next);
+  bitmap_to_queue(state.frontier_bitmap, state.frontier_queue);
+  return stats;
+}
+
+BottomUpStats bottom_up_probe(const CsrGraph& g, const BfsState& state) {
+  BottomUpStats stats;
+  stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
+
+  const vid_t n = g.num_vertices();
+  vid_t unvisited = 0;
+  eid_t scanned_hit = 0;
+  eid_t scanned_miss = 0;
+  vid_t found = 0;
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1024) \
+    reduction(+ : unvisited, scanned_hit, scanned_miss, found)
+#endif
+  for (vid_t v = 0; v < n; ++v) {
+    if (state.visited.test(static_cast<std::size_t>(v))) continue;
+    ++unvisited;
+    eid_t walked = 0;
+    bool hit = false;
+    for (vid_t u : g.in_neighbors(v)) {
+      ++walked;
+      if (state.frontier_bitmap.test(static_cast<std::size_t>(u))) {
+        ++found;
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      scanned_hit += walked;
+    } else {
+      scanned_miss += walked;
+    }
+  }
+
+  stats.unvisited_vertices = unvisited;
+  stats.edges_scanned_hit = scanned_hit;
+  stats.edges_scanned_miss = scanned_miss;
+  stats.next_vertices = found;
+  return stats;
+}
+
+}  // namespace bfsx::bfs

@@ -1,0 +1,43 @@
+// Parallel bottom-up BFS level step (paper Algorithm 2, lines 6-13).
+#pragma once
+
+#include "bfs/state.h"
+
+namespace bfsx::bfs {
+
+/// Exact work counters for one bottom-up level.
+struct BottomUpStats {
+  vid_t frontier_vertices = 0;  // |V|cq entering the level
+  vid_t unvisited_vertices = 0; // candidates that scanned for a parent
+  /// In-edges examined by vertices that *found* a parent (each scan
+  /// breaks at its first frontier hit, Algorithm 2 line 12 — a short,
+  /// cache-friendly prefix walk).
+  eid_t edges_scanned_hit = 0;
+  /// In-edges examined by vertices that walked their whole predecessor
+  /// list without finding a frontier member. These full failed scans
+  /// dominate the early levels and are what makes bottom-up so
+  /// expensive there (97% of GPUBU time in the paper's Table IV).
+  eid_t edges_scanned_miss = 0;
+  vid_t next_vertices = 0;
+
+  [[nodiscard]] eid_t edges_scanned() const noexcept {
+    return edges_scanned_hit + edges_scanned_miss;
+  }
+};
+
+/// Advances `state` by one level using the bottom-up direction: every
+/// unvisited vertex searches its in-neighbours for one that is in the
+/// current frontier and adopts it as parent (Algorithm 2 lines 7-12).
+/// Parallelised over vertices; no atomics are needed because each
+/// candidate vertex is written by exactly one owner thread.
+BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state);
+
+/// Counting-only variant: computes exactly the statistics a bottom-up
+/// step *would* produce from the current state, without mutating it.
+/// LevelTrace (src/core) uses this to record both directions' work at
+/// every level in a single traversal, which is what makes exhaustive
+/// switching-point search affordable (DESIGN.md §5.1).
+[[nodiscard]] BottomUpStats bottom_up_probe(const CsrGraph& g,
+                                            const BfsState& state);
+
+}  // namespace bfsx::bfs

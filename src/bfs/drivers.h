@@ -1,0 +1,37 @@
+// Whole-traversal drivers: run a single direction (or the serial
+// reference) from root to completion. The hybrid and cross-architecture
+// executors live in src/core; these drivers are the pure baselines the
+// paper calls GPUTD/GPUBU/CPUTD/CPUBU when bound to a device model.
+#pragma once
+
+#include "bfs/state.h"
+
+namespace bfsx::bfs {
+
+/// Per-level record of a full traversal; the raw material for the
+/// paper's Figures 1-3 and for LevelTrace (src/core).
+struct LevelRecord {
+  std::int32_t level = 0;       // level being *expanded* (0 = root level)
+  vid_t frontier_vertices = 0;  // |V|cq
+  eid_t frontier_edges = 0;     // |E|cq
+  eid_t bottom_up_scanned = 0;  // edges a BU pass scanned (0 for TD runs)
+  vid_t next_vertices = 0;
+};
+
+struct TraversalLog {
+  std::vector<LevelRecord> levels;
+};
+
+/// Pure top-down traversal (paper Algorithm 1).
+BfsResult run_top_down(const CsrGraph& g, vid_t root,
+                       TraversalLog* log = nullptr);
+
+/// Pure bottom-up traversal (paper Algorithm 2).
+BfsResult run_bottom_up(const CsrGraph& g, vid_t root,
+                        TraversalLog* log = nullptr);
+
+/// Textbook serial queue BFS; the oracle all parallel kernels are
+/// checked against in tests.
+BfsResult run_serial(const CsrGraph& g, vid_t root);
+
+}  // namespace bfsx::bfs

@@ -1,0 +1,24 @@
+#include "bfs/frontier.h"
+
+namespace bfsx::bfs {
+
+void queue_to_bitmap(const std::vector<graph::vid_t>& queue,
+                     graph::Bitmap& bitmap) {
+  bitmap.reset();
+  for (graph::vid_t v : queue) bitmap.set(static_cast<std::size_t>(v));
+}
+
+void bitmap_to_queue(const graph::Bitmap& bitmap,
+                     std::vector<graph::vid_t>& queue) {
+  queue.clear();
+  bitmap.for_each_set([&queue](graph::vid_t v) { queue.push_back(v); });
+}
+
+graph::eid_t frontier_out_edges(const graph::CsrGraph& g,
+                                const std::vector<graph::vid_t>& queue) {
+  graph::eid_t total = 0;
+  for (graph::vid_t v : queue) total += g.out_degree(v);
+  return total;
+}
+
+}  // namespace bfsx::bfs

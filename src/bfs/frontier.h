@@ -1,0 +1,27 @@
+// Frontier bookkeeping helpers: queue<->bitmap conversion and the two
+// quantities the switching rule tests every level, |V|cq and |E|cq.
+#pragma once
+
+#include <vector>
+
+#include "graph/bitmap.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace bfsx::bfs {
+
+/// Rebuilds `bitmap` to contain exactly the vertices in `queue`.
+void queue_to_bitmap(const std::vector<graph::vid_t>& queue,
+                     graph::Bitmap& bitmap);
+
+/// Rebuilds `queue` (ascending order) from the set bits of `bitmap`.
+void bitmap_to_queue(const graph::Bitmap& bitmap,
+                     std::vector<graph::vid_t>& queue);
+
+/// |E|cq: the number of out-edges hanging off the frontier — what
+/// top-down will traverse this level, and the left operand of the
+/// paper's `|E|cq < |E|/M` switch test.
+[[nodiscard]] graph::eid_t frontier_out_edges(
+    const graph::CsrGraph& g, const std::vector<graph::vid_t>& queue);
+
+}  // namespace bfsx::bfs

@@ -1,0 +1,43 @@
+// BFS as sparse matrix-vector multiplication, and the arithmetic-
+// intensity analysis built on it (paper Section III-B).
+//
+// "BFS can be seen as a specific case of Sparse Matrix Vector
+// multiplication. Take y = Ax for example: y is a dense vector that
+// represents NQ, A is the adjacency matrix of the graph, and x is a
+// dense vector that represents CQ."
+//
+// This module provides (a) an executable SpMV-style BFS — one
+// adjacency-matrix multiply per level — used in tests as yet another
+// independent oracle for the level sets, and (b) the RCMA / RCMB
+// calculators behind the paper's memory-bound argument.
+#pragma once
+
+#include <vector>
+
+#include "bfs/state.h"
+
+namespace bfsx::bfs {
+
+/// One SpMV level: y = A^T x over the boolean semiring-ish counting
+/// form. x[v] != 0 marks frontier membership; on return y[v] holds the
+/// number of frontier in-neighbours of v (the paper's "y(u) >= 1 means
+/// vertex u is in the next queue").
+void spmv_level(const CsrGraph& g, const std::vector<std::uint8_t>& x,
+                std::vector<std::int32_t>& y);
+
+/// Full BFS via repeated SpMV. Parents are chosen as the smallest
+/// frontier in-neighbour (deterministic); levels equal true distances.
+[[nodiscard]] BfsResult run_spmv_bfs(const CsrGraph& g, vid_t root);
+
+/// Ratio of Computation to Memory Access of the dense n x n
+/// matrix-vector product in the paper's Equation (1):
+///   flops = n * (2n - 1), bytes = 4 * (n^2 + n)  ->  ~0.5.
+[[nodiscard]] double rcma_dense_spmv(std::int64_t n);
+
+/// RCMA of the *sparse* BFS-as-SpMV step: per traversed edge the kernel
+/// does ~1 op and touches ~8 bytes (column index + x entry), matching
+/// the paper's conclusion that BFS sits far below every platform's
+/// balance point. `nnz` is the traversed edge count.
+[[nodiscard]] double rcma_sparse_bfs(std::int64_t n, std::int64_t nnz);
+
+}  // namespace bfsx::bfs

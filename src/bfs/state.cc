@@ -1,0 +1,22 @@
+#include "bfs/state.h"
+
+namespace bfsx::bfs {
+
+BfsResult BfsState::take_result(const CsrGraph& g) && {
+  BfsResult r;
+  r.reached = reached;
+  // Count directed edges whose tail is reached; for a symmetric graph
+  // halving gives the undirected count Graph 500 uses for TEPS.
+  eid_t directed = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (parent[static_cast<std::size_t>(v)] != kNoVertex) {
+      directed += g.out_degree(v);
+    }
+  }
+  r.edges_in_component = g.is_symmetric() ? directed / 2 : directed;
+  r.parent = std::move(parent);
+  r.level = std::move(level);
+  return r;
+}
+
+}  // namespace bfsx::bfs

@@ -1,0 +1,78 @@
+// Shared BFS traversal state threaded through the level-step kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bitmap.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace bfsx::bfs {
+
+using graph::Bitmap;
+using graph::CsrGraph;
+using graph::eid_t;
+using graph::kNoVertex;
+using graph::vid_t;
+
+/// The two traversal directions the combination technique switches
+/// between (paper Section II).
+enum class Direction { kTopDown, kBottomUp };
+
+[[nodiscard]] constexpr const char* to_string(Direction d) noexcept {
+  return d == Direction::kTopDown ? "TD" : "BU";
+}
+
+/// Final output of a BFS: the paper's predecessor map and level map
+/// ("The general output of BFS is a predecessor map and a level map",
+/// Section II-A).
+struct BfsResult {
+  std::vector<vid_t> parent;        // kNoVertex if unreached
+  std::vector<std::int32_t> level;  // -1 if unreached
+  vid_t reached = 0;                // vertices reached, incl. the root
+  /// Undirected edges inside the reached component; the Graph 500 TEPS
+  /// numerator.
+  eid_t edges_in_component = 0;
+};
+
+/// Mutable traversal state. Kernels advance it one level at a time,
+/// which is exactly the granularity at which the paper's combination
+/// techniques switch direction (and switch devices).
+struct BfsState {
+  explicit BfsState(const CsrGraph& g, vid_t root)
+      : parent(static_cast<std::size_t>(g.num_vertices()), kNoVertex),
+        level(static_cast<std::size_t>(g.num_vertices()), -1),
+        visited(static_cast<std::size_t>(g.num_vertices())) {
+    parent[static_cast<std::size_t>(root)] = root;
+    level[static_cast<std::size_t>(root)] = 0;
+    visited.set(static_cast<std::size_t>(root));
+    frontier_queue.push_back(root);
+    frontier_bitmap.resize_and_reset(static_cast<std::size_t>(g.num_vertices()));
+    frontier_bitmap.set(static_cast<std::size_t>(root));
+    reached = 1;
+  }
+
+  std::vector<vid_t> parent;
+  std::vector<std::int32_t> level;
+  Bitmap visited;
+
+  /// Current frontier, kept in *both* representations. Top-down reads
+  /// the queue; bottom-up reads the bitmap. Keeping them in sync costs
+  /// O(|frontier|) per level and models the queue<->bitmap conversion
+  /// the real heterogeneous system performs at each handoff.
+  std::vector<vid_t> frontier_queue;
+  Bitmap frontier_bitmap;
+
+  std::int32_t current_level = 0;
+  vid_t reached = 1;
+
+  [[nodiscard]] bool frontier_empty() const noexcept {
+    return frontier_queue.empty();
+  }
+
+  /// Extracts the final result (parent/level maps are moved out).
+  [[nodiscard]] BfsResult take_result(const CsrGraph& g) &&;
+};
+
+}  // namespace bfsx::bfs

@@ -1,0 +1,26 @@
+// Parallel top-down BFS level step (paper Algorithm 1, lines 6-13).
+#pragma once
+
+#include "bfs/state.h"
+
+namespace bfsx::bfs {
+
+/// Exact work counters for one top-down level. These are the inputs to
+/// the architecture cost model and to the switching heuristic.
+struct TopDownStats {
+  vid_t frontier_vertices = 0;  // |V|cq
+  eid_t frontier_edges = 0;     // |E|cq — every one of these is traversed
+  vid_t next_vertices = 0;      // |V| of the produced next queue
+};
+
+/// Advances `state` by one level using the top-down direction: each
+/// frontier vertex tries to claim its unvisited out-neighbours
+/// (Algorithm 1 lines 7-12). Parallelised over frontier vertices with
+/// OpenMP; discovered vertices are claimed with an atomic test-and-set
+/// so each vertex gets exactly one parent.
+///
+/// On return the state's frontier (queue + bitmap), visited set, parent
+/// and level maps, current_level, and reached count are all updated.
+TopDownStats top_down_step(const CsrGraph& g, BfsState& state);
+
+}  // namespace bfsx::bfs

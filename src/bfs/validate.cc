@@ -1,0 +1,87 @@
+#include "bfs/validate.h"
+
+#include <sstream>
+
+namespace bfsx::bfs {
+namespace {
+
+ValidationReport fail(const std::string& msg) { return {false, msg}; }
+
+std::string vtx(vid_t v) {
+  std::ostringstream os;
+  os << "vertex " << v;
+  return os.str();
+}
+
+}  // namespace
+
+ValidationReport validate_bfs(const CsrGraph& g, vid_t root,
+                              const BfsResult& result) {
+  const vid_t n = g.num_vertices();
+  if (root < 0 || root >= n) return fail("root out of range");
+  if (result.parent.size() != static_cast<std::size_t>(n) ||
+      result.level.size() != static_cast<std::size_t>(n)) {
+    return fail("parent/level map size mismatch");
+  }
+
+  // Check 1: root self-parented at level 0.
+  if (result.parent[static_cast<std::size_t>(root)] != root) {
+    return fail("root is not its own parent");
+  }
+  if (result.level[static_cast<std::size_t>(root)] != 0) {
+    return fail("root level is not 0");
+  }
+
+  vid_t reached = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    const vid_t p = result.parent[static_cast<std::size_t>(v)];
+    const std::int32_t lv = result.level[static_cast<std::size_t>(v)];
+    if ((p == kNoVertex) != (lv < 0)) {
+      return fail(vtx(v) + ": parent and level disagree about reachability");
+    }
+    if (p == kNoVertex) continue;
+    ++reached;
+    if (v == root) continue;
+    if (p < 0 || p >= n) return fail(vtx(v) + ": parent out of range");
+    const std::int32_t lp = result.level[static_cast<std::size_t>(p)];
+    // Check 2: tree edges span exactly one level.
+    if (lp < 0 || lv != lp + 1) {
+      return fail(vtx(v) + ": level is not parent's level + 1");
+    }
+    // Check 3: the tree edge must exist (parent -> child in the graph).
+    if (!g.has_edge(p, v)) {
+      return fail(vtx(v) + ": tree edge missing from graph");
+    }
+  }
+  if (reached != result.reached) {
+    return fail("reached count does not match parent map");
+  }
+
+  // Checks 4 and 5 over every edge.
+  for (vid_t u = 0; u < n; ++u) {
+    const std::int32_t lu = result.level[static_cast<std::size_t>(u)];
+    for (vid_t v : g.out_neighbors(u)) {
+      const std::int32_t lv = result.level[static_cast<std::size_t>(v)];
+      if (lu >= 0 && lv >= 0) {
+        const std::int32_t diff = lu > lv ? lu - lv : lv - lu;
+        if (diff > 1) {
+          return fail("edge (" + std::to_string(u) + "," + std::to_string(v) +
+                      ") spans more than one level");
+        }
+      } else if (lu >= 0 && lv < 0) {
+        // A reached vertex with an unreached out-neighbour means the BFS
+        // stopped early (for directed graphs only the out direction is
+        // conclusive).
+        return fail("edge (" + std::to_string(u) + "," + std::to_string(v) +
+                    ") leaves the traversed region");
+      }
+    }
+  }
+  return {};
+}
+
+bool same_levels(const BfsResult& a, const BfsResult& b) {
+  return a.level == b.level;
+}
+
+}  // namespace bfsx::bfs

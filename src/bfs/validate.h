@@ -1,0 +1,41 @@
+// Graph 500-style BFS output validation.
+//
+// Follows the five checks the Graph 500 specification mandates for
+// kernel-2 results, adapted to our parent+level representation:
+//   1. the root is its own parent at level 0;
+//   2. every reached vertex has a level exactly one greater than its
+//      parent's level (tree edges span adjacent levels);
+//   3. every tree edge (parent[v], v) exists in the graph;
+//   4. every graph edge spans at most one level (|lvl(u)-lvl(v)| <= 1
+//      when both ends are reached) — the BFS level map is a valid
+//      distance labelling;
+//   5. reachability agrees with ground truth: an edge with exactly one
+//      reached endpoint would contradict BFS completeness (for the
+//      undirected view).
+#pragma once
+
+#include <string>
+
+#include "bfs/state.h"
+
+namespace bfsx::bfs {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string error;  // first failure, empty when ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Validates `result` as a BFS tree of `g` rooted at `root`.
+/// Runs in O(V + E); safe to call on every test traversal.
+[[nodiscard]] ValidationReport validate_bfs(const CsrGraph& g, vid_t root,
+                                            const BfsResult& result);
+
+/// Convenience equality check used in tests: two BFS runs on the same
+/// graph/root must produce identical level maps even when parents
+/// differ (parents are tie-broken nondeterministically in parallel
+/// runs; levels are unique).
+[[nodiscard]] bool same_levels(const BfsResult& a, const BfsResult& b);
+
+}  // namespace bfsx::bfs

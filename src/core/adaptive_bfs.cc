@@ -1,0 +1,78 @@
+#include "core/adaptive_bfs.h"
+
+#include "bfs/frontier.h"
+
+namespace bfsx::core {
+
+CombinationRun run_combination(const graph::CsrGraph& g, graph::vid_t root,
+                               const sim::Device& device,
+                               const HybridPolicy& policy) {
+  policy.validate();
+  CombinationRun run;
+  bfs::BfsState state(g, root);
+  bfs::Direction prev = bfs::Direction::kTopDown;
+  bool first = true;
+  while (!state.frontier_empty()) {
+    const graph::eid_t e_cq = bfs::frontier_out_edges(g, state.frontier_queue);
+    const auto v_cq = static_cast<graph::vid_t>(state.frontier_queue.size());
+    const bfs::Direction dir =
+        policy.decide(e_cq, v_cq, g.num_edges(), g.num_vertices());
+    const sim::LevelOutcome out = dir == bfs::Direction::kTopDown
+                                      ? device.run_top_down_level(g, state)
+                                      : device.run_bottom_up_level(g, state);
+    if (!first && dir != prev) ++run.direction_switches;
+    prev = dir;
+    first = false;
+    run.seconds += out.seconds;
+    run.levels.push_back({out, std::string(device.name())});
+  }
+  run.result = std::move(state).take_result(g);
+  return run;
+}
+
+CombinationRun run_combination_beamer(const graph::CsrGraph& g,
+                                      graph::vid_t root,
+                                      const sim::Device& device,
+                                      const BeamerPolicy& policy) {
+  policy.validate();
+  CombinationRun run;
+  bfs::BfsState state(g, root);
+  bfs::Direction prev = bfs::Direction::kTopDown;
+  graph::eid_t explored = 0;
+  bool first = true;
+  while (!state.frontier_empty()) {
+    const graph::eid_t e_cq = bfs::frontier_out_edges(g, state.frontier_queue);
+    explored += e_cq;
+    const auto v_cq = static_cast<graph::vid_t>(state.frontier_queue.size());
+    const bfs::Direction dir = policy.decide(
+        e_cq, g.num_edges() - explored, v_cq, g.num_vertices(), prev);
+    const sim::LevelOutcome out = dir == bfs::Direction::kTopDown
+                                      ? device.run_top_down_level(g, state)
+                                      : device.run_bottom_up_level(g, state);
+    if (!first && dir != prev) ++run.direction_switches;
+    prev = dir;
+    first = false;
+    run.seconds += out.seconds;
+    run.levels.push_back({out, std::string(device.name())});
+  }
+  run.result = std::move(state).take_result(g);
+  return run;
+}
+
+CombinationRun run_pure(const graph::CsrGraph& g, graph::vid_t root,
+                        const sim::Device& device, bfs::Direction direction) {
+  CombinationRun run;
+  bfs::BfsState state(g, root);
+  while (!state.frontier_empty()) {
+    const sim::LevelOutcome out =
+        direction == bfs::Direction::kTopDown
+            ? device.run_top_down_level(g, state)
+            : device.run_bottom_up_level(g, state);
+    run.seconds += out.seconds;
+    run.levels.push_back({out, std::string(device.name())});
+  }
+  run.result = std::move(state).take_result(g);
+  return run;
+}
+
+}  // namespace bfsx::core

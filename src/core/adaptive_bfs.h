@@ -1,0 +1,58 @@
+// Single-architecture combination executor: the paper's CPUCB / GPUCB /
+// MICCB — one device, per-level direction chosen by the M/N policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/beamer_policy.h"
+#include "core/hybrid_policy.h"
+#include "sim/device.h"
+
+namespace bfsx::core {
+
+/// One executed level with the device it ran on (single-arch runs have
+/// one device throughout; cross-arch runs mix).
+struct ExecutedLevel {
+  sim::LevelOutcome outcome;
+  std::string device;
+};
+
+struct CombinationRun {
+  bfs::BfsResult result;
+  double seconds = 0.0;            // total modelled time
+  double transfer_seconds = 0.0;   // interconnect share (cross-arch only)
+  std::vector<ExecutedLevel> levels;
+  int direction_switches = 0;
+
+  /// TEPS over the reached component at the modelled time.
+  [[nodiscard]] double teps() const {
+    return seconds > 0
+               ? static_cast<double>(result.edges_in_component) / seconds
+               : 0.0;
+  }
+};
+
+/// Runs the combination of Algorithms 1 and 2 on one device, switching
+/// by `policy` each level (paper Section II-B / Fig. 4), and returns
+/// the full per-level account.
+[[nodiscard]] CombinationRun run_combination(const graph::CsrGraph& g,
+                                             graph::vid_t root,
+                                             const sim::Device& device,
+                                             const HybridPolicy& policy);
+
+/// Pure-direction runs through the same reporting path (the paper's
+/// GPUTD/GPUBU/... columns of Table IV).
+[[nodiscard]] CombinationRun run_pure(const graph::CsrGraph& g,
+                                      graph::vid_t root,
+                                      const sim::Device& device,
+                                      bfs::Direction direction);
+
+/// The same combination under Beamer's stateful alpha/beta rule
+/// (core/beamer_policy.h) — the SC'12 baseline the paper's M/N rule
+/// reformulates. Tracks the unexplored-edge count live.
+[[nodiscard]] CombinationRun run_combination_beamer(
+    const graph::CsrGraph& g, graph::vid_t root, const sim::Device& device,
+    const BeamerPolicy& policy);
+
+}  // namespace bfsx::core

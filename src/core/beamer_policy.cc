@@ -1,0 +1,13 @@
+#include "core/beamer_policy.h"
+
+#include <stdexcept>
+
+namespace bfsx::core {
+
+void BeamerPolicy::validate() const {
+  if (alpha <= 0.0 || beta <= 0.0) {
+    throw std::invalid_argument("BeamerPolicy: alpha and beta must be > 0");
+  }
+}
+
+}  // namespace bfsx::core

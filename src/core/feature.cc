@@ -1,0 +1,55 @@
+#include "core/feature.h"
+
+namespace bfsx::core {
+
+GraphFeatures features_from_rmat(const graph::RmatParams& p) {
+  GraphFeatures f;
+  f.vertices_millions = static_cast<double>(p.num_vertices()) / 1e6;
+  // The generator draws num_edges() directed edges; after symmetrise +
+  // dedup the CSR holds roughly twice that. Using the generator count
+  // keeps offline and online features consistent to within dedup noise.
+  f.edges_millions = 2.0 * static_cast<double>(p.num_edges()) / 1e6;
+  f.a = p.a;
+  f.b = p.b;
+  f.c = p.c;
+  f.d = p.d;
+  return f;
+}
+
+GraphFeatures features_from_graph(const graph::CsrGraph& g, double a,
+                                  double b, double c, double d) {
+  GraphFeatures f;
+  f.vertices_millions = static_cast<double>(g.num_vertices()) / 1e6;
+  f.edges_millions = static_cast<double>(g.num_edges()) / 1e6;
+  f.a = a;
+  f.b = b;
+  f.c = c;
+  f.d = d;
+  return f;
+}
+
+std::vector<double> build_sample(const GraphFeatures& gf,
+                                 const sim::ArchSpec& td_arch,
+                                 const sim::ArchSpec& bu_arch) {
+  return {
+      gf.vertices_millions,
+      gf.edges_millions,
+      gf.a,
+      gf.b,
+      gf.c,
+      gf.d,
+      td_arch.peak_sp_gflops,
+      td_arch.l1_kb,
+      td_arch.bw_measured_gbps,
+      bu_arch.peak_sp_gflops,
+      bu_arch.l1_kb,
+      bu_arch.bw_measured_gbps,
+  };
+}
+
+std::array<const char*, kNumFeatures> feature_names() {
+  return {"V_millions", "E_millions", "A",  "B",  "C",  "D",
+          "P1_gflops",  "L1_kb",      "B1", "P2", "L2", "B2"};
+}
+
+}  // namespace bfsx::core

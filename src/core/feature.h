@@ -1,0 +1,53 @@
+// Training-sample construction (paper Fig. 7).
+//
+// Each sample concatenates:
+//   graph information      — V, E (in millions), and the Kronecker
+//                            construction parameters A, B, C, D;
+//   top-down architecture  — peak performance P1, L1 cache size, memory
+//                            bandwidth B1 of the platform running
+//                            top-down;
+//   bottom-up architecture — P2, L2(cache L1 size), B2 of the platform
+//                            running bottom-up.
+// "Arch-TD_i and Arch-BU_i are the same if top-down and bottom-up are
+// on the same architecture" (Section III-D).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/rmat.h"
+#include "sim/arch.h"
+
+namespace bfsx::core {
+
+struct GraphFeatures {
+  double vertices_millions = 0;
+  double edges_millions = 0;  // directed (CSR) edges, matching |E| in the rule
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+};
+
+/// Features straight from generator parameters (offline training path).
+[[nodiscard]] GraphFeatures features_from_rmat(const graph::RmatParams& p);
+
+/// Features from a built graph plus known construction parameters
+/// (online path: V and E are read off the CSR, A-D from metadata).
+[[nodiscard]] GraphFeatures features_from_graph(const graph::CsrGraph& g,
+                                                double a, double b, double c,
+                                                double d);
+
+inline constexpr std::size_t kNumFeatures = 12;
+
+/// Assembles the 12-feature sample of Fig. 7:
+/// [V, E, A, B, C, D, P1, L1_1, B1, P2, L1_2, B2].
+[[nodiscard]] std::vector<double> build_sample(const GraphFeatures& gf,
+                                               const sim::ArchSpec& td_arch,
+                                               const sim::ArchSpec& bu_arch);
+
+/// Column names, index-aligned with build_sample (logging/debugging).
+[[nodiscard]] std::array<const char*, kNumFeatures> feature_names();
+
+}  // namespace bfsx::core

@@ -1,0 +1,90 @@
+// LevelTrace: one traversal's complete per-level work profile, plus
+// O(levels) replay of any switching policy against any architecture.
+//
+// Why this exists (DESIGN.md §5.1): the paper's oracle ("hybrid-oracle",
+// exhaustive search) needs the runtime of a BFS under ~1,000 candidate
+// switching points. Re-running the BFS per candidate costs 1,000x the
+// traversal — the exact reason the paper says exhaustive search "can
+// not be used at runtime". But the *work counters* of every level are
+// policy-independent:
+//   * the level sets (and hence |V|cq, |E|cq per level) are a property
+//     of the graph and root only — both directions discover the same
+//     level sets;
+//   * the bottom-up hit/miss scan counts at level L depend only on the
+//     visited set after level L-1, which again is policy-independent.
+// So one instrumented traversal that records both directions' counters
+// at every level lets us price any policy by summing per-level model
+// costs. The replay is exact with respect to the cost model, which
+// tests verify by comparing against actually-executed combinations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bfs/state.h"
+#include "core/beamer_policy.h"
+#include "core/hybrid_policy.h"
+#include "sim/cost_model.h"
+
+namespace bfsx::core {
+
+struct TraceLevel {
+  std::int32_t level = 0;           // level being expanded
+  graph::vid_t frontier_vertices = 0;  // |V|cq
+  graph::eid_t frontier_edges = 0;     // |E|cq
+  graph::eid_t bu_edges_hit = 0;       // what a BU pass would scan (hits)
+  graph::eid_t bu_edges_miss = 0;      // ... and in failed searches
+  graph::vid_t next_vertices = 0;
+};
+
+struct LevelTrace {
+  graph::vid_t num_vertices = 0;
+  graph::eid_t num_edges = 0;  // directed edge count (CSR entries)
+  std::vector<TraceLevel> levels;
+
+  [[nodiscard]] std::int32_t depth() const noexcept {
+    return static_cast<std::int32_t>(levels.size());
+  }
+};
+
+/// Runs one instrumented traversal from `root` and records both
+/// directions' exact work at every level (top-down advances the state;
+/// bottom-up is probed without mutation). Costs roughly one traversal
+/// of each direction.
+[[nodiscard]] LevelTrace build_level_trace(const graph::CsrGraph& g,
+                                           graph::vid_t root);
+
+/// Modelled total seconds of a pure single-direction run on `arch`.
+[[nodiscard]] double replay_pure(const LevelTrace& trace,
+                                 const sim::ArchSpec& arch,
+                                 bfs::Direction direction);
+
+/// Modelled total seconds of the single-architecture combination
+/// (paper Section IV's CPUCB / GPUCB / MICCB) under `policy`.
+[[nodiscard]] double replay_single(const LevelTrace& trace,
+                                   const sim::ArchSpec& arch,
+                                   const HybridPolicy& policy);
+
+/// Modelled total seconds of the single-architecture combination under
+/// Beamer's stateful alpha/beta rule (core/beamer_policy.h). The
+/// unexplored-edge count m_u at each level is reconstructed from the
+/// trace's |E|cq prefix sums.
+[[nodiscard]] double replay_beamer(const LevelTrace& trace,
+                                   const sim::ArchSpec& arch,
+                                   const BeamerPolicy& policy);
+
+/// Modelled total seconds of the cross-architecture combination
+/// (Algorithm 3): the host runs top-down while `handoff_policy` still
+/// selects top-down; at the first bottom-up trigger the frontier is
+/// shipped over `link` and the rest of the traversal runs on `accel`
+/// under `accel_policy` (which may switch back to top-down for the
+/// final levels — the CPUTD+GPUCB variant). Algorithm 3 never returns
+/// to the host.
+[[nodiscard]] double replay_cross(const LevelTrace& trace,
+                                  const sim::ArchSpec& host,
+                                  const sim::ArchSpec& accel,
+                                  const sim::InterconnectSpec& link,
+                                  const HybridPolicy& handoff_policy,
+                                  const HybridPolicy& accel_policy);
+
+}  // namespace bfsx::core

@@ -1,0 +1,78 @@
+// Online switching-point tuner — the trial-and-error alternative the
+// paper compares against, made usable.
+//
+// The paper dismisses manual trial-and-error ("the best switching point
+// needs to be searched manually from thousands of possible cases") and
+// uses regression instead. For workloads that traverse the *same* graph
+// from many roots (the Graph 500 protocol itself, or repeated analytics
+// queries), there is a middle ground: spend the first traversals
+// probing the candidate space, then exploit the best-so-far. This
+// module implements that successive-halving style tuner both as an
+// honest baseline for the regression approach (bench_fig8 shows the
+// regression needs zero warm-up traversals) and as a practical tool
+// when no trained model is available.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tuner.h"
+
+namespace bfsx::core {
+
+struct OnlineTunerOptions {
+  /// Candidates evaluated per refinement round.
+  int probes_per_round = 8;
+  /// Rounds of zooming-in (each shrinks the (M, N) box around the
+  /// incumbent by `shrink`).
+  int rounds = 3;
+  double shrink = 0.35;
+  std::uint64_t seed = 1;
+};
+
+/// Successively refines (M, N) against a pricing oracle. The oracle is
+/// any function HybridPolicy -> modelled/measured seconds: pass a
+/// LevelTrace replay for simulated devices, or a wall-clock lambda that
+/// really runs traversals for native tuning.
+class OnlineTuner {
+ public:
+  explicit OnlineTuner(OnlineTunerOptions opts = {});
+
+  /// Runs the probe schedule and returns the best policy found along
+  /// with its cost. `oracle(policy)` must be deterministic for the
+  /// bookkeeping to be meaningful (average repeated runs if noisy).
+  template <typename Oracle>
+  TunedPolicy tune(Oracle&& oracle) {
+    reset();
+    while (!done()) {
+      const HybridPolicy p = next_probe();
+      record(p, oracle(p));
+    }
+    return best();
+  }
+
+  // ---- incremental interface (probe-between-real-traversals use) ----
+  void reset();
+  [[nodiscard]] bool done() const noexcept;
+  /// The next candidate the schedule wants priced.
+  [[nodiscard]] HybridPolicy next_probe();
+  /// Reports the cost of the policy returned by the last next_probe().
+  void record(const HybridPolicy& policy, double seconds);
+  [[nodiscard]] TunedPolicy best() const;
+  [[nodiscard]] int probes_used() const noexcept { return probes_used_; }
+
+ private:
+  void advance_round();
+
+  OnlineTunerOptions opts_;
+  double lo_m_ = 1.0, hi_m_ = 300.0;
+  double lo_n_ = 1.0, hi_n_ = 300.0;
+  int round_ = 0;
+  int probe_in_round_ = 0;
+  int probes_used_ = 0;
+  std::uint64_t rng_state_ = 0;
+  TunedPolicy best_{HybridPolicy{14, 24}, 0.0};
+  bool have_best_ = false;
+};
+
+}  // namespace bfsx::core

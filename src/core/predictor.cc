@@ -1,0 +1,52 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "ml/model_io.h"
+
+namespace bfsx::core {
+
+HybridPolicy SwitchPredictor::predict(const GraphFeatures& gf,
+                                      const sim::ArchSpec& td_arch,
+                                      const sim::ArchSpec& bu_arch) const {
+  const std::vector<double> sample = build_sample(gf, td_arch, bu_arch);
+  HybridPolicy policy;
+  policy.m = std::clamp(m_model_.predict(sample), kMinSwitchKnob,
+                        kMaxSwitchKnob);
+  policy.n = std::clamp(n_model_.predict(sample), kMinSwitchKnob,
+                        kMaxSwitchKnob);
+  return policy;
+}
+
+void SwitchPredictor::save(std::ostream& os) const {
+  ml::save_svr(os, m_model_);
+  ml::save_svr(os, n_model_);
+}
+
+SwitchPredictor SwitchPredictor::load(std::istream& is) {
+  ml::SvrModel m = ml::load_svr(is);
+  ml::SvrModel n = ml::load_svr(is);
+  return SwitchPredictor(std::move(m), std::move(n));
+}
+
+void SwitchPredictor::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("SwitchPredictor::save_file: cannot open " +
+                             path);
+  }
+  save(os);
+}
+
+SwitchPredictor SwitchPredictor::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("SwitchPredictor::load_file: cannot open " +
+                             path);
+  }
+  return load(is);
+}
+
+}  // namespace bfsx::core

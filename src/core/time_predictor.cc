@@ -1,0 +1,24 @@
+#include "core/time_predictor.h"
+
+#include <cmath>
+
+#include "ml/model_io.h"
+
+namespace bfsx::core {
+
+double TimePredictor::predict_seconds(const GraphFeatures& gf,
+                                      const sim::ArchSpec& td_arch,
+                                      const sim::ArchSpec& bu_arch) const {
+  const std::vector<double> sample = build_sample(gf, td_arch, bu_arch);
+  return std::pow(10.0, model_.predict(sample));
+}
+
+void TimePredictor::save(std::ostream& os) const {
+  ml::save_svr(os, model_);
+}
+
+TimePredictor TimePredictor::load(std::istream& is) {
+  return TimePredictor(ml::load_svr(is));
+}
+
+}  // namespace bfsx::core

@@ -1,0 +1,38 @@
+// Runtime *performance* prediction — an extension beyond the paper.
+//
+// The paper predicts the best switching point but still assumes the
+// accelerator is chosen by hand (it evaluates GPU vs MIC pairwise and
+// reports which wins). With a second regression — same Fig. 7 features,
+// target = log10 of the tuned combination's runtime — the system can
+// rank candidate device pairings at runtime and pick the accelerator
+// itself. The log target keeps the SVR's epsilon tube meaningful across
+// the ~4 orders of magnitude of traversal times.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/feature.h"
+#include "ml/svr.h"
+
+namespace bfsx::core {
+
+class TimePredictor {
+ public:
+  explicit TimePredictor(ml::SvrModel model) : model_(std::move(model)) {}
+
+  /// Predicted seconds of the tuned combination that runs top-down on
+  /// `td_arch` and bottom-up on `bu_arch` over a graph with features
+  /// `gf`. Cross pairs include the interconnect cost in the labels.
+  [[nodiscard]] double predict_seconds(const GraphFeatures& gf,
+                                       const sim::ArchSpec& td_arch,
+                                       const sim::ArchSpec& bu_arch) const;
+
+  void save(std::ostream& os) const;
+  static TimePredictor load(std::istream& is);
+
+ private:
+  ml::SvrModel model_;  // predicts log10(seconds)
+};
+
+}  // namespace bfsx::core

@@ -1,0 +1,103 @@
+#include "core/trainer.h"
+
+#include <cmath>
+
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+
+namespace bfsx::core {
+
+TrainerConfig default_trainer_config() {
+  TrainerConfig cfg;
+
+  struct Abcd {
+    double a, b, c, d;
+  };
+  const Abcd kron_sets[] = {
+      {0.57, 0.19, 0.19, 0.05},  // the paper's Graph 500 setting
+      {0.45, 0.25, 0.20, 0.10},  // milder skew
+  };
+  for (int scale : {11, 12, 13}) {
+    for (int ef : {8, 16, 32}) {
+      for (const Abcd& k : kron_sets) {
+        for (std::uint64_t seed : {11ULL, 29ULL}) {
+          graph::RmatParams p;
+          p.scale = scale;
+          p.edgefactor = ef;
+          p.a = k.a;
+          p.b = k.b;
+          p.c = k.c;
+          p.d = k.d;
+          p.seed = seed;
+          cfg.graphs.push_back(p);
+        }
+      }
+    }
+  }
+
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const sim::ArchSpec mic = sim::make_knights_corner_mic();
+  cfg.arch_pairs = {
+      {cpu, cpu},  // CPUCB
+      {gpu, gpu},  // GPUCB
+      {mic, mic},  // MICCB
+      {cpu, gpu},  // the cross-architecture handoff pair of Algorithm 3
+      {cpu, mic},  // the MIC-accelerated variant (Fig. 9's comparison)
+  };
+  // 36 graphs x 5 pairs = 180 samples, a shade above the paper's
+  // "N = 140" regime so the accelerator auto-selection extension sees
+  // both (host, accelerator) pairings in training.
+  return cfg;
+}
+
+TunedPolicy label_configuration(const LevelTrace& trace, const ArchPair& pair,
+                                const sim::InterconnectSpec& link,
+                                const SwitchCandidates& candidates) {
+  if (!pair.is_cross()) {
+    return pick_best(sweep_single(trace, pair.td, candidates), candidates);
+  }
+  // Cross pair: fix the accelerator-internal policy at its own optimum,
+  // then search the handoff policy (Algorithm 3 tunes (M2, N2) with
+  // (GI, GPUI, GPUI) and (M1, N1) with (GI, CPUI, GPUI)).
+  const TunedPolicy inner =
+      pick_best(sweep_single(trace, pair.bu, candidates), candidates);
+  return pick_best(
+      sweep_cross(trace, pair.td, pair.bu, link, candidates, inner.policy),
+      candidates);
+}
+
+TrainingData generate_training_data(const TrainerConfig& cfg) {
+  TrainingData data;
+  for (const graph::RmatParams& params : cfg.graphs) {
+    const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(params));
+    const std::vector<graph::vid_t> roots =
+        graph::sample_roots(g, 1, cfg.root_seed);
+    const LevelTrace trace = build_level_trace(g, roots.front());
+    const GraphFeatures gf = features_from_rmat(params);
+
+    for (const ArchPair& pair : cfg.arch_pairs) {
+      const TunedPolicy best =
+          label_configuration(trace, pair, cfg.link, cfg.candidates);
+      const std::vector<double> sample = build_sample(gf, pair.td, pair.bu);
+      data.m_data.add(sample, best.policy.m);
+      data.n_data.add(sample, best.policy.n);
+      data.t_data.add(sample, std::log10(best.seconds));
+    }
+  }
+  return data;
+}
+
+SwitchPredictor train_predictor(const TrainingData& data,
+                                const ml::SvrParams& svr) {
+  ml::SvrModel m_model = ml::SvrModel::fit(data.m_data, svr);
+  ml::SvrModel n_model = ml::SvrModel::fit(data.n_data, svr);
+  return SwitchPredictor(std::move(m_model), std::move(n_model));
+}
+
+TimePredictor train_time_predictor(const TrainingData& data,
+                                   const ml::SvrParams& svr) {
+  return TimePredictor(ml::SvrModel::fit(data.t_data, svr));
+}
+
+}  // namespace bfsx::core

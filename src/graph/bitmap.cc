@@ -1,0 +1,35 @@
+#include "graph/bitmap.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+namespace bfsx::graph {
+
+Bitmap::Bitmap(std::size_t size) : words_((size + 63) / 64, 0), size_(size) {}
+
+void Bitmap::reset() noexcept { std::fill(words_.begin(), words_.end(), 0); }
+
+void Bitmap::resize_and_reset(std::size_t size) {
+  size_ = size;
+  words_.assign((size + 63) / 64, 0);
+}
+
+void Bitmap::set_atomic(std::size_t pos) noexcept {
+  std::atomic_ref<std::uint64_t> word(words_[pos >> 6]);
+  word.fetch_or(1ULL << (pos & 63), std::memory_order_relaxed);
+}
+
+bool Bitmap::test_and_set_atomic(std::size_t pos) noexcept {
+  const std::uint64_t mask = 1ULL << (pos & 63);
+  std::atomic_ref<std::uint64_t> word(words_[pos >> 6]);
+  return (word.fetch_or(mask, std::memory_order_relaxed) & mask) == 0;
+}
+
+std::size_t Bitmap::count() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,88 @@
+// Fixed-size bitmap used for BFS frontiers and visited sets.
+//
+// The paper stores the current queue as a bitmap on the bottom-up side
+// ("use bitmap for the CQ", Section IV); this is that container. Thread
+// safety: set_atomic() / test_and_set_atomic() may race freely from
+// OpenMP workers; everything else is single-writer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace bfsx::graph {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  /// Creates a bitmap of `size` bits, all cleared.
+  explicit Bitmap(std::size_t size);
+
+  /// Number of addressable bits.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Clears every bit (keeps the size).
+  void reset() noexcept;
+
+  /// Resizes to `size` bits and clears everything.
+  void resize_and_reset(std::size_t size);
+
+  [[nodiscard]] bool test(std::size_t pos) const noexcept {
+    return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+  }
+
+  /// Non-atomic set; caller guarantees exclusive access to the word.
+  void set(std::size_t pos) noexcept { words_[pos >> 6] |= 1ULL << (pos & 63); }
+
+  /// Non-atomic clear.
+  void clear(std::size_t pos) noexcept {
+    words_[pos >> 6] &= ~(1ULL << (pos & 63));
+  }
+
+  /// Atomically sets bit `pos`; safe under concurrent writers.
+  void set_atomic(std::size_t pos) noexcept;
+
+  /// Atomically sets bit `pos` and reports whether it was previously
+  /// clear (i.e. whether this caller won the race). The BFS top-down
+  /// kernel uses this as its visited check-and-claim.
+  bool test_and_set_atomic(std::size_t pos) noexcept;
+
+  /// Population count over all bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// Calls `fn(vid_t)` for every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(static_cast<vid_t>((w << 6) + static_cast<std::size_t>(bit)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Swaps contents with another bitmap in O(1).
+  void swap(Bitmap& other) noexcept {
+    words_.swap(other.words_);
+    std::swap(size_, other.size_);
+  }
+
+  /// Raw word access for cache-friendly scans (bottom-up kernel).
+  [[nodiscard]] const std::uint64_t* words() const noexcept {
+    return words_.data();
+  }
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bfsx::graph

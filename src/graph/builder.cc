@@ -1,0 +1,115 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace bfsx::graph {
+namespace {
+
+void validate_input(const EdgeList& el) {
+  if (el.num_vertices < 0) {
+    throw std::invalid_argument("EdgeList: negative vertex count");
+  }
+  for (const Edge& e : el.edges) {
+    if (e.src < 0 || e.src >= el.num_vertices || e.dst < 0 ||
+        e.dst >= el.num_vertices) {
+      throw std::out_of_range("EdgeList: edge endpoint out of range");
+    }
+  }
+}
+
+struct CsrArrays {
+  std::vector<eid_t> offsets;
+  std::vector<vid_t> targets;
+};
+
+/// Counting-sort the (src → dst) pairs into CSR arrays, then optionally
+/// sort/dedup each adjacency row.
+CsrArrays pack(vid_t n, const std::vector<Edge>& edges, bool by_src,
+               const BuildOptions& opts) {
+  const auto nu = static_cast<std::size_t>(n);
+  std::vector<eid_t> offsets(nu + 1, 0);
+  for (const Edge& e : edges) {
+    const vid_t key = by_src ? e.src : e.dst;
+    ++offsets[static_cast<std::size_t>(key) + 1];
+  }
+  for (std::size_t i = 1; i <= nu; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<vid_t> targets(edges.size());
+  std::vector<eid_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges) {
+    const vid_t key = by_src ? e.src : e.dst;
+    const vid_t val = by_src ? e.dst : e.src;
+    targets[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(key)]++)] = val;
+  }
+
+  if (opts.sort_neighbors || opts.deduplicate) {
+    std::vector<eid_t> new_offsets(nu + 1, 0);
+    eid_t write = 0;
+    for (std::size_t v = 0; v < nu; ++v) {
+      auto* first = targets.data() + offsets[v];
+      auto* last = targets.data() + offsets[v + 1];
+      std::sort(first, last);
+      auto* end = opts.deduplicate ? std::unique(first, last) : last;
+      // Compact in place; `write` never overtakes the read cursor.
+      for (auto* p = first; p != end; ++p) {
+        targets[static_cast<std::size_t>(write++)] = *p;
+      }
+      new_offsets[v + 1] = write;
+    }
+    targets.resize(static_cast<std::size_t>(write));
+    offsets = std::move(new_offsets);
+  }
+  return {std::move(offsets), std::move(targets)};
+}
+
+std::vector<Edge> preprocess(EdgeList&& el, bool symmetrize,
+                             const BuildOptions& opts) {
+  std::vector<Edge> edges = std::move(el.edges);
+  if (opts.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (symmetrize) {
+    const std::size_t orig = edges.size();
+    edges.reserve(orig * 2);
+    for (std::size_t i = 0; i < orig; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+CsrGraph build_csr(EdgeList el, const BuildOptions& opts) {
+  validate_input(el);
+  const vid_t n = el.num_vertices;
+  std::vector<Edge> edges = preprocess(std::move(el), opts.symmetrize, opts);
+  if (!opts.symmetrize) {
+    // Caller explicitly opted out of symmetrisation but requested the
+    // shared-adjacency constructor; that is only sound if the input is
+    // already symmetric, which we cannot cheaply verify — build both
+    // directions instead.
+    auto out = pack(n, edges, /*by_src=*/true, opts);
+    auto in = pack(n, edges, /*by_src=*/false, opts);
+    return CsrGraph(std::move(out.offsets), std::move(out.targets),
+                    std::move(in.offsets), std::move(in.targets));
+  }
+  auto arrays = pack(n, edges, /*by_src=*/true, opts);
+  return CsrGraph(std::move(arrays.offsets), std::move(arrays.targets));
+}
+
+CsrGraph build_directed_csr(EdgeList el, const BuildOptions& opts) {
+  validate_input(el);
+  const vid_t n = el.num_vertices;
+  std::vector<Edge> edges = preprocess(std::move(el), /*symmetrize=*/false, opts);
+  auto out = pack(n, edges, /*by_src=*/true, opts);
+  auto in = pack(n, edges, /*by_src=*/false, opts);
+  return CsrGraph(std::move(out.offsets), std::move(out.targets),
+                  std::move(in.offsets), std::move(in.targets));
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,37 @@
+// Edge-list → CSR construction (Graph 500 "kernel 1").
+#pragma once
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+
+namespace bfsx::graph {
+
+struct BuildOptions {
+  /// Insert the reverse of every edge so the graph is undirected.
+  /// Graph 500 treats the generated edge list as undirected; both the
+  /// paper's top-down and bottom-up kernels rely on this.
+  bool symmetrize = true;
+
+  /// Drop (v, v) edges. Self loops add no BFS work but skew degree
+  /// statistics; Graph 500 permits removing them.
+  bool remove_self_loops = true;
+
+  /// Collapse parallel duplicate edges to one.
+  bool deduplicate = true;
+
+  /// Keep adjacency lists sorted ascending (required by
+  /// CsrGraph::has_edge and by deterministic traversal order).
+  bool sort_neighbors = true;
+};
+
+/// Builds a CSR graph from an edge list. The input list is taken by
+/// value because construction permutes it in place (counting sort into
+/// buckets); pass std::move when the caller no longer needs it.
+[[nodiscard]] CsrGraph build_csr(EdgeList edges, const BuildOptions& opts = {});
+
+/// Builds a *directed* CSR (no symmetrisation) with separate in/out
+/// adjacency. Used by directed-graph tests and the validator.
+[[nodiscard]] CsrGraph build_directed_csr(EdgeList edges,
+                                          const BuildOptions& opts = {});
+
+}  // namespace bfsx::graph

@@ -1,0 +1,45 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace bfsx::graph {
+
+CsrGraph::CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> targets)
+    : out_offsets_(std::move(offsets)),
+      out_targets_(std::move(targets)),
+      symmetric_(true) {
+  assert(!out_offsets_.empty());
+  assert(out_offsets_.front() == 0);
+  assert(out_offsets_.back() == static_cast<eid_t>(out_targets_.size()));
+}
+
+CsrGraph::CsrGraph(std::vector<eid_t> out_offsets,
+                   std::vector<vid_t> out_targets,
+                   std::vector<eid_t> in_offsets,
+                   std::vector<vid_t> in_targets)
+    : out_offsets_(std::move(out_offsets)),
+      out_targets_(std::move(out_targets)),
+      in_offsets_(std::move(in_offsets)),
+      in_targets_(std::move(in_targets)),
+      symmetric_(false) {
+  assert(out_offsets_.size() == in_offsets_.size());
+  assert(out_offsets_.back() == static_cast<eid_t>(out_targets_.size()));
+  assert(in_offsets_.back() == static_cast<eid_t>(in_targets_.size()));
+}
+
+bool CsrGraph::has_edge(vid_t u, vid_t v) const noexcept {
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::size_t CsrGraph::memory_footprint_bytes() const noexcept {
+  auto bytes = [](const auto& vec) {
+    return vec.size() * sizeof(typename std::decay_t<decltype(vec)>::value_type);
+  };
+  return bytes(out_offsets_) + bytes(out_targets_) + bytes(in_offsets_) +
+         bytes(in_targets_);
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,32 @@
+// Raw edge list: the interchange format between generators and the CSR
+// builder, mirroring the Graph 500 pipeline (kernel 1 input).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace bfsx::graph {
+
+struct Edge {
+  vid_t src;
+  vid_t dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A bag of directed edges over vertices [0, num_vertices).
+struct EdgeList {
+  vid_t num_vertices = 0;
+  std::vector<Edge> edges;
+
+  [[nodiscard]] eid_t num_edges() const noexcept {
+    return static_cast<eid_t>(edges.size());
+  }
+
+  void add(vid_t src, vid_t dst) { edges.push_back({src, dst}); }
+};
+
+}  // namespace bfsx::graph

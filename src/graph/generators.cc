@@ -1,0 +1,121 @@
+#include "graph/generators.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "graph/prng.h"
+
+namespace bfsx::graph {
+namespace {
+
+void require_positive(vid_t n, const char* what) {
+  if (n <= 0) throw std::invalid_argument(std::string(what) + ": n must be > 0");
+}
+
+}  // namespace
+
+EdgeList make_path(vid_t n) {
+  require_positive(n, "make_path");
+  EdgeList el;
+  el.num_vertices = n;
+  el.edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (vid_t v = 0; v + 1 < n; ++v) el.add(v, v + 1);
+  return el;
+}
+
+EdgeList make_cycle(vid_t n) {
+  require_positive(n, "make_cycle");
+  EdgeList el = make_path(n);
+  if (n > 2) el.add(n - 1, 0);
+  return el;
+}
+
+EdgeList make_star(vid_t n) {
+  require_positive(n, "make_star");
+  EdgeList el;
+  el.num_vertices = n;
+  el.edges.reserve(static_cast<std::size_t>(n - 1));
+  for (vid_t v = 1; v < n; ++v) el.add(0, v);
+  return el;
+}
+
+EdgeList make_complete(vid_t n) {
+  require_positive(n, "make_complete");
+  EdgeList el;
+  el.num_vertices = n;
+  el.edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) / 2);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) el.add(u, v);
+  }
+  return el;
+}
+
+EdgeList make_grid(vid_t rows, vid_t cols) {
+  require_positive(rows, "make_grid rows");
+  require_positive(cols, "make_grid cols");
+  EdgeList el;
+  el.num_vertices = rows * cols;
+  for (vid_t r = 0; r < rows; ++r) {
+    for (vid_t c = 0; c < cols; ++c) {
+      const vid_t v = r * cols + c;
+      if (c + 1 < cols) el.add(v, v + 1);
+      if (r + 1 < rows) el.add(v, v + cols);
+    }
+  }
+  return el;
+}
+
+EdgeList make_binary_tree(vid_t n) {
+  require_positive(n, "make_binary_tree");
+  EdgeList el;
+  el.num_vertices = n;
+  for (vid_t v = 1; v < n; ++v) el.add((v - 1) / 2, v);
+  return el;
+}
+
+EdgeList make_two_cliques(vid_t n) {
+  require_positive(n, "make_two_cliques");
+  if (n % 2 != 0) throw std::invalid_argument("make_two_cliques: n must be even");
+  const vid_t half = n / 2;
+  EdgeList el;
+  el.num_vertices = n;
+  for (vid_t base : {vid_t{0}, half}) {
+    for (vid_t u = 0; u < half; ++u) {
+      for (vid_t v = u + 1; v < half; ++v) el.add(base + u, base + v);
+    }
+  }
+  return el;
+}
+
+EdgeList make_erdos_renyi(vid_t n, eid_t m, std::uint64_t seed) {
+  require_positive(n, "make_erdos_renyi");
+  if (m < 0) throw std::invalid_argument("make_erdos_renyi: m must be >= 0");
+  Xoshiro256ss rng(seed);
+  EdgeList el;
+  el.num_vertices = n;
+  el.edges.reserve(static_cast<std::size_t>(m));
+  for (eid_t i = 0; i < m; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n)));
+    el.add(u, v);
+  }
+  return el;
+}
+
+EdgeList make_lollipop(vid_t clique, vid_t tail) {
+  require_positive(clique, "make_lollipop clique");
+  if (tail < 0) throw std::invalid_argument("make_lollipop: tail must be >= 0");
+  EdgeList el;
+  el.num_vertices = clique + tail;
+  for (vid_t u = 0; u < clique; ++u) {
+    for (vid_t v = u + 1; v < clique; ++v) el.add(u, v);
+  }
+  // Attach the path at the last clique vertex.
+  for (vid_t i = 0; i < tail; ++i) {
+    const vid_t from = (i == 0) ? clique - 1 : clique + i - 1;
+    el.add(from, clique + i);
+  }
+  return el;
+}
+
+}  // namespace bfsx::graph

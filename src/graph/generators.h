@@ -1,0 +1,49 @@
+// Deterministic synthetic graph generators.
+//
+// These are not in the paper; they exist so tests can assert exact BFS
+// results (levels, parent structure, frontier sizes) on graphs whose
+// answers are known in closed form, and so examples have small readable
+// inputs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace bfsx::graph {
+
+/// Path 0–1–2–…–(n-1). BFS from 0 has n levels of exactly one vertex.
+[[nodiscard]] EdgeList make_path(vid_t n);
+
+/// Cycle 0–1–…–(n-1)–0.
+[[nodiscard]] EdgeList make_cycle(vid_t n);
+
+/// Star: hub 0 connected to spokes 1..n-1. BFS from the hub is two
+/// levels; from a spoke, three.
+[[nodiscard]] EdgeList make_star(vid_t n);
+
+/// Complete graph K_n. Any BFS is two levels.
+[[nodiscard]] EdgeList make_complete(vid_t n);
+
+/// rows × cols 4-neighbour grid; vertex (r, c) has id r*cols + c.
+/// BFS levels from a corner follow the Manhattan distance.
+[[nodiscard]] EdgeList make_grid(vid_t rows, vid_t cols);
+
+/// Complete binary tree with n vertices, parent(i) = (i-1)/2.
+/// BFS from the root has floor(log2(n)) + 1 levels.
+[[nodiscard]] EdgeList make_binary_tree(vid_t n);
+
+/// Two disjoint cliques of size n/2 each (n even): exercises
+/// unreachable-vertex handling.
+[[nodiscard]] EdgeList make_two_cliques(vid_t n);
+
+/// Erdős–Rényi G(n, m): m directed edges drawn uniformly (self loops
+/// allowed pre-dedup), deterministic under `seed`.
+[[nodiscard]] EdgeList make_erdos_renyi(vid_t n, eid_t m, std::uint64_t seed);
+
+/// "Lollipop": a clique of size k with a path of length n-k attached.
+/// Produces a graph whose BFS mixes a dense burst with a long diameter
+/// tail — a stress case for switching heuristics.
+[[nodiscard]] EdgeList make_lollipop(vid_t clique, vid_t tail);
+
+}  // namespace bfsx::graph

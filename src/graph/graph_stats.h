@@ -1,0 +1,52 @@
+// Whole-graph statistics: degree distribution, connectivity, and the
+// summary numbers that feed regression features and experiment logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace bfsx::graph {
+
+struct DegreeStats {
+  eid_t min = 0;
+  eid_t max = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Vertices with out-degree zero. R-MAT graphs have many; Graph 500
+  /// requires BFS roots to have at least one edge.
+  vid_t isolated = 0;
+};
+
+/// Out-degree statistics over all vertices.
+[[nodiscard]] DegreeStats compute_degree_stats(const CsrGraph& g);
+
+/// Out-degree histogram in log2 buckets: bucket[i] counts vertices with
+/// degree in [2^i, 2^(i+1)); bucket 0 also counts degree-1; a leading
+/// entry counts degree-0 vertices. Handy for eyeballing the R-MAT
+/// power-law tail.
+[[nodiscard]] std::vector<vid_t> degree_histogram_log2(const CsrGraph& g);
+
+struct ComponentStats {
+  vid_t num_components = 0;
+  vid_t largest_size = 0;
+  /// Representative (smallest vertex id) of the largest component —
+  /// a safe BFS root that reaches the most vertices.
+  vid_t largest_representative = kNoVertex;
+};
+
+/// Connected components of the *undirected* view of the graph, found by
+/// repeated BFS sweeps. Linear in V + E.
+[[nodiscard]] ComponentStats compute_components(const CsrGraph& g);
+
+/// Picks `count` BFS roots with non-zero degree, deterministically under
+/// `seed`, emulating the Graph 500 kernel-2 root-sampling rule.
+[[nodiscard]] std::vector<vid_t> sample_roots(const CsrGraph& g, int count,
+                                              std::uint64_t seed);
+
+/// One-line human-readable summary ("|V|=65536 |E|=2097152 deg:…").
+[[nodiscard]] std::string summarize(const CsrGraph& g);
+
+}  // namespace bfsx::graph

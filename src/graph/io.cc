@@ -1,0 +1,136 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfsx::graph {
+namespace {
+
+constexpr char kBinaryMagic[8] = {'B', 'F', 'S', 'X', 'E', 'L', '1', '\n'};
+
+void require(bool ok, const char* msg) {
+  if (!ok) throw std::runtime_error(std::string("graph io: ") + msg);
+}
+
+}  // namespace
+
+void write_edge_list_text(std::ostream& os, const EdgeList& el) {
+  os << "# bfsx edge list\n";
+  os << "# vertices: " << el.num_vertices << "\n";
+  os << "# edges: " << el.num_edges() << "\n";
+  for (const Edge& e : el.edges) os << e.src << ' ' << e.dst << '\n';
+  require(static_cast<bool>(os), "text write failure");
+}
+
+EdgeList read_edge_list_text(std::istream& is) {
+  EdgeList el;
+  vid_t declared_vertices = -1;
+  vid_t max_seen = -1;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Recognise the "# vertices: N" header, ignore other comments.
+      std::istringstream hs(line.substr(1));
+      std::string key;
+      if (hs >> key && key == "vertices:") {
+        long long n = 0;
+        if (hs >> n && n >= 0) declared_vertices = static_cast<vid_t>(n);
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    long long src = 0;
+    long long dst = 0;
+    if (!(ls >> src >> dst) || src < 0 || dst < 0) {
+      throw std::runtime_error("graph io: malformed line " +
+                               std::to_string(lineno) + ": '" + line + "'");
+    }
+    el.add(static_cast<vid_t>(src), static_cast<vid_t>(dst));
+    max_seen = std::max({max_seen, static_cast<vid_t>(src),
+                         static_cast<vid_t>(dst)});
+  }
+  el.num_vertices = declared_vertices >= 0 ? declared_vertices : max_seen + 1;
+  require(el.num_vertices >= 0, "no vertices");
+  for (const Edge& e : el.edges) {
+    require(e.src < el.num_vertices && e.dst < el.num_vertices,
+            "edge endpoint exceeds declared vertex count");
+  }
+  return el;
+}
+
+void write_edge_list_binary(std::ostream& os, const EdgeList& el) {
+  os.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const std::int64_t v = el.num_vertices;
+  const std::int64_t m = el.num_edges();
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  os.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  static_assert(sizeof(Edge) == 2 * sizeof(vid_t),
+                "Edge must be two packed vertex ids for binary io");
+  os.write(reinterpret_cast<const char*>(el.edges.data()),
+           static_cast<std::streamsize>(el.edges.size() * sizeof(Edge)));
+  require(static_cast<bool>(os), "binary write failure");
+}
+
+EdgeList read_edge_list_binary(std::istream& is) {
+  char magic[sizeof(kBinaryMagic)];
+  is.read(magic, sizeof(magic));
+  require(is.gcount() == sizeof(magic) &&
+              std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0,
+          "bad binary magic");
+  std::int64_t v = 0;
+  std::int64_t m = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  is.read(reinterpret_cast<char*>(&m), sizeof(m));
+  require(static_cast<bool>(is) && v >= 0 && m >= 0, "bad binary header");
+  EdgeList el;
+  el.num_vertices = static_cast<vid_t>(v);
+  el.edges.resize(static_cast<std::size_t>(m));
+  is.read(reinterpret_cast<char*>(el.edges.data()),
+          static_cast<std::streamsize>(el.edges.size() * sizeof(Edge)));
+  require(is.gcount() ==
+              static_cast<std::streamsize>(el.edges.size() * sizeof(Edge)),
+          "truncated binary edge data");
+  for (const Edge& e : el.edges) {
+    require(e.src >= 0 && e.src < el.num_vertices && e.dst >= 0 &&
+                e.dst < el.num_vertices,
+            "binary edge endpoint out of range");
+  }
+  return el;
+}
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void save_edge_list(const std::string& path, const EdgeList& el) {
+  std::ofstream os(path, std::ios::binary);
+  require(static_cast<bool>(os), "cannot open file for writing");
+  if (has_suffix(path, ".bel")) {
+    write_edge_list_binary(os, el);
+  } else {
+    write_edge_list_text(os, el);
+  }
+}
+
+EdgeList load_edge_list(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  require(static_cast<bool>(is), "cannot open file for reading");
+  return has_suffix(path, ".bel") ? read_edge_list_binary(is)
+                                  : read_edge_list_text(is);
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,34 @@
+// Graph serialisation: edge-list text and binary formats.
+//
+// Text format ("el"): one `src dst` pair per line, '#' comments, a
+//   `# vertices: N` header fixing the vertex-id space (otherwise it is
+//   max id + 1). Interoperates with SNAP-style edge lists.
+// Binary format ("bel"): little-endian, magic "BFSXEL1\n", int64 vertex
+//   count, int64 edge count, then (int32 src, int32 dst) pairs. Loads
+//   the paper-scale graphs an order of magnitude faster than text.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.h"
+
+namespace bfsx::graph {
+
+/// Writes the text edge list, including the `# vertices:` header.
+void write_edge_list_text(std::ostream& os, const EdgeList& el);
+
+/// Parses a text edge list. Throws std::runtime_error on malformed
+/// lines or out-of-range endpoints.
+[[nodiscard]] EdgeList read_edge_list_text(std::istream& is);
+
+/// Binary round trip.
+void write_edge_list_binary(std::ostream& os, const EdgeList& el);
+[[nodiscard]] EdgeList read_edge_list_binary(std::istream& is);
+
+/// Path-based conveniences; format picked by extension (".bel" binary,
+/// anything else text). Throw std::runtime_error on I/O failure.
+void save_edge_list(const std::string& path, const EdgeList& el);
+[[nodiscard]] EdgeList load_edge_list(const std::string& path);
+
+}  // namespace bfsx::graph

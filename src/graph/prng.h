@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the library (R-MAT generation, random tuner,
+// dataset shuffles) draw from these generators so that every test and
+// bench is reproducible bit-for-bit across runs and platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace bfsx::graph {
+
+/// SplitMix64: tiny, fast, passes BigCrush. Used both directly and to
+/// seed Xoshiro256ss state from a single 64-bit seed.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** by Blackman & Vigna: the workhorse generator.
+class Xoshiro256ss {
+ public:
+  /// Seeds the four state words through SplitMix64 as the authors
+  /// recommend, so even seed=0 yields a well-mixed state.
+  explicit constexpr Xoshiro256ss(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias
+  /// (Lemire's multiply-shift rejection method).
+  std::uint64_t next_bounded(std::uint64_t bound) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps. Calling jump() k
+  /// times on copies of one generator yields k non-overlapping streams,
+  /// used to give each worker thread an independent sequence.
+  void jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace bfsx::graph

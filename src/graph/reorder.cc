@@ -1,0 +1,92 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/bitmap.h"
+
+namespace bfsx::graph {
+
+void validate_permutation(const Permutation& perm, vid_t n) {
+  if (perm.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("permutation: wrong size");
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (vid_t target : perm) {
+    if (target < 0 || target >= n || seen[static_cast<std::size_t>(target)]) {
+      throw std::invalid_argument("permutation: not a bijection");
+    }
+    seen[static_cast<std::size_t>(target)] = true;
+  }
+}
+
+Permutation degree_order(const CsrGraph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), vid_t{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&g](vid_t a, vid_t b) {
+                     return g.out_degree(a) > g.out_degree(b);
+                   });
+  Permutation perm(static_cast<std::size_t>(n));
+  for (std::size_t new_id = 0; new_id < by_degree.size(); ++new_id) {
+    perm[static_cast<std::size_t>(by_degree[new_id])] =
+        static_cast<vid_t>(new_id);
+  }
+  return perm;
+}
+
+Permutation bfs_order(const CsrGraph& g, vid_t root) {
+  const vid_t n = g.num_vertices();
+  if (root < 0 || root >= n) {
+    throw std::out_of_range("bfs_order: root out of range");
+  }
+  Permutation perm(static_cast<std::size_t>(n), kNoVertex);
+  Bitmap visited(static_cast<std::size_t>(n));
+  std::deque<vid_t> queue;
+  vid_t next_id = 0;
+  visited.set(static_cast<std::size_t>(root));
+  queue.push_back(root);
+  while (!queue.empty()) {
+    const vid_t u = queue.front();
+    queue.pop_front();
+    perm[static_cast<std::size_t>(u)] = next_id++;
+    for (vid_t v : g.out_neighbors(u)) {
+      if (!visited.test(static_cast<std::size_t>(v))) {
+        visited.set(static_cast<std::size_t>(v));
+        queue.push_back(v);
+      }
+    }
+  }
+  // Unreached vertices keep their relative order after the reached set.
+  for (vid_t v = 0; v < n; ++v) {
+    if (perm[static_cast<std::size_t>(v)] == kNoVertex) {
+      perm[static_cast<std::size_t>(v)] = next_id++;
+    }
+  }
+  return perm;
+}
+
+EdgeList apply_permutation(const EdgeList& el, const Permutation& perm) {
+  validate_permutation(perm, el.num_vertices);
+  EdgeList out;
+  out.num_vertices = el.num_vertices;
+  out.edges.reserve(el.edges.size());
+  for (const Edge& e : el.edges) {
+    out.add(perm[static_cast<std::size_t>(e.src)],
+            perm[static_cast<std::size_t>(e.dst)]);
+  }
+  return out;
+}
+
+Permutation invert_permutation(const Permutation& perm) {
+  Permutation inv(perm.size());
+  for (std::size_t old_id = 0; old_id < perm.size(); ++old_id) {
+    inv[static_cast<std::size_t>(perm[old_id])] = static_cast<vid_t>(old_id);
+  }
+  return inv;
+}
+
+}  // namespace bfsx::graph

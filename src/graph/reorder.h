@@ -1,0 +1,44 @@
+// Vertex relabelling / reordering optimisations.
+//
+// The paper's related work (Section VI) credits Chhugani et al. with
+// "vertices rearrangement" as a single-node optimisation: relabelling
+// vertices so that hot vertices share cache lines improves both
+// directions' locality. This module implements the two classic orders
+// and the machinery to apply a permutation to a graph and translate
+// BFS results back — useful both as a real optimisation for the native
+// engines and as test material (BFS must be permutation-equivariant).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+
+namespace bfsx::graph {
+
+/// new_id = perm[old_id]. A valid permutation is a bijection on
+/// [0, num_vertices).
+using Permutation = std::vector<vid_t>;
+
+/// Throws std::invalid_argument unless `perm` is a bijection over
+/// [0, n).
+void validate_permutation(const Permutation& perm, vid_t n);
+
+/// Descending out-degree order: hubs get the smallest ids (and land in
+/// the same cache lines / bitmap words). Ties break by old id, so the
+/// result is deterministic.
+[[nodiscard]] Permutation degree_order(const CsrGraph& g);
+
+/// BFS visit order from `root` (unreached vertices keep relative order
+/// after all reached ones): neighbours end up with nearby ids, the
+/// poor man's RCM.
+[[nodiscard]] Permutation bfs_order(const CsrGraph& g, vid_t root);
+
+/// Applies a permutation to an edge list (endpoint relabelling).
+[[nodiscard]] EdgeList apply_permutation(const EdgeList& el,
+                                         const Permutation& perm);
+
+/// Translates a vertex id back to the pre-permutation namespace.
+[[nodiscard]] Permutation invert_permutation(const Permutation& perm);
+
+}  // namespace bfsx::graph

@@ -1,0 +1,112 @@
+#include "graph/rmat.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/prng.h"
+
+namespace bfsx::graph {
+
+void RmatParams::validate() const {
+  if (scale < 1 || scale > 30) {
+    throw std::invalid_argument("RmatParams: scale must be in [1, 30]");
+  }
+  if (edgefactor <= 0) {
+    throw std::invalid_argument("RmatParams: edgefactor must be positive");
+  }
+  if (a <= 0 || b <= 0 || c <= 0 || d <= 0) {
+    throw std::invalid_argument("RmatParams: probabilities must be positive");
+  }
+  if (std::abs(a + b + c + d - 1.0) > 1e-9) {
+    throw std::invalid_argument("RmatParams: a+b+c+d must equal 1");
+  }
+  if (noise < 0 || noise >= 1) {
+    throw std::invalid_argument("RmatParams: noise must be in [0, 1)");
+  }
+}
+
+namespace {
+
+/// One recursive-descent edge draw. At each of `scale` levels, picks one
+/// of the four quadrants with (possibly jittered) probabilities and
+/// shifts the (row, col) prefix accordingly.
+Edge draw_edge(const RmatParams& p, Xoshiro256ss& rng) {
+  std::uint64_t row = 0;
+  std::uint64_t col = 0;
+  double a = p.a;
+  double b = p.b;
+  double c = p.c;
+  for (int level = 0; level < p.scale; ++level) {
+    double la = a;
+    double lb = b;
+    double lc = c;
+    if (p.noise > 0) {
+      // Jitter each probability by a symmetric factor in
+      // [1-noise, 1+noise], then renormalise. This follows the
+      // Graph 500 octave generator's smoothing trick.
+      la *= 1.0 + p.noise * (2.0 * rng.next_double() - 1.0);
+      lb *= 1.0 + p.noise * (2.0 * rng.next_double() - 1.0);
+      lc *= 1.0 + p.noise * (2.0 * rng.next_double() - 1.0);
+      double ld = (1.0 - a - b - c) *
+                  (1.0 + p.noise * (2.0 * rng.next_double() - 1.0));
+      const double sum = la + lb + lc + ld;
+      la /= sum;
+      lb /= sum;
+      lc /= sum;
+    }
+    const double r = rng.next_double();
+    row <<= 1;
+    col <<= 1;
+    if (r < la) {
+      // top-left quadrant: no bits set
+    } else if (r < la + lb) {
+      col |= 1;  // top-right
+    } else if (r < la + lb + lc) {
+      row |= 1;  // bottom-left
+    } else {
+      row |= 1;  // bottom-right
+      col |= 1;
+    }
+  }
+  return {static_cast<vid_t>(row), static_cast<vid_t>(col)};
+}
+
+/// Deterministic Fisher–Yates permutation of [0, n).
+std::vector<vid_t> random_permutation(vid_t n, Xoshiro256ss& rng) {
+  std::vector<vid_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.next_bounded(static_cast<std::uint64_t>(i)));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+EdgeList generate_rmat(const RmatParams& params) {
+  params.validate();
+  Xoshiro256ss rng(params.seed);
+
+  EdgeList el;
+  el.num_vertices = params.num_vertices();
+  const auto m = static_cast<std::size_t>(params.num_edges());
+  el.edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    el.edges.push_back(draw_edge(params, rng));
+  }
+
+  if (params.permute_vertices) {
+    const std::vector<vid_t> perm = random_permutation(el.num_vertices, rng);
+    for (Edge& e : el.edges) {
+      e.src = perm[static_cast<std::size_t>(e.src)];
+      e.dst = perm[static_cast<std::size_t>(e.dst)];
+    }
+  }
+  return el;
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,20 @@
+// Fundamental integer types shared by every bfsx module.
+#pragma once
+
+#include <cstdint>
+
+namespace bfsx::graph {
+
+/// Vertex identifier. 32-bit: graphs up to 2^31-1 vertices (paper uses
+/// at most SCALE 26, i.e. 64M vertices).
+using vid_t = std::int32_t;
+
+/// Edge identifier / edge count. 64-bit: an R-MAT graph at SCALE 26 with
+/// edgefactor 16 already exceeds 2^30 directed edges.
+using eid_t = std::int64_t;
+
+/// Sentinel meaning "no parent / unvisited" in predecessor maps
+/// (the paper's Pred[v] = -1).
+inline constexpr vid_t kNoVertex = -1;
+
+}  // namespace bfsx::graph

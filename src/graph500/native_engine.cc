@@ -1,0 +1,57 @@
+#include "graph500/native_engine.h"
+
+#include <chrono>
+
+#include "bfs/bottomup.h"
+#include "bfs/frontier.h"
+#include "bfs/topdown.h"
+
+namespace bfsx::graph500 {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+template <typename Body>
+TimedBfs timed_traversal(const graph::CsrGraph& g, graph::vid_t root,
+                         Body&& body) {
+  bfs::BfsState state(g, root);
+  const auto start = clock::now();
+  while (!state.frontier_empty()) body(state);
+  const double seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+  return {std::move(state).take_result(g), seconds};
+}
+
+}  // namespace
+
+BfsEngine make_native_top_down_engine() {
+  return [](const graph::CsrGraph& g, graph::vid_t root) {
+    return timed_traversal(
+        g, root, [&g](bfs::BfsState& s) { bfs::top_down_step(g, s); });
+  };
+}
+
+BfsEngine make_native_bottom_up_engine() {
+  return [](const graph::CsrGraph& g, graph::vid_t root) {
+    return timed_traversal(
+        g, root, [&g](bfs::BfsState& s) { bfs::bottom_up_step(g, s); });
+  };
+}
+
+BfsEngine make_native_hybrid_engine(core::HybridPolicy policy) {
+  policy.validate();
+  return [policy](const graph::CsrGraph& g, graph::vid_t root) {
+    return timed_traversal(g, root, [&g, &policy](bfs::BfsState& s) {
+      const graph::eid_t e_cq = bfs::frontier_out_edges(g, s.frontier_queue);
+      const auto v_cq = static_cast<graph::vid_t>(s.frontier_queue.size());
+      if (policy.decide(e_cq, v_cq, g.num_edges(), g.num_vertices()) ==
+          bfs::Direction::kTopDown) {
+        bfs::top_down_step(g, s);
+      } else {
+        bfs::bottom_up_step(g, s);
+      }
+    });
+  };
+}
+
+}  // namespace bfsx::graph500

@@ -1,0 +1,27 @@
+// Wall-clock engines: the same kernels, timed for real.
+//
+// The simulator (src/sim) answers "what would this cost on the paper's
+// hardware"; these engines answer "what does it cost on the machine I
+// am running on". They drive the identical OpenMP level-step kernels
+// and time each traversal with a steady clock, so the library is
+// directly usable as a production BFS on a real multicore host —
+// including the M/N hybrid, which needs no hardware model at all.
+#pragma once
+
+#include "core/hybrid_policy.h"
+#include "graph500/runner.h"
+
+namespace bfsx::graph500 {
+
+/// Pure top-down, wall-clock timed.
+[[nodiscard]] BfsEngine make_native_top_down_engine();
+
+/// Pure bottom-up, wall-clock timed.
+[[nodiscard]] BfsEngine make_native_bottom_up_engine();
+
+/// The M/N combination, wall-clock timed. `policy` is evaluated against
+/// the real frontier statistics every level, exactly like the simulated
+/// executor.
+[[nodiscard]] BfsEngine make_native_hybrid_engine(core::HybridPolicy policy);
+
+}  // namespace bfsx::graph500

@@ -1,0 +1,39 @@
+#include "graph500/reference_bfs.h"
+
+namespace bfsx::graph500 {
+
+BfsEngine make_reference_engine(const sim::Device& device) {
+  return [&device](const graph::CsrGraph& g, graph::vid_t root) -> TimedBfs {
+    bfs::BfsState state(g, root);
+    double seconds = 0.0;
+    while (!state.frontier_empty()) {
+      const sim::LevelOutcome out = device.run_top_down_level(g, state);
+      seconds += out.seconds * kReferencePenalty;
+    }
+    return {std::move(state).take_result(g), seconds};
+  };
+}
+
+BfsEngine make_top_down_engine(const sim::Device& device) {
+  return [&device](const graph::CsrGraph& g, graph::vid_t root) -> TimedBfs {
+    bfs::BfsState state(g, root);
+    double seconds = 0.0;
+    while (!state.frontier_empty()) {
+      seconds += device.run_top_down_level(g, state).seconds;
+    }
+    return {std::move(state).take_result(g), seconds};
+  };
+}
+
+BfsEngine make_bottom_up_engine(const sim::Device& device) {
+  return [&device](const graph::CsrGraph& g, graph::vid_t root) -> TimedBfs {
+    bfs::BfsState state(g, root);
+    double seconds = 0.0;
+    while (!state.frontier_empty()) {
+      seconds += device.run_bottom_up_level(g, state).seconds;
+    }
+    return {std::move(state).take_result(g), seconds};
+  };
+}
+
+}  // namespace bfsx::graph500

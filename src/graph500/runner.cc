@@ -1,0 +1,54 @@
+#include "graph500/runner.h"
+
+#include <stdexcept>
+
+#include "graph/graph_stats.h"
+
+namespace bfsx::graph500 {
+
+double BenchmarkResult::mean_seconds() const {
+  if (runs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RootRun& r : runs) sum += r.seconds;
+  return sum / static_cast<double>(runs.size());
+}
+
+BenchmarkResult run_benchmark(const graph::CsrGraph& g,
+                              const BfsEngine& engine,
+                              const RunnerOptions& opts) {
+  if (opts.num_roots <= 0) {
+    throw std::invalid_argument("run_benchmark: num_roots must be > 0");
+  }
+  const std::vector<graph::vid_t> roots =
+      graph::sample_roots(g, opts.num_roots, opts.root_seed);
+
+  BenchmarkResult out;
+  std::vector<double> teps;
+  for (graph::vid_t root : roots) {
+    TimedBfs timed = engine(g, root);
+    RootRun run;
+    run.root = root;
+    run.seconds = timed.seconds;
+    run.reached = timed.result.reached;
+    if (opts.validate) {
+      const bfs::ValidationReport report =
+          bfs::validate_bfs(g, root, timed.result);
+      run.valid = report.ok;
+      if (!report.ok) ++out.validation_failures;
+    }
+    if (run.valid && timed.seconds > 0.0) {
+      run.teps = static_cast<double>(timed.result.edges_in_component) /
+                 timed.seconds;
+      teps.push_back(run.teps);
+    }
+    out.runs.push_back(run);
+  }
+  if (teps.empty()) {
+    throw std::runtime_error(
+        "run_benchmark: no valid timed runs to aggregate");
+  }
+  out.stats = compute_teps_stats(teps);
+  return out;
+}
+
+}  // namespace bfsx::graph500

@@ -1,0 +1,57 @@
+// The Graph 500 kernel-2 protocol: sample roots, run BFS per root,
+// validate each result, report TEPS statistics.
+#pragma once
+
+#include <functional>
+
+#include "bfs/state.h"
+#include "bfs/validate.h"
+#include "graph500/teps.h"
+
+namespace bfsx::graph500 {
+
+/// A BFS run plus the time it took. Engines backed by the simulator
+/// report *modelled* seconds; wall-clock engines report real seconds.
+struct TimedBfs {
+  bfs::BfsResult result;
+  double seconds = 0.0;
+};
+
+/// Any BFS implementation: (graph, root) -> timed result. The runner is
+/// deliberately engine-agnostic so the paper's eight variants (CPUTD,
+/// GPUCB, CPUTD+GPUCB, ...) all flow through the same protocol.
+using BfsEngine =
+    std::function<TimedBfs(const graph::CsrGraph&, graph::vid_t)>;
+
+struct RootRun {
+  graph::vid_t root = 0;
+  double seconds = 0.0;
+  double teps = 0.0;
+  graph::vid_t reached = 0;
+  bool valid = true;
+};
+
+struct BenchmarkResult {
+  std::vector<RootRun> runs;
+  TepsStats stats;
+  int validation_failures = 0;
+
+  [[nodiscard]] double mean_seconds() const;
+};
+
+struct RunnerOptions {
+  /// Number of BFS roots (the official benchmark uses 64).
+  int num_roots = 16;
+  std::uint64_t root_seed = 500;
+  /// Run the Graph 500 validator on every traversal.
+  bool validate = true;
+};
+
+/// Runs `engine` over sampled roots of `g` and aggregates TEPS.
+/// TEPS counts undirected edges in the reached component, per the spec.
+/// Throws std::runtime_error if every sampled run failed validation.
+[[nodiscard]] BenchmarkResult run_benchmark(const graph::CsrGraph& g,
+                                            const BfsEngine& engine,
+                                            const RunnerOptions& opts = {});
+
+}  // namespace bfsx::graph500

@@ -1,0 +1,72 @@
+#include "graph500/teps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfsx::graph500 {
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+TepsStats compute_teps_stats(std::span<const double> teps) {
+  if (teps.empty()) {
+    throw std::invalid_argument("compute_teps_stats: empty input");
+  }
+  for (double t : teps) {
+    if (!(t > 0.0)) {
+      throw std::invalid_argument("compute_teps_stats: non-positive TEPS");
+    }
+  }
+  TepsStats s;
+  s.count = teps.size();
+  s.min = quantile(teps, 0.0);
+  s.first_quartile = quantile(teps, 0.25);
+  s.median = quantile(teps, 0.5);
+  s.third_quartile = quantile(teps, 0.75);
+  s.max = quantile(teps, 1.0);
+
+  // Harmonic mean via the mean of inverse rates, exactly as the
+  // Graph 500 reference output does; its stddev propagates the stddev
+  // of the inverse rates through the reciprocal.
+  const auto n = static_cast<double>(teps.size());
+  double inv_sum = 0.0;
+  for (double t : teps) inv_sum += 1.0 / t;
+  const double inv_mean = inv_sum / n;
+  s.harmonic_mean = 1.0 / inv_mean;
+  if (teps.size() > 1) {
+    double inv_var = 0.0;
+    for (double t : teps) {
+      const double d = 1.0 / t - inv_mean;
+      inv_var += d * d;
+    }
+    inv_var /= (n - 1.0);
+    s.harmonic_stddev =
+        std::sqrt(inv_var) / (inv_mean * inv_mean) / std::sqrt(n);
+  }
+  return s;
+}
+
+std::string format_teps_stats(const TepsStats& stats) {
+  std::ostringstream os;
+  os << "min_TEPS:            " << stats.min << '\n'
+     << "firstquartile_TEPS:  " << stats.first_quartile << '\n'
+     << "median_TEPS:         " << stats.median << '\n'
+     << "thirdquartile_TEPS:  " << stats.third_quartile << '\n'
+     << "max_TEPS:            " << stats.max << '\n'
+     << "harmonic_mean_TEPS:  " << stats.harmonic_mean << '\n'
+     << "harmonic_stddev_TEPS:" << stats.harmonic_stddev << '\n';
+  return os.str();
+}
+
+}  // namespace bfsx::graph500

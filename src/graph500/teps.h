@@ -1,0 +1,37 @@
+// Graph 500 performance statistics.
+//
+// The benchmark's output rows: min/quartiles/max plus *harmonic* mean
+// and harmonic stddev for TEPS (rates average harmonically), and
+// arithmetic mean/stddev for times. Terms per the paper's Table I:
+// TEPS = traversed edges per second.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bfsx::graph500 {
+
+struct TepsStats {
+  double min = 0;
+  double first_quartile = 0;
+  double median = 0;
+  double third_quartile = 0;
+  double max = 0;
+  double harmonic_mean = 0;
+  double harmonic_stddev = 0;
+  std::size_t count = 0;
+};
+
+/// Computes the Graph 500 statistics over a set of per-root TEPS
+/// values. Throws std::invalid_argument on empty or non-positive input.
+[[nodiscard]] TepsStats compute_teps_stats(std::span<const double> teps);
+
+/// Quantile with linear interpolation on the sorted copy (the Graph 500
+/// reference "statistics" kernel behaviour).
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Renders stats in Graph 500 output style, one "key: value" per line.
+[[nodiscard]] std::string format_teps_stats(const TepsStats& stats);
+
+}  // namespace bfsx::graph500

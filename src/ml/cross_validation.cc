@@ -1,0 +1,88 @@
+#include "ml/cross_validation.h"
+
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/prng.h"
+#include "ml/metrics.h"
+
+namespace bfsx::ml {
+
+double k_fold_mse(const Dataset& data, const ModelFactory& factory, int k,
+                  std::uint64_t seed) {
+  data.validate();
+  if (k < 2 || static_cast<std::size_t>(k) > data.size()) {
+    throw std::invalid_argument("k_fold_mse: k out of [2, |data|]");
+  }
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  graph::Xoshiro256ss rng(seed);
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.next_bounded(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+
+  double se_sum = 0.0;
+  std::size_t n_eval = 0;
+  for (int fold = 0; fold < k; ++fold) {
+    Dataset train;
+    Dataset test;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const bool held_out =
+          static_cast<int>(i * static_cast<std::size_t>(k) / idx.size()) ==
+          fold;
+      (held_out ? test : train).add(data.x[idx[i]], data.y[idx[i]]);
+    }
+    if (test.size() == 0 || train.size() == 0) continue;
+    const auto predict = factory(train);
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      const double err = predict(test.x[i]) - test.y[i];
+      se_sum += err * err;
+      ++n_eval;
+    }
+  }
+  if (n_eval == 0) throw std::logic_error("k_fold_mse: no evaluations");
+  return se_sum / static_cast<double>(n_eval);
+}
+
+SvrSearchResult tune_svr(const Dataset& data, const SvrGrid& grid, int k,
+                         std::uint64_t seed) {
+  if (grid.c_values.empty() || grid.epsilon_values.empty() ||
+      grid.gamma_values.empty()) {
+    throw std::invalid_argument("tune_svr: empty grid");
+  }
+  SvrSearchResult result;
+  bool first = true;
+  for (double c : grid.c_values) {
+    for (double eps : grid.epsilon_values) {
+      for (double gamma : grid.gamma_values) {
+        SvrParams params;
+        params.c = c;
+        params.epsilon = eps;
+        params.kernel.gamma = gamma;
+        const double mse = k_fold_mse(
+            data,
+            [&params](const Dataset& train) {
+              // Shared fitted model per fold; the lambda copy keeps it
+              // alive for the returned predictor.
+              auto model = std::make_shared<SvrModel>(
+                  SvrModel::fit(train, params));
+              return [model](std::span<const double> x) {
+                return model->predict(x);
+              };
+            },
+            k, seed);
+        ++result.evaluated;
+        if (first || mse < result.best_mse) {
+          result.best = params;
+          result.best_mse = mse;
+          first = false;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bfsx::ml

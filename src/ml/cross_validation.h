@@ -1,0 +1,48 @@
+// k-fold cross-validation and SVR hyper-parameter grid search.
+//
+// The paper notes "the prediction accuracy will be higher with more
+// training samples" but fixes (C, epsilon, gamma) by hand. This module
+// closes that loop: pick the hyper-parameters that minimise k-fold CV
+// error, the standard LIBSVM recipe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/svr.h"
+
+namespace bfsx::ml {
+
+/// A model factory: fit on a training fold, return a predictor bound to
+/// that fold. Used so CV works for any regressor kind.
+using ModelFactory =
+    std::function<std::function<double(std::span<const double>)>(
+        const Dataset&)>;
+
+/// Mean-squared k-fold cross-validation error of `factory` on `data`.
+/// Folds are contiguous slices of a deterministic shuffle under `seed`.
+/// Throws std::invalid_argument for k < 2 or k > |data|.
+[[nodiscard]] double k_fold_mse(const Dataset& data, const ModelFactory& factory,
+                                int k, std::uint64_t seed = 17);
+
+struct SvrGrid {
+  std::vector<double> c_values = {1.0, 10.0, 100.0};
+  std::vector<double> epsilon_values = {0.01, 0.1, 0.3};
+  /// gamma <= 0 entries mean "1 / num_features" (the LIBSVM default).
+  std::vector<double> gamma_values = {-1.0, 0.1, 1.0};
+};
+
+struct SvrSearchResult {
+  SvrParams best;
+  double best_mse = 0.0;
+  int evaluated = 0;
+};
+
+/// Exhaustive grid search over SVR hyper-parameters by k-fold CV.
+[[nodiscard]] SvrSearchResult tune_svr(const Dataset& data,
+                                       const SvrGrid& grid = {}, int k = 5,
+                                       std::uint64_t seed = 17);
+
+}  // namespace bfsx::ml

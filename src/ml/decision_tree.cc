@@ -1,0 +1,174 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <stdexcept>
+#include <vector>
+
+namespace bfsx::ml {
+namespace {
+
+struct Split {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;  // variance*count reduction
+};
+
+double mean_of(const Dataset& d, const std::vector<std::size_t>& idx) {
+  double sum = 0;
+  for (std::size_t i : idx) sum += d.y[i];
+  return sum / static_cast<double>(idx.size());
+}
+
+double sse_of(const Dataset& d, const std::vector<std::size_t>& idx) {
+  const double mu = mean_of(d, idx);
+  double sse = 0;
+  for (std::size_t i : idx) sse += (d.y[i] - mu) * (d.y[i] - mu);
+  return sse;
+}
+
+/// Best axis-aligned split of `idx` by exhaustive scan: sort by each
+/// feature, sweep split points between distinct values, track the SSE
+/// reduction with prefix sums.
+Split best_split(const Dataset& d, const std::vector<std::size_t>& idx) {
+  Split best;
+  const double parent_sse = sse_of(d, idx);
+  const std::size_t n = idx.size();
+  std::vector<std::size_t> order(idx);
+  for (std::size_t f = 0; f < d.num_features(); ++f) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return d.x[a][f] < d.x[b][f];
+    });
+    double left_sum = 0;
+    double left_sq = 0;
+    double total_sum = 0;
+    double total_sq = 0;
+    for (std::size_t i : order) {
+      total_sum += d.y[i];
+      total_sq += d.y[i] * d.y[i];
+    }
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      const double y = d.y[order[k]];
+      left_sum += y;
+      left_sq += y * y;
+      // Only split between distinct feature values.
+      if (d.x[order[k]][f] == d.x[order[k + 1]][f]) continue;
+      const auto nl = static_cast<double>(k + 1);
+      const auto nr = static_cast<double>(n - k - 1);
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse_l = left_sq - left_sum * left_sum / nl;
+      const double sse_r = right_sq - right_sum * right_sum / nr;
+      const double gain = parent_sse - sse_l - sse_r;
+      if (gain > best.gain) {
+        best.feature = static_cast<int>(f);
+        best.threshold = (d.x[order[k]][f] + d.x[order[k + 1]][f]) / 2.0;
+        best.gain = gain;
+      }
+    }
+  }
+  // Normalise the acceptance test against the parent variance.
+  if (best.feature >= 0 && parent_sse > 0 &&
+      best.gain < 0) {  // numerical safety; gain is >= 0 by construction
+    best.feature = -1;
+  }
+  return best;
+}
+
+}  // namespace
+
+TreeModel TreeModel::fit(const Dataset& data, const TreeParams& params) {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("TreeModel::fit: empty");
+  if (params.max_depth < 1 || params.min_samples_split < 2) {
+    throw std::invalid_argument("TreeModel::fit: bad params");
+  }
+
+  // Recursive builder over index subsets.
+  struct Builder {
+    const Dataset& d;
+    const TreeParams& p;
+
+    std::unique_ptr<Node> build(std::vector<std::size_t> idx, int depth) {
+      auto node = std::make_unique<Node>();
+      node->value = mean_of(d, idx);
+      if (depth >= p.max_depth ||
+          idx.size() < static_cast<std::size_t>(p.min_samples_split)) {
+        return node;
+      }
+      const double parent_sse = sse_of(d, idx);
+      const Split split = best_split(d, idx);
+      if (split.feature < 0 ||
+          split.gain < p.min_gain_fraction * std::max(parent_sse, 1e-300)) {
+        return node;
+      }
+      std::vector<std::size_t> left;
+      std::vector<std::size_t> right;
+      for (std::size_t i : idx) {
+        (d.x[i][static_cast<std::size_t>(split.feature)] <= split.threshold
+             ? left
+             : right)
+            .push_back(i);
+      }
+      if (left.empty() || right.empty()) return node;  // degenerate
+      node->feature = split.feature;
+      node->threshold = split.threshold;
+      node->left = build(std::move(left), depth + 1);
+      node->right = build(std::move(right), depth + 1);
+      return node;
+    }
+  };
+
+  std::vector<std::size_t> all(data.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  Builder builder{data, params};
+  return TreeModel(builder.build(std::move(all), 0));
+}
+
+double TreeModel::predict(std::span<const double> sample) const {
+  const Node* node = root_.get();
+  while (node->feature >= 0) {
+    if (static_cast<std::size_t>(node->feature) >= sample.size()) {
+      throw std::invalid_argument("TreeModel::predict: sample too narrow");
+    }
+    node = sample[static_cast<std::size_t>(node->feature)] <= node->threshold
+               ? node->left.get()
+               : node->right.get();
+  }
+  return node->value;
+}
+
+int TreeModel::num_nodes() const noexcept {
+  // Iterative DFS to avoid recursion in a noexcept accessor.
+  int count = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++count;
+    if (node->feature >= 0) {
+      stack.push_back(node->left.get());
+      stack.push_back(node->right.get());
+    }
+  }
+  return count;
+}
+
+int TreeModel::depth() const noexcept {
+  int max_depth = 0;
+  std::vector<std::pair<const Node*, int>> stack = {{root_.get(), 1}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    if (node->feature >= 0) {
+      stack.emplace_back(node->left.get(), depth + 1);
+      stack.emplace_back(node->right.get(), depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace bfsx::ml

@@ -1,0 +1,54 @@
+// CART-style regression tree.
+//
+// The paper picks SVM over "other regression approaches" (Section
+// II-C) for parallel-friendliness and small-sample accuracy. This tree
+// is the classic alternative: axis-aligned variance-minimising splits,
+// depth- and leaf-size-limited. It completes the model zoo (ridge =
+// linear, k-NN = memorising, SVR = kernel, tree = partitioning) so the
+// choice can be *measured* on the actual switching-point dataset
+// (tests/test_ml_tree.cc does exactly that).
+#pragma once
+
+#include <memory>
+
+#include "ml/dataset.h"
+#include "ml/regressor.h"
+
+namespace bfsx::ml {
+
+struct TreeParams {
+  int max_depth = 8;
+  /// A node with fewer samples becomes a leaf.
+  int min_samples_split = 4;
+  /// Stop when the variance improvement of the best split falls below
+  /// this fraction of the node's variance.
+  double min_gain_fraction = 1e-3;
+};
+
+class TreeModel final : public Regressor {
+ public:
+  static TreeModel fit(const Dataset& data, const TreeParams& params = {});
+
+  [[nodiscard]] double predict(std::span<const double> sample) const override;
+  [[nodiscard]] const char* kind() const noexcept override { return "tree"; }
+
+  /// Total node count (diagnostics; 1 = a single leaf).
+  [[nodiscard]] int num_nodes() const noexcept;
+  [[nodiscard]] int depth() const noexcept;
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;  // leaf prediction
+    std::unique_ptr<Node> left;   // sample[feature] <= threshold
+    std::unique_ptr<Node> right;  // sample[feature] >  threshold
+  };
+
+  explicit TreeModel(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace bfsx::ml

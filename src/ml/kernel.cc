@@ -1,0 +1,31 @@
+#include "ml/kernel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bfsx::ml {
+
+double kernel_eval(const KernelParams& params, std::span<const double> u,
+                   std::span<const double> v) {
+  if (u.size() != v.size()) {
+    throw std::invalid_argument("kernel_eval: dimension mismatch");
+  }
+  switch (params.type) {
+    case KernelType::kLinear: {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < u.size(); ++i) dot += u[i] * v[i];
+      return dot;
+    }
+    case KernelType::kRbf: {
+      double dist2 = 0.0;
+      for (std::size_t i = 0; i < u.size(); ++i) {
+        const double d = u[i] - v[i];
+        dist2 += d * d;
+      }
+      return std::exp(-params.gamma * dist2);
+    }
+  }
+  throw std::logic_error("kernel_eval: unknown kernel type");
+}
+
+}  // namespace bfsx::ml

@@ -1,0 +1,22 @@
+// Kernel functions for SVR.
+#pragma once
+
+#include <span>
+
+namespace bfsx::ml {
+
+enum class KernelType { kLinear, kRbf };
+
+struct KernelParams {
+  KernelType type = KernelType::kRbf;
+  /// RBF width: k(u, v) = exp(-gamma * ||u - v||^2). The LIBSVM default
+  /// is 1/num_features, which the trainer applies when gamma <= 0.
+  double gamma = -1.0;
+};
+
+/// Evaluates the kernel on two equal-length vectors.
+[[nodiscard]] double kernel_eval(const KernelParams& params,
+                                 std::span<const double> u,
+                                 std::span<const double> v);
+
+}  // namespace bfsx::ml

@@ -1,0 +1,55 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bfsx::ml {
+
+KnnModel KnnModel::fit(const Dataset& data, const KnnParams& params) {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("KnnModel::fit: empty");
+  if (params.k < 1) throw std::invalid_argument("KnnModel::fit: k < 1");
+  Standardizer s = Standardizer::fit(data);
+  Dataset z = s.transform_all(data);
+  return KnnModel(std::move(s), std::move(z), params);
+}
+
+double KnnModel::predict(std::span<const double> sample) const {
+  const std::vector<double> q = standardizer_.transform(sample);
+  const std::size_t k =
+      std::min(static_cast<std::size_t>(params_.k), train_.size());
+
+  // (distance^2, target) pairs; partial sort up to k.
+  std::vector<std::pair<double, double>> dist;
+  dist.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      const double d = q[j] - train_.x[i][j];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, train_.y[i]);
+  }
+  std::partial_sort(dist.begin(),
+                    dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+
+  if (!params_.distance_weighted) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) sum += dist[i].second;
+    return sum / static_cast<double>(k);
+  }
+  // Inverse-distance weights; an exact match short-circuits.
+  double wsum = 0.0;
+  double vsum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = std::sqrt(dist[i].first);
+    if (d < 1e-12) return dist[i].second;
+    const double w = 1.0 / d;
+    wsum += w;
+    vsum += w * dist[i].second;
+  }
+  return vsum / wsum;
+}
+
+}  // namespace bfsx::ml

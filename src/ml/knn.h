@@ -1,0 +1,36 @@
+// k-nearest-neighbours regression.
+//
+// The simplest possible "memorise the training set" baseline; useful in
+// tests (it must be beaten by SVR on smooth targets and is exact on
+// duplicated training points) and as a sanity check that the feature
+// standardisation is behaving.
+#pragma once
+
+#include "ml/dataset.h"
+#include "ml/regressor.h"
+
+namespace bfsx::ml {
+
+struct KnnParams {
+  int k = 3;
+  /// Weight neighbours by inverse distance instead of uniformly.
+  bool distance_weighted = true;
+};
+
+class KnnModel final : public Regressor {
+ public:
+  static KnnModel fit(const Dataset& data, const KnnParams& params = {});
+
+  [[nodiscard]] double predict(std::span<const double> sample) const override;
+  [[nodiscard]] const char* kind() const noexcept override { return "knn"; }
+
+ private:
+  KnnModel(Standardizer s, Dataset z, KnnParams p)
+      : standardizer_(std::move(s)), train_(std::move(z)), params_(p) {}
+
+  Standardizer standardizer_;
+  Dataset train_;  // standardised copy of the training set
+  KnnParams params_;
+};
+
+}  // namespace bfsx::ml

@@ -1,0 +1,92 @@
+#include "ml/linreg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bfsx::ml {
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b,
+                              std::size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    throw std::invalid_argument("solve_spd: shape mismatch");
+  }
+  // In-place Cholesky: A = L L^T, lower triangle of `a` becomes L.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0) {
+      throw std::runtime_error("solve_spd: matrix not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) v -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = v / ljj;
+    }
+  }
+  // Forward substitution: L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a[i * n + k] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  // Back substitution: L^T x = z.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double v = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= a[k * n + i] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  return b;
+}
+
+RidgeModel RidgeModel::fit(const Dataset& data, const RidgeParams& params) {
+  data.validate();
+  if (data.size() == 0) throw std::invalid_argument("RidgeModel::fit: empty");
+  if (params.lambda < 0) {
+    throw std::invalid_argument("RidgeModel::fit: negative lambda");
+  }
+  Standardizer standardizer = Standardizer::fit(data);
+  const Dataset z = standardizer.transform_all(data);
+  const std::size_t d = z.num_features();
+  const std::size_t n = z.size();
+
+  // Standardised features have zero mean, so the intercept decouples:
+  // b = mean(y), and weights solve (X^T X + lambda I) w = X^T (y - b).
+  double intercept = 0.0;
+  for (double yv : z.y) intercept += yv;
+  intercept /= static_cast<double>(n);
+
+  std::vector<double> xtx(d * d, 0.0);
+  std::vector<double> xty(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& row = z.x[i];
+    const double resid = z.y[i] - intercept;
+    for (std::size_t p = 0; p < d; ++p) {
+      xty[p] += row[p] * resid;
+      for (std::size_t q = p; q < d; ++q) xtx[p * d + q] += row[p] * row[q];
+    }
+  }
+  for (std::size_t p = 0; p < d; ++p) {
+    for (std::size_t q = 0; q < p; ++q) xtx[p * d + q] = xtx[q * d + p];
+    xtx[p * d + p] += params.lambda + 1e-10;  // jitter keeps Cholesky stable
+  }
+  std::vector<double> w = solve_spd(std::move(xtx), std::move(xty), d);
+  return RidgeModel(std::move(standardizer), std::move(w), intercept);
+}
+
+double RidgeModel::predict(std::span<const double> sample) const {
+  const std::vector<double> z = standardizer_.transform(sample);
+  double out = intercept_;
+  for (std::size_t j = 0; j < z.size(); ++j) out += weights_[j] * z[j];
+  return out;
+}
+
+RidgeModel RidgeModel::from_parts(Standardizer standardizer,
+                                  std::vector<double> weights,
+                                  double intercept) {
+  return RidgeModel(std::move(standardizer), std::move(weights), intercept);
+}
+
+}  // namespace bfsx::ml

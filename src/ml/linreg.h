@@ -1,0 +1,58 @@
+// Ridge (L2-regularised linear) regression via the normal equations.
+//
+// Serves two purposes: a baseline the SVR must beat in tests, and the
+// ablation point "what if the paper had used a plain linear model"
+// (Section III-C argues the >10-parameter feature space is too complex
+// for a hand-built formula; a linear model is the cheapest automatic
+// one).
+#pragma once
+
+#include "ml/dataset.h"
+#include "ml/regressor.h"
+
+namespace bfsx::ml {
+
+struct RidgeParams {
+  /// L2 penalty on the weights (not the intercept). 0 = ordinary least
+  /// squares; small positive values keep the normal equations well
+  /// conditioned on nearly collinear features.
+  double lambda = 1e-3;
+};
+
+class RidgeModel final : public Regressor {
+ public:
+  /// Fits on raw samples; standardisation is handled internally.
+  static RidgeModel fit(const Dataset& data, const RidgeParams& params = {});
+
+  [[nodiscard]] double predict(std::span<const double> sample) const override;
+  [[nodiscard]] const char* kind() const noexcept override { return "ridge"; }
+
+  [[nodiscard]] const std::vector<double>& weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+  [[nodiscard]] const Standardizer& standardizer() const noexcept {
+    return standardizer_;
+  }
+
+  /// Reassembles a fitted model from stored parts (model loading).
+  static RidgeModel from_parts(Standardizer standardizer,
+                               std::vector<double> weights, double intercept);
+
+ private:
+  RidgeModel(Standardizer s, std::vector<double> w, double b)
+      : standardizer_(std::move(s)), weights_(std::move(w)), intercept_(b) {}
+
+  Standardizer standardizer_;
+  std::vector<double> weights_;  // in standardised feature space
+  double intercept_ = 0.0;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place by
+/// Cholesky factorisation. Exposed for reuse and direct testing.
+/// Throws std::runtime_error when A is not positive definite.
+[[nodiscard]] std::vector<double> solve_spd(std::vector<double> a,
+                                            std::vector<double> b,
+                                            std::size_t n);
+
+}  // namespace bfsx::ml

@@ -1,0 +1,32 @@
+// Common interface for the regression models. The core module only
+// sees this interface, so any of ridge / k-NN / SVR can back the
+// switching-point predictor.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace bfsx::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Predicts the target for one raw (unstandardised) sample.
+  [[nodiscard]] virtual double predict(std::span<const double> sample) const = 0;
+
+  /// Human-readable model kind ("svr-rbf", "ridge", ...).
+  [[nodiscard]] virtual const char* kind() const noexcept = 0;
+
+  [[nodiscard]] std::vector<double> predict_all(const Dataset& data) const {
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (const auto& row : data.x) out.push_back(predict(row));
+    return out;
+  }
+};
+
+}  // namespace bfsx::ml

@@ -1,0 +1,135 @@
+#include "sim/arch_config.h"
+
+#include <algorithm>
+#include <charconv>
+#include <utility>
+#include <vector>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfsx::sim {
+namespace {
+
+using Setter = void (*)(ArchSpec&, double);
+
+const std::map<std::string, Setter, std::less<>>& numeric_setters() {
+  static const std::map<std::string, Setter, std::less<>> table = {
+      {"clock_ghz", [](ArchSpec& a, double v) { a.clock_ghz = v; }},
+      {"peak_sp_gflops", [](ArchSpec& a, double v) { a.peak_sp_gflops = v; }},
+      {"peak_dp_gflops", [](ArchSpec& a, double v) { a.peak_dp_gflops = v; }},
+      {"l1_kb", [](ArchSpec& a, double v) { a.l1_kb = v; }},
+      {"l2_kb", [](ArchSpec& a, double v) { a.l2_kb = v; }},
+      {"l3_mb", [](ArchSpec& a, double v) { a.l3_mb = v; }},
+      {"bw_theoretical_gbps",
+       [](ArchSpec& a, double v) { a.bw_theoretical_gbps = v; }},
+      {"bw_measured_gbps",
+       [](ArchSpec& a, double v) { a.bw_measured_gbps = v; }},
+      {"cores", [](ArchSpec& a, double v) { a.cores = static_cast<int>(v); }},
+      {"level_overhead_us",
+       [](ArchSpec& a, double v) { a.level_overhead_us = v; }},
+      {"td_edge_ns", [](ArchSpec& a, double v) { a.td_edge_ns = v; }},
+      {"td_fill_penalty_edges",
+       [](ArchSpec& a, double v) { a.td_fill_penalty_edges = v; }},
+      {"td_fill_scale_edges",
+       [](ArchSpec& a, double v) { a.td_fill_scale_edges = v; }},
+      {"bu_vertex_ns", [](ArchSpec& a, double v) { a.bu_vertex_ns = v; }},
+      {"bu_edge_hit_ns", [](ArchSpec& a, double v) { a.bu_edge_hit_ns = v; }},
+      {"bu_edge_miss_ns",
+       [](ArchSpec& a, double v) { a.bu_edge_miss_ns = v; }},
+  };
+  return table;
+}
+
+double parse_number(std::string_view key, std::string_view value) {
+  // std::from_chars for doubles is incomplete on some libstdc++
+  // versions for scientific notation; strtod on a bounded copy is
+  // portable and validates the full token.
+  const std::string copy(value);
+  char* end = nullptr;
+  const double v = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0') {
+    throw std::invalid_argument("parse_arch_spec: bad number for '" +
+                                std::string(key) + "': '" + copy + "'");
+  }
+  return v;
+}
+
+ArchSpec base_by_name(std::string_view name) {
+  if (name == "cpu") return make_sandy_bridge_cpu();
+  if (name == "gpu") return make_kepler_gpu();
+  if (name == "mic") return make_knights_corner_mic();
+  throw std::invalid_argument("parse_arch_spec: unknown base '" +
+                              std::string(name) + "' (cpu|gpu|mic)");
+}
+
+}  // namespace
+
+ArchSpec parse_arch_spec(std::string_view text) {
+  // First pass: find the base preset (order-independent).
+  ArchSpec spec = make_sandy_bridge_cpu();
+  spec.name = "custom";
+
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string_view token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) {
+      if (comma == text.size()) break;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("parse_arch_spec: token without '=': '" +
+                                  std::string(token) + "'");
+    }
+    pairs.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    if (comma == text.size()) break;
+  }
+
+  for (const auto& [key, value] : pairs) {
+    if (key == "base") {
+      const std::string keep_name = spec.name;
+      spec = base_by_name(value);
+      spec.name = keep_name;
+    }
+  }
+  for (const auto& [key, value] : pairs) {
+    if (key == "base") continue;
+    if (key == "name") {
+      spec.name = std::string(value);
+      continue;
+    }
+    const auto it = numeric_setters().find(key);
+    if (it == numeric_setters().end()) {
+      throw std::invalid_argument("parse_arch_spec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+    it->second(spec, parse_number(key, value));
+  }
+  return spec;
+}
+
+std::string format_arch_spec(const ArchSpec& s) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "name=" << s.name << ",clock_ghz=" << s.clock_ghz
+     << ",peak_sp_gflops=" << s.peak_sp_gflops
+     << ",peak_dp_gflops=" << s.peak_dp_gflops << ",l1_kb=" << s.l1_kb
+     << ",l2_kb=" << s.l2_kb << ",l3_mb=" << s.l3_mb
+     << ",bw_theoretical_gbps=" << s.bw_theoretical_gbps
+     << ",bw_measured_gbps=" << s.bw_measured_gbps << ",cores=" << s.cores
+     << ",level_overhead_us=" << s.level_overhead_us
+     << ",td_edge_ns=" << s.td_edge_ns
+     << ",td_fill_penalty_edges=" << s.td_fill_penalty_edges
+     << ",td_fill_scale_edges=" << s.td_fill_scale_edges
+     << ",bu_vertex_ns=" << s.bu_vertex_ns
+     << ",bu_edge_hit_ns=" << s.bu_edge_hit_ns
+     << ",bu_edge_miss_ns=" << s.bu_edge_miss_ns;
+  return os.str();
+}
+
+}  // namespace bfsx::sim

@@ -1,0 +1,32 @@
+// Textual ArchSpec configuration.
+//
+// Lets users model their *own* devices without recompiling: an ArchSpec
+// is described as comma-separated key=value pairs, e.g.
+//
+//   "name=MyGPU,clock_ghz=1.4,peak_sp_gflops=9000,l1_kb=128,"
+//   "bw_measured_gbps=700,cores=80,level_overhead_us=20,"
+//   "td_edge_ns=0.3,td_fill_penalty_edges=5e7,td_fill_scale_edges=5e6,"
+//   "bu_vertex_ns=0.05,bu_edge_hit_ns=0.02,bu_edge_miss_ns=0.4"
+//
+// Unset keys inherit from a base preset (default: the paper's CPU), so
+// a one-key tweak like "base=gpu,bu_edge_miss_ns=0.5" is enough for
+// what-if studies — exactly what bench_ablation_costmodel does in code.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/arch.h"
+
+namespace bfsx::sim {
+
+/// Parses the key=value description. Recognised keys: `base`
+/// (cpu|gpu|mic), `name`, and every numeric ArchSpec field by its
+/// member name. Throws std::invalid_argument on unknown keys or
+/// unparsable values.
+[[nodiscard]] ArchSpec parse_arch_spec(std::string_view text);
+
+/// Inverse of parse_arch_spec: a full key=value rendering (no `base`).
+[[nodiscard]] std::string format_arch_spec(const ArchSpec& spec);
+
+}  // namespace bfsx::sim

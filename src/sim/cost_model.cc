@@ -1,0 +1,57 @@
+#include "sim/cost_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bfsx::sim {
+namespace {
+
+constexpr double kUsToS = 1e-6;
+constexpr double kNsToS = 1e-9;
+
+}  // namespace
+
+double top_down_level_seconds(const ArchSpec& arch,
+                              graph::eid_t frontier_edges) {
+  if (frontier_edges < 0) {
+    throw std::invalid_argument("top_down_level_seconds: negative work");
+  }
+  const double overhead = arch.level_overhead_us * kUsToS;
+  const auto w = static_cast<double>(frontier_edges);
+  // Saturating-fill model (see ArchSpec::td_fill_penalty_edges): the
+  // idle-lane waste ramps from 0 to `penalty` edge-equivalents as the
+  // frontier fills the machine. Smooth at w = 0 and linear for large w.
+  const double fill = arch.td_fill_penalty_edges *
+                      (1.0 - std::exp(-w / arch.td_fill_scale_edges));
+  return overhead + (w + fill) * arch.td_edge_ns * kNsToS;
+}
+
+double bottom_up_level_seconds(const ArchSpec& arch,
+                               graph::vid_t total_vertices,
+                               graph::eid_t hit_edges,
+                               graph::eid_t miss_edges) {
+  if (total_vertices < 0 || hit_edges < 0 || miss_edges < 0) {
+    throw std::invalid_argument("bottom_up_level_seconds: negative work");
+  }
+  const double overhead = arch.level_overhead_us * kUsToS;
+  const double sweep =
+      static_cast<double>(total_vertices) * arch.bu_vertex_ns * kNsToS;
+  const double hits =
+      static_cast<double>(hit_edges) * arch.bu_edge_hit_ns * kNsToS;
+  const double misses =
+      static_cast<double>(miss_edges) * arch.bu_edge_miss_ns * kNsToS;
+  return overhead + sweep + hits + misses;
+}
+
+double transfer_seconds(const InterconnectSpec& link, std::size_t bytes) {
+  return link.latency_us * kUsToS +
+         static_cast<double>(bytes) / (link.bandwidth_gbps * 1e9);
+}
+
+std::size_t handoff_bytes(graph::vid_t num_vertices) {
+  const auto bitmap_bytes =
+      (static_cast<std::size_t>(num_vertices) + 7) / 8;
+  return 2 * bitmap_bytes;  // frontier bitmap + visited bitmap
+}
+
+}  // namespace bfsx::sim

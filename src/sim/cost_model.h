@@ -1,0 +1,60 @@
+// Per-level analytic cost model.
+//
+// Converts the *exact* work counters produced by the functional BFS
+// kernels (src/bfs) into modelled wall-clock seconds on a given
+// architecture. The model has three ingredients per direction:
+//
+//   top-down:   t = overhead + W_e * c_td / u(W_e)
+//               with utilisation ramp u(W) = W / (W + W_half) — wide
+//               devices are starved by small frontiers (paper §III-A);
+//
+//   bottom-up:  t = overhead + |V| * c_v + H * c_hit + M * c_miss
+//               where H/M are the hit/miss scanned-edge counts — the
+//               |V| term is the candidate-sweep floor, and failed full
+//               scans (M) carry the RCMB-mismatch penalty the paper
+//               analyses in §III-B;
+//
+// with all constants taken from the ArchSpec (see arch.h for the
+// calibration story).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/types.h"
+#include "sim/arch.h"
+
+namespace bfsx::sim {
+
+/// Modelled seconds for one top-down level that traverses
+/// `frontier_edges` out-edges.
+[[nodiscard]] double top_down_level_seconds(const ArchSpec& arch,
+                                            graph::eid_t frontier_edges);
+
+/// Modelled seconds for one bottom-up level over a graph with
+/// `total_vertices` vertices, in which successful searches scanned
+/// `hit_edges` and failed searches scanned `miss_edges`.
+[[nodiscard]] double bottom_up_level_seconds(const ArchSpec& arch,
+                                             graph::vid_t total_vertices,
+                                             graph::eid_t hit_edges,
+                                             graph::eid_t miss_edges);
+
+/// PCIe-style host<->accelerator link (paper Section IV: the
+/// cross-architecture combination hands the frontier from CPU to GPU).
+struct InterconnectSpec {
+  std::string name = "PCIe-gen2-x16";
+  double latency_us = 10.0;       // per-transfer fixed cost
+  double bandwidth_gbps = 6.0;    // effective, not theoretical
+};
+
+/// Modelled seconds to move `bytes` across the link.
+[[nodiscard]] double transfer_seconds(const InterconnectSpec& link,
+                                      std::size_t bytes);
+
+/// Bytes shipped at a device handoff: the frontier bitmap plus the
+/// visited bitmap (V/8 bytes each). Parent/level maps stay sharded per
+/// device and are merged once after the traversal, so they are not a
+/// per-switch cost.
+[[nodiscard]] std::size_t handoff_bytes(graph::vid_t num_vertices);
+
+}  // namespace bfsx::sim

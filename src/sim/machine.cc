@@ -1,0 +1,20 @@
+#include "sim/machine.h"
+
+namespace bfsx::sim {
+
+const Device& Machine::device_by_name(std::string_view name) const {
+  if (host_.name() == name) return host_;
+  for (const Device& d : accelerators_) {
+    if (d.name() == name) return d;
+  }
+  throw std::out_of_range("Machine: unknown device name");
+}
+
+Machine make_paper_node() {
+  Machine m(Device(make_sandy_bridge_cpu()), InterconnectSpec{});
+  m.add_accelerator(Device(make_kepler_gpu()));
+  m.add_accelerator(Device(make_knights_corner_mic()));
+  return m;
+}
+
+}  // namespace bfsx::sim

@@ -1,0 +1,60 @@
+// A heterogeneous node: one host device, optional accelerators, and the
+// link between them — the hardware shape the paper's Algorithm 3 runs
+// on (CPU host + K20x GPU over PCIe, plus a MIC variant).
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/device.h"
+
+namespace bfsx::sim {
+
+class Machine {
+ public:
+  Machine(Device host, InterconnectSpec link)
+      : host_(std::move(host)), link_(std::move(link)) {}
+
+  /// Adds an accelerator; returns its index.
+  std::size_t add_accelerator(Device dev) {
+    accelerators_.push_back(std::move(dev));
+    return accelerators_.size() - 1;
+  }
+
+  [[nodiscard]] const Device& host() const noexcept { return host_; }
+  [[nodiscard]] const InterconnectSpec& link() const noexcept { return link_; }
+
+  [[nodiscard]] std::size_t num_accelerators() const noexcept {
+    return accelerators_.size();
+  }
+
+  [[nodiscard]] const Device& accelerator(std::size_t i = 0) const {
+    if (i >= accelerators_.size()) {
+      throw std::out_of_range("Machine: no such accelerator");
+    }
+    return accelerators_[i];
+  }
+
+  /// Finds a device (host or accelerator) by ArchSpec name.
+  [[nodiscard]] const Device& device_by_name(std::string_view name) const;
+
+  /// Modelled cost of one host<->accelerator frontier handoff for a
+  /// graph of `num_vertices` vertices.
+  [[nodiscard]] double handoff_seconds(graph::vid_t num_vertices) const {
+    return transfer_seconds(link_, handoff_bytes(num_vertices));
+  }
+
+ private:
+  Device host_;
+  InterconnectSpec link_;
+  std::vector<Device> accelerators_;
+};
+
+/// The paper's evaluation node: Sandy Bridge host + Kepler GPU +
+/// Knights Corner MIC on a PCIe link.
+[[nodiscard]] Machine make_paper_node();
+
+}  // namespace bfsx::sim

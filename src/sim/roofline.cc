@@ -1,0 +1,48 @@
+#include "sim/roofline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfsx::sim {
+
+double rcmb(const ArchSpec& arch, bool single_precision) {
+  const double peak =
+      single_precision ? arch.peak_sp_gflops : arch.peak_dp_gflops;
+  if (arch.bw_measured_gbps <= 0) {
+    throw std::invalid_argument("rcmb: missing bandwidth");
+  }
+  return peak / arch.bw_measured_gbps;
+}
+
+double memory_bound_factor(double algorithm_rcma, const ArchSpec& arch,
+                           bool single_precision) {
+  if (algorithm_rcma <= 0) {
+    throw std::invalid_argument("memory_bound_factor: rcma <= 0");
+  }
+  return rcmb(arch, single_precision) / algorithm_rcma;
+}
+
+double roofline_gflops(const ArchSpec& arch, double rcma,
+                       bool single_precision) {
+  if (rcma <= 0) throw std::invalid_argument("roofline_gflops: rcma <= 0");
+  const double peak =
+      single_precision ? arch.peak_sp_gflops : arch.peak_dp_gflops;
+  return std::min(peak, rcma * arch.bw_measured_gbps);
+}
+
+std::string describe_balance(double algorithm_rcma, const ArchSpec& arch,
+                             bool single_precision) {
+  const double factor =
+      memory_bound_factor(algorithm_rcma, arch, single_precision);
+  std::ostringstream os;
+  os.precision(3);
+  if (factor > 1.0) {
+    os << "memory-bound by " << factor << "x on " << arch.name;
+  } else {
+    os << "compute-bound (headroom " << 1.0 / factor << "x) on " << arch.name;
+  }
+  return os.str();
+}
+
+}  // namespace bfsx::sim

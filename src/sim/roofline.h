@@ -1,0 +1,40 @@
+// Roofline-style balance analysis (paper Section III-B, Equation 2).
+//
+// RCMB — Ratio of Computation to Memory Bandwidth — is a platform's
+// balance point: how many flops it can afford per byte moved. An
+// algorithm whose arithmetic intensity (RCMA, see bfs/spmv.h) sits
+// below the RCMB is memory-bound on that platform; the paper uses the
+// gap (BFS RCMA ~0.5 vs MIC RCMB 12.7) to explain why raw peak GFLOPS
+// do not predict BFS performance.
+#pragma once
+
+#include <string>
+
+#include "sim/arch.h"
+
+namespace bfsx::sim {
+
+/// Equation (2). The paper's formula says theoretical bandwidth, but
+/// its Table II RCMB column (7.52 / 12.70 / 21.01 SP) is computed from
+/// the *measured* bandwidth row — we follow the table.
+/// `single_precision` selects the SP or DP row.
+[[nodiscard]] double rcmb(const ArchSpec& arch, bool single_precision);
+
+/// How many times below the platform's balance point an algorithm of
+/// intensity `algorithm_rcma` sits. > 1 means memory-bound; BFS lands
+/// at 15-40x on the paper's Table II hardware.
+[[nodiscard]] double memory_bound_factor(double algorithm_rcma,
+                                         const ArchSpec& arch,
+                                         bool single_precision);
+
+/// Attainable GFLOPS for intensity `rcma` under a hard roofline:
+/// min(peak, rcma * measured_bandwidth).
+[[nodiscard]] double roofline_gflops(const ArchSpec& arch, double rcma,
+                                     bool single_precision);
+
+/// One-line verdict ("memory-bound by 25.4x on KeplerK20xGPU").
+[[nodiscard]] std::string describe_balance(double algorithm_rcma,
+                                           const ArchSpec& arch,
+                                           bool single_precision);
+
+}  // namespace bfsx::sim

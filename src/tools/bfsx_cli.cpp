@@ -1,0 +1,319 @@
+// bfsx — command-line driver for the library.
+//
+// Subcommands:
+//   generate  write an R-MAT edge list to a file (.bel binary or text)
+//   bfs       run a BFS engine over a generated or loaded graph and
+//             print Graph 500-style statistics
+//   tune      exhaustively tune (M, N) for a graph/device pair
+//   train     run the offline pipeline and save a predictor model
+//   predict   load a model and print the predicted switching points
+//
+// Run `bfsx help` or any subcommand with no arguments for usage.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "core/level_trace.h"
+#include "core/online_tuner.h"
+#include "core/tuner.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/io.h"
+#include "graph500/native_engine.h"
+#include "graph500/reference_bfs.h"
+#include "graph500/runner.h"
+#include "sim/arch_config.h"
+
+namespace {
+
+using namespace bfsx;
+
+/// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --option, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + key);
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& dflt) const {
+    return get(key).value_or(dflt);
+  }
+  [[nodiscard]] int get_int(const std::string& key, int dflt) const {
+    const auto v = get(key);
+    return v ? std::stoi(*v) : dflt;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double dflt) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : dflt;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+graph::RmatParams rmat_from_args(const Args& args) {
+  graph::RmatParams p;
+  p.scale = args.get_int("scale", 16);
+  p.edgefactor = args.get_int("edgefactor", 16);
+  p.seed = static_cast<std::uint64_t>(args.get_int("seed", 2014));
+  p.a = args.get_double("a", 0.57);
+  p.b = args.get_double("b", 0.19);
+  p.c = args.get_double("c", 0.19);
+  p.d = args.get_double("d", 0.05);
+  return p;
+}
+
+/// Graph source: --graph FILE loads an edge list; otherwise R-MAT from
+/// --scale/--edgefactor/...
+graph::CsrGraph load_graph(const Args& args, graph::RmatParams* params_out) {
+  if (const auto path = args.get("graph")) {
+    std::printf("loading %s ...\n", path->c_str());
+    return graph::build_csr(graph::load_edge_list(*path));
+  }
+  const graph::RmatParams p = rmat_from_args(args);
+  if (params_out != nullptr) *params_out = p;
+  std::printf("generating R-MAT scale=%d edgefactor=%d ...\n", p.scale,
+              p.edgefactor);
+  return graph::build_csr(graph::generate_rmat(p));
+}
+
+sim::Device device_from_args(const Args& args, const char* key = "device") {
+  const std::string text = args.get_or(key, "cpu");
+  if (text == "cpu" || text == "gpu" || text == "mic") {
+    return sim::Device{sim::parse_arch_spec("base=" + text + ",name=" + text)};
+  }
+  return sim::Device{sim::parse_arch_spec(text)};
+}
+
+int cmd_generate(const Args& args) {
+  const graph::RmatParams p = rmat_from_args(args);
+  const std::string out = args.get_or("out", "graph.bel");
+  const graph::EdgeList el = graph::generate_rmat(p);
+  graph::save_edge_list(out, el);
+  std::printf("wrote %lld edges over %d vertices to %s\n",
+              static_cast<long long>(el.num_edges()), el.num_vertices,
+              out.c_str());
+  return 0;
+}
+
+int cmd_bfs(const Args& args) {
+  graph::RmatParams params;
+  const graph::CsrGraph g = load_graph(args, &params);
+  std::printf("graph: %s\n", graph::summarize(g).c_str());
+
+  const std::string engine_name = args.get_or("engine", "hybrid");
+  const core::HybridPolicy policy{args.get_double("m", 14.0),
+                                  args.get_double("n", 24.0)};
+  const bool native = args.get_or("native", "0") == "1";
+
+  graph500::BfsEngine engine;
+  const sim::Device device = device_from_args(args);
+  if (native) {
+    if (engine_name == "td") {
+      engine = graph500::make_native_top_down_engine();
+    } else if (engine_name == "bu") {
+      engine = graph500::make_native_bottom_up_engine();
+    } else {
+      engine = graph500::make_native_hybrid_engine(policy);
+    }
+    std::printf("engine: native(%s) — wall-clock on this host\n",
+                engine_name.c_str());
+  } else {
+    if (engine_name == "td") {
+      engine = graph500::make_top_down_engine(device);
+    } else if (engine_name == "bu") {
+      engine = graph500::make_bottom_up_engine(device);
+    } else if (engine_name == "ref") {
+      engine = graph500::make_reference_engine(device);
+    } else if (engine_name == "cross") {
+      // Captured by value: the engine outlives this block.
+      const sim::Device host = device_from_args(args, "host");
+      engine = [&args, &device, host, policy](const graph::CsrGraph& gg,
+                                              graph::vid_t root) {
+        core::CombinationRun run = core::run_cross_arch(
+            gg, root, host, device, sim::InterconnectSpec{}, policy,
+            core::HybridPolicy{args.get_double("m2", 14.0),
+                               args.get_double("n2", 24.0)});
+        return graph500::TimedBfs{std::move(run.result), run.seconds};
+      };
+    } else {
+      engine = [&device, policy](const graph::CsrGraph& gg,
+                                 graph::vid_t root) {
+        core::CombinationRun run =
+            core::run_combination(gg, root, device, policy);
+        return graph500::TimedBfs{std::move(run.result), run.seconds};
+      };
+    }
+    std::printf("engine: %s on %s (modelled time)\n", engine_name.c_str(),
+                std::string(device.name()).c_str());
+  }
+
+  graph500::RunnerOptions opts;
+  opts.num_roots = args.get_int("roots", 8);
+  const graph500::BenchmarkResult res =
+      graph500::run_benchmark(g, engine, opts);
+  std::printf("%s", graph500::format_teps_stats(res.stats).c_str());
+  std::printf("validation failures: %d / %zu\n", res.validation_failures,
+              res.runs.size());
+  return res.validation_failures == 0 ? 0 : 1;
+}
+
+int cmd_tune(const Args& args) {
+  const graph::CsrGraph g = load_graph(args, nullptr);
+  const sim::Device device = device_from_args(args);
+  const graph::vid_t root = graph::sample_roots(g, 1, 7)[0];
+  const core::LevelTrace trace = core::build_level_trace(g, root);
+
+  const core::SwitchCandidates cands = core::SwitchCandidates::paper_grid();
+  const core::CandidateSweep sweep =
+      core::sweep_single(trace, device.spec(), cands);
+  const core::TunedPolicy best = core::pick_best(sweep, cands);
+  std::printf("exhaustive over %zu candidates: M=%.1f N=%.1f -> %.4f ms "
+              "(worst %.4f ms, mean %.4f ms)\n",
+              cands.size(), best.policy.m, best.policy.n,
+              best.seconds * 1e3, sweep.worst_seconds() * 1e3,
+              sweep.mean_seconds * 1e3);
+
+  core::OnlineTuner online;
+  const core::TunedPolicy quick = online.tune([&](const core::HybridPolicy& p) {
+    return core::replay_single(trace, device.spec(), p);
+  });
+  std::printf("online tuner (%d probes): M=%.1f N=%.1f -> %.4f ms (%.0f%% of "
+              "exhaustive best)\n",
+              online.probes_used(), quick.policy.m, quick.policy.n,
+              quick.seconds * 1e3, 100.0 * best.seconds / quick.seconds);
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const graph::CsrGraph g = load_graph(args, nullptr);
+  std::printf("%s\n", graph::summarize(g).c_str());
+
+  const graph::ComponentStats comps = graph::compute_components(g);
+  std::printf("components: %d (largest %d vertices, representative %d)\n",
+              comps.num_components, comps.largest_size,
+              comps.largest_representative);
+
+  std::printf("out-degree histogram (log2 buckets):\n");
+  const std::vector<graph::vid_t> hist = graph::degree_histogram_log2(g);
+  for (std::size_t b = 0; b < hist.size(); ++b) {
+    if (hist[b] == 0) continue;
+    if (b == 0) {
+      std::printf("  deg 0        : %d\n", hist[b]);
+    } else {
+      std::printf("  deg [%lld, %lld): %d\n", 1LL << (b - 1), 1LL << b,
+                  hist[b]);
+    }
+  }
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const graph::CsrGraph g = load_graph(args, nullptr);
+  const graph::vid_t root = static_cast<graph::vid_t>(
+      args.get_int("root", graph::sample_roots(g, 1, 7)[0]));
+  const core::LevelTrace trace = core::build_level_trace(g, root);
+  std::printf("# level trace: root=%d |V|=%d |E|=%lld\n", root,
+              trace.num_vertices, static_cast<long long>(trace.num_edges));
+  std::printf("level,frontier_vertices,frontier_edges,bu_hit,bu_miss,"
+              "next_vertices\n");
+  for (const core::TraceLevel& lvl : trace.levels) {
+    std::printf("%d,%d,%lld,%lld,%lld,%d\n", lvl.level,
+                lvl.frontier_vertices,
+                static_cast<long long>(lvl.frontier_edges),
+                static_cast<long long>(lvl.bu_edges_hit),
+                static_cast<long long>(lvl.bu_edges_miss),
+                lvl.next_vertices);
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const std::string out = args.get_or("out", "bfsx_switch_model.txt");
+  core::TrainerConfig cfg = core::default_trainer_config();
+  std::printf("labelling %zu configurations by exhaustive search...\n",
+              cfg.graphs.size() * cfg.arch_pairs.size());
+  const core::TrainingData data = core::generate_training_data(cfg);
+  const core::SwitchPredictor predictor = core::train_predictor(data);
+  predictor.save_file(out);
+  std::printf("model saved to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_predict(const Args& args) {
+  const auto model = args.get("model");
+  if (!model) {
+    std::fprintf(stderr, "predict: --model FILE is required\n");
+    return 2;
+  }
+  const core::SwitchPredictor predictor =
+      core::SwitchPredictor::load_file(*model);
+  const graph::RmatParams p = rmat_from_args(args);
+  const sim::Device td = device_from_args(args, "td-arch");
+  const sim::Device bu = device_from_args(args, "bu-arch");
+  const core::HybridPolicy policy =
+      predictor.predict(core::features_from_rmat(p), td.spec(), bu.spec());
+  std::printf("predicted switching point for scale=%d ef=%d on "
+              "TD=%s / BU=%s: M=%.2f N=%.2f\n",
+              p.scale, p.edgefactor, std::string(td.name()).c_str(),
+              std::string(bu.name()).c_str(), policy.m, policy.n);
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "bfsx — heuristic cross-architecture BFS (ICPP'14 reproduction)\n\n"
+      "usage: bfsx <command> [--option value ...]\n\n"
+      "commands:\n"
+      "  generate  --scale N --edgefactor E [--seed S --a --b --c --d] --out FILE\n"
+      "  bfs       [--graph FILE | --scale N ...] --engine td|bu|hybrid|ref|cross\n"
+      "            [--device cpu|gpu|mic|KEY=VAL,...] [--host cpu] [--m M --n N]\n"
+      "            [--m2 M --n2 N] [--roots K] [--native 1]\n"
+      "  analyze   [--graph FILE | --scale N ...]   degree/component report\n"
+      "  trace     [--graph FILE | --scale N ...] [--root R]   level-trace CSV\n"
+      "  tune      [--graph FILE | --scale N ...] [--device ...]\n"
+      "  train     [--out FILE]\n"
+      "  predict   --model FILE [--scale N ...] [--td-arch cpu] [--bu-arch gpu]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "bfs") return cmd_bfs(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "tune") return cmd_tune(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "predict") return cmd_predict(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bfsx %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}

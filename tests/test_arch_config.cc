@@ -1,0 +1,75 @@
+// Unit tests for the textual ArchSpec configuration.
+#include "sim/arch_config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bfsx::sim {
+namespace {
+
+TEST(ArchConfig, DefaultsToCpuBase) {
+  const ArchSpec a = parse_arch_spec("");
+  EXPECT_EQ(a.name, "custom");
+  EXPECT_DOUBLE_EQ(a.bw_measured_gbps, make_sandy_bridge_cpu().bw_measured_gbps);
+}
+
+TEST(ArchConfig, BasePresetSelection) {
+  EXPECT_DOUBLE_EQ(parse_arch_spec("base=gpu").bw_measured_gbps, 188);
+  EXPECT_DOUBLE_EQ(parse_arch_spec("base=mic").clock_ghz, 1.09);
+}
+
+TEST(ArchConfig, BaseIsOrderIndependent) {
+  const ArchSpec a = parse_arch_spec("bu_edge_miss_ns=0.5,base=gpu");
+  EXPECT_DOUBLE_EQ(a.bu_edge_miss_ns, 0.5);       // override survives
+  EXPECT_DOUBLE_EQ(a.bw_measured_gbps, 188);      // base applied first
+}
+
+TEST(ArchConfig, SetsEveryNumericKey) {
+  const ArchSpec a = parse_arch_spec(
+      "name=MyDev,clock_ghz=1.5,peak_sp_gflops=100,peak_dp_gflops=50,"
+      "l1_kb=48,l2_kb=512,l3_mb=8,bw_theoretical_gbps=200,"
+      "bw_measured_gbps=150,cores=12,level_overhead_us=5,"
+      "td_edge_ns=0.2,td_fill_penalty_edges=1e6,td_fill_scale_edges=2e5,"
+      "bu_vertex_ns=0.1,bu_edge_hit_ns=0.05,bu_edge_miss_ns=0.4");
+  EXPECT_EQ(a.name, "MyDev");
+  EXPECT_DOUBLE_EQ(a.clock_ghz, 1.5);
+  EXPECT_EQ(a.cores, 12);
+  EXPECT_DOUBLE_EQ(a.td_fill_penalty_edges, 1e6);
+  EXPECT_DOUBLE_EQ(a.bu_edge_miss_ns, 0.4);
+}
+
+TEST(ArchConfig, ScientificNotationParses) {
+  EXPECT_DOUBLE_EQ(parse_arch_spec("td_fill_penalty_edges=3.5e7")
+                       .td_fill_penalty_edges,
+                   3.5e7);
+}
+
+TEST(ArchConfig, RejectsUnknownKey) {
+  EXPECT_THROW(parse_arch_spec("nonsense=1"), std::invalid_argument);
+}
+
+TEST(ArchConfig, RejectsBadNumber) {
+  EXPECT_THROW(parse_arch_spec("clock_ghz=fast"), std::invalid_argument);
+}
+
+TEST(ArchConfig, RejectsTokenWithoutEquals) {
+  EXPECT_THROW(parse_arch_spec("base=gpu,oops"), std::invalid_argument);
+}
+
+TEST(ArchConfig, RejectsUnknownBase) {
+  EXPECT_THROW(parse_arch_spec("base=fpga"), std::invalid_argument);
+}
+
+TEST(ArchConfig, FormatParseRoundTrip) {
+  const ArchSpec original = make_kepler_gpu();
+  const ArchSpec back = parse_arch_spec(format_arch_spec(original));
+  EXPECT_EQ(back.name, original.name);
+  EXPECT_DOUBLE_EQ(back.clock_ghz, original.clock_ghz);
+  EXPECT_DOUBLE_EQ(back.td_edge_ns, original.td_edge_ns);
+  EXPECT_DOUBLE_EQ(back.bu_edge_miss_ns, original.bu_edge_miss_ns);
+  EXPECT_EQ(back.cores, original.cores);
+}
+
+}  // namespace
+}  // namespace bfsx::sim

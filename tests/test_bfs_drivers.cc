@@ -1,0 +1,126 @@
+// Unit tests for the full-traversal drivers (serial, top-down,
+// bottom-up) and their agreement with each other.
+#include "bfs/drivers.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/validate.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::bfs {
+namespace {
+
+using graph::build_csr;
+
+TEST(Serial, PathLevelsAreDistances) {
+  const CsrGraph g = build_csr(graph::make_path(6));
+  const BfsResult r = run_serial(g, 0);
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(r.level[static_cast<std::size_t>(v)], v);
+  EXPECT_EQ(r.reached, 6);
+  EXPECT_EQ(r.edges_in_component, 5);
+}
+
+TEST(Serial, GridLevelsAreManhattanDistance) {
+  const CsrGraph g = build_csr(graph::make_grid(4, 5));
+  const BfsResult r = run_serial(g, 0);
+  for (vid_t row = 0; row < 4; ++row) {
+    for (vid_t col = 0; col < 5; ++col) {
+      EXPECT_EQ(r.level[static_cast<std::size_t>(row * 5 + col)], row + col);
+    }
+  }
+}
+
+TEST(Serial, UnreachableStaysUnreached) {
+  const CsrGraph g = build_csr(graph::make_two_cliques(8));
+  const BfsResult r = run_serial(g, 0);
+  EXPECT_EQ(r.reached, 4);
+  for (vid_t v = 4; v < 8; ++v) {
+    EXPECT_EQ(r.parent[static_cast<std::size_t>(v)], graph::kNoVertex);
+    EXPECT_EQ(r.level[static_cast<std::size_t>(v)], -1);
+  }
+  EXPECT_EQ(r.edges_in_component, 6);  // one K4
+}
+
+TEST(TopDown, MatchesSerialLevelsOnRmat) {
+  graph::RmatParams p;
+  p.scale = 10;
+  const CsrGraph g = build_csr(graph::generate_rmat(p));
+  const auto roots = graph::sample_roots(g, 4, 3);
+  for (vid_t root : roots) {
+    const BfsResult serial = run_serial(g, root);
+    const BfsResult td = run_top_down(g, root);
+    EXPECT_TRUE(same_levels(serial, td)) << "root " << root;
+    EXPECT_EQ(serial.reached, td.reached);
+  }
+}
+
+TEST(BottomUp, MatchesSerialLevelsOnRmat) {
+  graph::RmatParams p;
+  p.scale = 10;
+  const CsrGraph g = build_csr(graph::generate_rmat(p));
+  const auto roots = graph::sample_roots(g, 4, 3);
+  for (vid_t root : roots) {
+    const BfsResult serial = run_serial(g, root);
+    const BfsResult bu = run_bottom_up(g, root);
+    EXPECT_TRUE(same_levels(serial, bu)) << "root " << root;
+  }
+}
+
+TEST(Drivers, LogRecordsFrontierShape) {
+  // The Fig. 1/2 property: |V|cq over levels rises then falls on a
+  // small-world graph.
+  graph::RmatParams p;
+  p.scale = 12;
+  const CsrGraph g = build_csr(graph::generate_rmat(p));
+  const auto roots = graph::sample_roots(g, 1, 3);
+  TraversalLog log;
+  run_top_down(g, roots[0], &log);
+  ASSERT_GE(log.levels.size(), 3u);
+  EXPECT_EQ(log.levels.front().frontier_vertices, 1);
+  vid_t peak = 0;
+  std::size_t peak_at = 0;
+  for (std::size_t i = 0; i < log.levels.size(); ++i) {
+    if (log.levels[i].frontier_vertices > peak) {
+      peak = log.levels[i].frontier_vertices;
+      peak_at = i;
+    }
+  }
+  EXPECT_GT(peak_at, 0u);                       // not at the start
+  EXPECT_LT(peak_at, log.levels.size() - 1);    // not at the end
+  EXPECT_GT(peak, g.num_vertices() / 10);       // a real bulge
+}
+
+TEST(Drivers, BottomUpLogHasScanCounts) {
+  const CsrGraph g = build_csr(graph::make_binary_tree(255));
+  TraversalLog log;
+  run_bottom_up(g, 0, &log);
+  ASSERT_FALSE(log.levels.empty());
+  // Every level but the last scans edges; the last expansion may find
+  // all vertices already visited and scan nothing.
+  for (std::size_t i = 0; i + 1 < log.levels.size(); ++i) {
+    EXPECT_GT(log.levels[i].bottom_up_scanned, 0) << "level " << i;
+  }
+}
+
+TEST(Drivers, SingleVertexGraph) {
+  const CsrGraph g = build_csr(graph::make_path(1));
+  const BfsResult r = run_top_down(g, 0);
+  EXPECT_EQ(r.reached, 1);
+  EXPECT_EQ(r.parent[0], 0);
+  EXPECT_EQ(r.edges_in_component, 0);
+}
+
+TEST(Drivers, CompleteGraphIsTwoLevels) {
+  const CsrGraph g = build_csr(graph::make_complete(20));
+  TraversalLog log;
+  const BfsResult r = run_top_down(g, 5, &log);
+  EXPECT_EQ(r.reached, 20);
+  EXPECT_EQ(log.levels.size(), 2u);  // root level + the rest (+ empty check)
+  EXPECT_EQ(r.edges_in_component, 190);
+}
+
+}  // namespace
+}  // namespace bfsx::bfs

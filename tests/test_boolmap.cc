@@ -1,0 +1,84 @@
+// Unit tests for the bool-map frontier representation.
+#include "bfs/boolmap.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/drivers.h"
+#include "bfs/validate.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::bfs {
+namespace {
+
+using graph::build_csr;
+
+TEST(BoolMap, BasicSetTestCount) {
+  BoolMap m(100);
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.count(), 0u);
+  m.set(3);
+  m.set(99);
+  EXPECT_TRUE(m.test(3));
+  EXPECT_FALSE(m.test(4));
+  EXPECT_EQ(m.count(), 2u);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(BoolMap, SwapExchangesContents) {
+  BoolMap a(4);
+  BoolMap b(8);
+  a.set(1);
+  b.set(7);
+  a.swap(b);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_TRUE(a.test(7));
+  EXPECT_TRUE(b.test(1));
+}
+
+TEST(BoolMapBfs, MatchesBitmapBottomUpExactly) {
+  graph::RmatParams p;
+  p.scale = 11;
+  const CsrGraph g = build_csr(graph::generate_rmat(p));
+  for (vid_t root : graph::sample_roots(g, 3, 6)) {
+    TraversalLog bool_log;
+    TraversalLog bit_log;
+    const BfsResult a = run_bottom_up_boolmap(g, root, &bool_log);
+    const BfsResult b = run_bottom_up(g, root, &bit_log);
+    EXPECT_TRUE(same_levels(a, b)) << "root " << root;
+    EXPECT_TRUE(validate_bfs(g, root, a).ok);
+    EXPECT_EQ(a.reached, b.reached);
+    EXPECT_EQ(a.edges_in_component, b.edges_in_component);
+    // Work counters agree level by level: the representation changes
+    // memory layout, never the algorithm.
+    ASSERT_EQ(bool_log.levels.size(), bit_log.levels.size());
+    for (std::size_t i = 0; i < bool_log.levels.size(); ++i) {
+      EXPECT_EQ(bool_log.levels[i].frontier_vertices,
+                bit_log.levels[i].frontier_vertices);
+      EXPECT_EQ(bool_log.levels[i].frontier_edges,
+                bit_log.levels[i].frontier_edges);
+      EXPECT_EQ(bool_log.levels[i].bottom_up_scanned,
+                bit_log.levels[i].bottom_up_scanned);
+    }
+  }
+}
+
+TEST(BoolMapBfs, HandlesDisconnectedGraphs) {
+  const CsrGraph g = build_csr(graph::make_two_cliques(12));
+  const BfsResult r = run_bottom_up_boolmap(g, 1);
+  EXPECT_EQ(r.reached, 6);
+  EXPECT_TRUE(validate_bfs(g, 1, r).ok);
+}
+
+TEST(BoolMapBfs, SingleVertex) {
+  const CsrGraph g = build_csr(graph::make_path(1));
+  const BfsResult r = run_bottom_up_boolmap(g, 0);
+  EXPECT_EQ(r.reached, 1);
+  EXPECT_EQ(r.parent[0], 0);
+}
+
+}  // namespace
+}  // namespace bfsx::bfs

@@ -1,0 +1,152 @@
+// Unit tests for CSR storage and edge-list -> CSR construction.
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace bfsx::graph {
+namespace {
+
+EdgeList triangle_plus_tail() {
+  // 0-1, 1-2, 2-0, 2-3 (undirected intent)
+  EdgeList el;
+  el.num_vertices = 4;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 0);
+  el.add(2, 3);
+  return el;
+}
+
+TEST(Builder, SymmetrizedCountsBothDirections) {
+  const CsrGraph g = build_csr(triangle_plus_tail());
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 8);  // 4 undirected edges -> 8 directed
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Builder, NeighborsAreSortedAndComplete) {
+  const CsrGraph g = build_csr(triangle_plus_tail());
+  const std::vector<vid_t> n2(g.out_neighbors(2).begin(),
+                              g.out_neighbors(2).end());
+  EXPECT_EQ(n2, (std::vector<vid_t>{0, 1, 3}));
+  const std::vector<vid_t> n3(g.out_neighbors(3).begin(),
+                              g.out_neighbors(3).end());
+  EXPECT_EQ(n3, (std::vector<vid_t>{2}));
+}
+
+TEST(Builder, HasEdgeBothDirectionsAfterSymmetrize) {
+  const CsrGraph g = build_csr(triangle_plus_tail());
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(3, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Builder, RemovesSelfLoops) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.add(0, 0);
+  el.add(1, 1);
+  el.add(0, 1);
+  const CsrGraph g = build_csr(std::move(el));
+  EXPECT_EQ(g.num_edges(), 2);  // just 0<->1
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Builder, KeepsSelfLoopsWhenAsked) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.add(0, 0);
+  el.add(0, 1);
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  const CsrGraph g = build_csr(std::move(el), opts);
+  EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(Builder, DeduplicatesParallelEdges) {
+  EdgeList el;
+  el.num_vertices = 2;
+  for (int i = 0; i < 5; ++i) el.add(0, 1);
+  const CsrGraph g = build_csr(std::move(el));
+  EXPECT_EQ(g.num_edges(), 2);  // one each way
+  EXPECT_EQ(g.out_degree(0), 1);
+}
+
+TEST(Builder, DuplicatesSurviveWhenDedupOff) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.add(0, 1);
+  el.add(0, 1);
+  BuildOptions opts;
+  opts.deduplicate = false;
+  const CsrGraph g = build_csr(std::move(el), opts);
+  EXPECT_EQ(g.out_degree(0), 2);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoints) {
+  EdgeList el;
+  el.num_vertices = 2;
+  el.add(0, 5);
+  EXPECT_THROW(build_csr(std::move(el)), std::out_of_range);
+}
+
+TEST(Builder, EmptyGraphBuilds) {
+  EdgeList el;
+  el.num_vertices = 3;
+  const CsrGraph g = build_csr(std::move(el));
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.out_degree(1), 0);
+}
+
+TEST(Builder, DirectedKeepsDistinctInOutAdjacency) {
+  EdgeList el;
+  el.num_vertices = 3;
+  el.add(0, 1);
+  el.add(1, 2);
+  const CsrGraph g = build_directed_csr(std::move(el));
+  EXPECT_FALSE(g.is_symmetric());
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_EQ(g.in_degree(1), 1);
+  EXPECT_EQ(g.in_degree(2), 1);
+  const auto in2 = g.in_neighbors(2);
+  ASSERT_EQ(in2.size(), 1u);
+  EXPECT_EQ(in2[0], 1);
+}
+
+TEST(Builder, InDegreeSumEqualsOutDegreeSumDirected) {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.add(0, 1);
+  el.add(0, 2);
+  el.add(3, 4);
+  el.add(4, 0);
+  const CsrGraph g = build_directed_csr(std::move(el));
+  eid_t in_sum = 0;
+  eid_t out_sum = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    in_sum += g.in_degree(v);
+    out_sum += g.out_degree(v);
+  }
+  EXPECT_EQ(in_sum, out_sum);
+  EXPECT_EQ(out_sum, 4);
+}
+
+TEST(Csr, MemoryFootprintIsPositiveAndScales) {
+  const CsrGraph small = build_csr(triangle_plus_tail());
+  EdgeList big_el;
+  big_el.num_vertices = 100;
+  for (vid_t v = 0; v + 1 < 100; ++v) big_el.add(v, v + 1);
+  const CsrGraph big = build_csr(std::move(big_el));
+  EXPECT_GT(small.memory_footprint_bytes(), 0u);
+  EXPECT_GT(big.memory_footprint_bytes(), small.memory_footprint_bytes());
+}
+
+}  // namespace
+}  // namespace bfsx::graph

@@ -1,0 +1,104 @@
+// Directed-graph BFS coverage: distinct in/out adjacency exercises the
+// CSR dual-array path and the bottom-up kernel's reliance on
+// *in*-neighbours.
+#include <gtest/gtest.h>
+
+#include "bfs/drivers.h"
+#include "bfs/spmv.h"
+#include "bfs/validate.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+
+namespace bfsx::bfs {
+namespace {
+
+using graph::build_directed_csr;
+using graph::EdgeList;
+
+CsrGraph directed_chain_with_shortcut() {
+  // 0->1->2->3->4 plus shortcut 0->3; distances: 0,1,2,1,2.
+  EdgeList el;
+  el.num_vertices = 5;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  el.add(3, 4);
+  el.add(0, 3);
+  return build_directed_csr(std::move(el));
+}
+
+TEST(DirectedBfs, SerialDistancesRespectDirection) {
+  const CsrGraph g = directed_chain_with_shortcut();
+  const BfsResult r = run_serial(g, 0);
+  EXPECT_EQ(r.level, (std::vector<std::int32_t>{0, 1, 2, 1, 2}));
+  EXPECT_EQ(r.reached, 5);
+  // Directed graphs count each stored edge once.
+  EXPECT_EQ(r.edges_in_component, 5);
+}
+
+TEST(DirectedBfs, ReverseDirectionIsUnreachable) {
+  const CsrGraph g = directed_chain_with_shortcut();
+  const BfsResult r = run_serial(g, 4);
+  EXPECT_EQ(r.reached, 1);  // sink vertex reaches only itself
+}
+
+TEST(DirectedBfs, AllKernelsAgreeOnDirectedGraphs) {
+  // Random directed graph: top-down (out-edges), bottom-up (in-edges)
+  // and SpMV must agree with the serial oracle.
+  const EdgeList el = graph::make_erdos_renyi(400, 2'000, 13);
+  const CsrGraph g = build_directed_csr(EdgeList(el));
+  for (vid_t root : {vid_t{0}, vid_t{37}, vid_t{399}}) {
+    if (g.out_degree(root) == 0) continue;
+    const BfsResult serial = run_serial(g, root);
+    EXPECT_TRUE(same_levels(serial, run_top_down(g, root)));
+    EXPECT_TRUE(same_levels(serial, run_bottom_up(g, root)));
+    EXPECT_TRUE(same_levels(serial, run_spmv_bfs(g, root)));
+  }
+}
+
+TEST(DirectedBfs, ValidatorAcceptsDirectedResults) {
+  const CsrGraph g = directed_chain_with_shortcut();
+  const BfsResult r = run_top_down(g, 0);
+  const ValidationReport rep = validate_bfs(g, 0, r);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
+TEST(DirectedBfs, ValidatorRejectsFabricatedReverseTreeEdge) {
+  const CsrGraph g = directed_chain_with_shortcut();
+  BfsResult r = run_serial(g, 0);
+  // (4 -> 3) is not a directed edge; claiming 4 as 3's parent is wrong
+  // even though the undirected view has the edge.
+  r.parent[3] = 4;
+  r.level[3] = r.level[4] + 1;
+  EXPECT_FALSE(validate_bfs(g, 0, r).ok);
+}
+
+TEST(DirectedBfs, BottomUpUsesInNeighboursNotOut) {
+  // Star pointing outward: 0 -> {1..4}. From 0, one bottom-up level
+  // must find all spokes via their in-lists.
+  EdgeList el;
+  el.num_vertices = 5;
+  for (vid_t v = 1; v < 5; ++v) el.add(0, v);
+  const CsrGraph g = build_directed_csr(std::move(el));
+  const BfsResult r = run_bottom_up(g, 0);
+  EXPECT_EQ(r.reached, 5);
+  for (vid_t v = 1; v < 5; ++v) EXPECT_EQ(r.parent[static_cast<std::size_t>(v)], 0);
+}
+
+TEST(DirectedBfs, DagLevelsAreLongestOfShortestPaths) {
+  // Diamond DAG: 0->{1,2}, {1,2}->3, 3->4.
+  EdgeList el;
+  el.num_vertices = 5;
+  el.add(0, 1);
+  el.add(0, 2);
+  el.add(1, 3);
+  el.add(2, 3);
+  el.add(3, 4);
+  const CsrGraph g = build_directed_csr(std::move(el));
+  const BfsResult r = run_serial(g, 0);
+  EXPECT_EQ(r.level, (std::vector<std::int32_t>{0, 1, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace bfsx::bfs

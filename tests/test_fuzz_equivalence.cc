@@ -1,0 +1,122 @@
+// Fuzz-style differential tests: randomised inputs, multiple
+// independent implementations, exact agreement required.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "bfs/boolmap.h"
+#include "bfs/drivers.h"
+#include "bfs/spmv.h"
+#include "bfs/validate.h"
+#include "graph/bitmap.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/prng.h"
+
+namespace bfsx {
+namespace {
+
+using graph::Bitmap;
+using graph::build_csr;
+using graph::CsrGraph;
+using graph::EdgeList;
+using graph::vid_t;
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The CSR builder against a naive adjacency-set reference.
+TEST_P(FuzzSeed, BuilderMatchesAdjacencySetReference) {
+  graph::Xoshiro256ss rng(GetParam());
+  const vid_t n = 2 + static_cast<vid_t>(rng.next_bounded(60));
+  const std::size_t m = rng.next_bounded(300);
+  EdgeList el;
+  el.num_vertices = n;
+  std::map<vid_t, std::set<vid_t>> ref;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n)));
+    el.add(u, v);
+    if (u != v) {  // builder drops self loops by default
+      ref[u].insert(v);
+      ref[v].insert(u);
+    }
+  }
+  const CsrGraph g = build_csr(std::move(el));
+  ASSERT_EQ(g.num_vertices(), n);
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    const std::set<vid_t> got(nbrs.begin(), nbrs.end());
+    const auto it = ref.find(v);
+    const std::set<vid_t> want = it == ref.end() ? std::set<vid_t>{} : it->second;
+    EXPECT_EQ(got, want) << "vertex " << v << " seed " << GetParam();
+  }
+}
+
+// Bitmap vs std::set as a bit-level reference, including atomic ops.
+TEST_P(FuzzSeed, BitmapMatchesSetReference) {
+  graph::Xoshiro256ss rng(GetParam() * 31 + 7);
+  const std::size_t size = 1 + rng.next_bounded(500);
+  Bitmap bm(size);
+  std::set<std::size_t> ref;
+  for (int op = 0; op < 400; ++op) {
+    const std::size_t pos = rng.next_bounded(size);
+    switch (rng.next_bounded(4)) {
+      case 0:
+        bm.set(pos);
+        ref.insert(pos);
+        break;
+      case 1:
+        bm.set_atomic(pos);
+        ref.insert(pos);
+        break;
+      case 2:
+        bm.clear(pos);
+        ref.erase(pos);
+        break;
+      default: {
+        const bool claimed = bm.test_and_set_atomic(pos);
+        EXPECT_EQ(claimed, ref.find(pos) == ref.end());
+        ref.insert(pos);
+        break;
+      }
+    }
+    EXPECT_EQ(bm.test(pos), ref.count(pos) == 1);
+  }
+  EXPECT_EQ(bm.count(), ref.size());
+  std::set<std::size_t> iterated;
+  bm.for_each_set([&iterated](vid_t v) {
+    iterated.insert(static_cast<std::size_t>(v));
+  });
+  EXPECT_EQ(iterated, ref);
+}
+
+// Five BFS engines must agree on random graphs, random roots.
+TEST_P(FuzzSeed, FiveEnginesAgreeOnRandomGraphs) {
+  graph::Xoshiro256ss rng(GetParam() * 97 + 13);
+  const vid_t n = 10 + static_cast<vid_t>(rng.next_bounded(500));
+  const auto m = static_cast<graph::eid_t>(rng.next_bounded(3000));
+  const CsrGraph g =
+      build_csr(graph::make_erdos_renyi(n, m, GetParam() + 1000));
+  // Find any non-isolated root (skip the graph if none).
+  vid_t root = graph::kNoVertex;
+  for (vid_t v = 0; v < n; ++v) {
+    if (g.out_degree(v) > 0) {
+      root = v;
+      break;
+    }
+  }
+  if (root == graph::kNoVertex) GTEST_SKIP() << "all-isolated graph";
+
+  const bfs::BfsResult serial = bfs::run_serial(g, root);
+  EXPECT_TRUE(bfs::same_levels(serial, bfs::run_top_down(g, root)));
+  EXPECT_TRUE(bfs::same_levels(serial, bfs::run_bottom_up(g, root)));
+  EXPECT_TRUE(bfs::same_levels(serial, bfs::run_bottom_up_boolmap(g, root)));
+  EXPECT_TRUE(bfs::same_levels(serial, bfs::run_spmv_bfs(g, root)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace bfsx

@@ -1,0 +1,101 @@
+// Unit tests for the deterministic synthetic generators.
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace bfsx::graph {
+namespace {
+
+TEST(Generators, PathHasChainDegrees) {
+  const CsrGraph g = build_csr(make_path(5));
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 8);  // 4 undirected edges
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.out_degree(2), 2);
+  EXPECT_EQ(g.out_degree(4), 1);
+}
+
+TEST(Generators, SingleVertexPath) {
+  const CsrGraph g = build_csr(make_path(1));
+  EXPECT_EQ(g.num_vertices(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Generators, CycleIsTwoRegular) {
+  const CsrGraph g = build_csr(make_cycle(6));
+  for (vid_t v = 0; v < 6; ++v) EXPECT_EQ(g.out_degree(v), 2);
+}
+
+TEST(Generators, StarHubDegree) {
+  const CsrGraph g = build_csr(make_star(10));
+  EXPECT_EQ(g.out_degree(0), 9);
+  for (vid_t v = 1; v < 10; ++v) EXPECT_EQ(g.out_degree(v), 1);
+}
+
+TEST(Generators, CompleteGraphDegrees) {
+  const CsrGraph g = build_csr(make_complete(7));
+  for (vid_t v = 0; v < 7; ++v) EXPECT_EQ(g.out_degree(v), 6);
+  EXPECT_EQ(g.num_edges(), 42);
+}
+
+TEST(Generators, GridCornerAndCenterDegrees) {
+  const CsrGraph g = build_csr(make_grid(3, 4));
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.out_degree(0), 2);       // corner
+  EXPECT_EQ(g.out_degree(5), 4);       // interior (row 1, col 1)
+  EXPECT_EQ(g.out_degree(3), 2);       // corner (row 0, col 3)
+}
+
+TEST(Generators, BinaryTreeParentStructure) {
+  const CsrGraph g = build_csr(make_binary_tree(7));
+  EXPECT_EQ(g.num_edges(), 12);  // 6 undirected edges
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.out_degree(1), 3);  // parent + two children
+  EXPECT_EQ(g.out_degree(6), 1);  // leaf
+}
+
+TEST(Generators, TwoCliquesAreDisconnected) {
+  const CsrGraph g = build_csr(make_two_cliques(8));
+  for (vid_t u = 0; u < 4; ++u) {
+    for (vid_t v = 4; v < 8; ++v) EXPECT_FALSE(g.has_edge(u, v));
+  }
+  EXPECT_EQ(g.out_degree(0), 3);
+}
+
+TEST(Generators, TwoCliquesRejectsOdd) {
+  EXPECT_THROW(make_two_cliques(7), std::invalid_argument);
+}
+
+TEST(Generators, ErdosRenyiIsDeterministic) {
+  const EdgeList a = make_erdos_renyi(100, 500, 9);
+  const EdgeList b = make_erdos_renyi(100, 500, 9);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.num_edges(), 500);
+}
+
+TEST(Generators, ErdosRenyiSeedsDiffer) {
+  const EdgeList a = make_erdos_renyi(100, 500, 1);
+  const EdgeList b = make_erdos_renyi(100, 500, 2);
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(Generators, LollipopShape) {
+  const CsrGraph g = build_csr(make_lollipop(5, 3));
+  EXPECT_EQ(g.num_vertices(), 8);
+  EXPECT_EQ(g.out_degree(0), 4);   // clique interior
+  EXPECT_EQ(g.out_degree(4), 5);   // attachment vertex: clique + tail
+  EXPECT_EQ(g.out_degree(7), 1);   // tail end
+}
+
+TEST(Generators, RejectNonPositiveSizes) {
+  EXPECT_THROW(make_path(0), std::invalid_argument);
+  EXPECT_THROW(make_star(-1), std::invalid_argument);
+  EXPECT_THROW(make_grid(0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsx::graph

@@ -1,0 +1,100 @@
+// Unit tests for edge-list serialisation (text and binary).
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "graph/rmat.h"
+
+namespace bfsx::graph {
+namespace {
+
+TEST(GraphIoText, RoundTripsExactly) {
+  const EdgeList el = make_erdos_renyi(50, 200, 3);
+  std::stringstream ss;
+  write_edge_list_text(ss, el);
+  const EdgeList back = read_edge_list_text(ss);
+  EXPECT_EQ(back.num_vertices, el.num_vertices);
+  EXPECT_EQ(back.edges, el.edges);
+}
+
+TEST(GraphIoText, HeaderFixesIsolatedTailVertices) {
+  // Vertices 3..9 have no edges; only the header preserves them.
+  EdgeList el;
+  el.num_vertices = 10;
+  el.add(0, 1);
+  el.add(1, 2);
+  std::stringstream ss;
+  write_edge_list_text(ss, el);
+  const EdgeList back = read_edge_list_text(ss);
+  EXPECT_EQ(back.num_vertices, 10);
+}
+
+TEST(GraphIoText, InfersVertexCountWithoutHeader) {
+  std::stringstream ss("0 1\n1 7\n");
+  const EdgeList el = read_edge_list_text(ss);
+  EXPECT_EQ(el.num_vertices, 8);
+  EXPECT_EQ(el.num_edges(), 2);
+}
+
+TEST(GraphIoText, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\n0 1\n# another\n2 3\n");
+  const EdgeList el = read_edge_list_text(ss);
+  EXPECT_EQ(el.num_edges(), 2);
+}
+
+TEST(GraphIoText, RejectsMalformedLine) {
+  std::stringstream ss("0 1\nnot an edge\n");
+  EXPECT_THROW(read_edge_list_text(ss), std::runtime_error);
+}
+
+TEST(GraphIoText, RejectsEdgeBeyondDeclaredCount) {
+  std::stringstream ss("# vertices: 2\n0 5\n");
+  EXPECT_THROW(read_edge_list_text(ss), std::runtime_error);
+}
+
+TEST(GraphIoBinary, RoundTripsExactly) {
+  RmatParams p;
+  p.scale = 10;
+  const EdgeList el = generate_rmat(p);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_edge_list_binary(ss, el);
+  const EdgeList back = read_edge_list_binary(ss);
+  EXPECT_EQ(back.num_vertices, el.num_vertices);
+  EXPECT_EQ(back.edges, el.edges);
+}
+
+TEST(GraphIoBinary, RejectsBadMagic) {
+  std::stringstream ss("GARBAGE!and more");
+  EXPECT_THROW(read_edge_list_binary(ss), std::runtime_error);
+}
+
+TEST(GraphIoBinary, RejectsTruncatedPayload) {
+  const EdgeList el = make_erdos_renyi(20, 100, 1);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  write_edge_list_binary(full, el);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() - 8),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(read_edge_list_binary(cut), std::runtime_error);
+}
+
+TEST(GraphIoFile, ExtensionSelectsFormat) {
+  const EdgeList el = make_erdos_renyi(30, 90, 7);
+  const std::string text_path = ::testing::TempDir() + "/bfsx_io_test.el";
+  const std::string bin_path = ::testing::TempDir() + "/bfsx_io_test.bel";
+  save_edge_list(text_path, el);
+  save_edge_list(bin_path, el);
+  EXPECT_EQ(load_edge_list(text_path).edges, el.edges);
+  EXPECT_EQ(load_edge_list(bin_path).edges, el.edges);
+}
+
+TEST(GraphIoFile, ThrowsOnMissingFile) {
+  EXPECT_THROW(load_edge_list("/nonexistent/nowhere.el"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bfsx::graph

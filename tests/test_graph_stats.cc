@@ -1,0 +1,90 @@
+// Unit tests for graph statistics and root sampling.
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/rmat.h"
+
+namespace bfsx::graph {
+namespace {
+
+TEST(DegreeStats, StarGraph) {
+  const CsrGraph g = build_csr(make_star(10));
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 9);
+  EXPECT_DOUBLE_EQ(s.mean, 18.0 / 10.0);
+  EXPECT_EQ(s.isolated, 0);
+}
+
+TEST(DegreeStats, CountsIsolatedVertices) {
+  EdgeList el;
+  el.num_vertices = 5;
+  el.add(0, 1);
+  const CsrGraph g = build_csr(std::move(el));
+  EXPECT_EQ(compute_degree_stats(g).isolated, 3);
+}
+
+TEST(DegreeHistogram, BucketsArePlausible) {
+  const CsrGraph g = build_csr(make_star(17));  // hub degree 16
+  const auto hist = degree_histogram_log2(g);
+  // 16 spokes of degree 1 in bucket 1; the hub (degree 16) in bucket 5.
+  ASSERT_GE(hist.size(), 6u);
+  EXPECT_EQ(hist[1], 16);
+  EXPECT_EQ(hist[5], 1);
+}
+
+TEST(Components, TwoCliques) {
+  const CsrGraph g = build_csr(make_two_cliques(10));
+  const ComponentStats cs = compute_components(g);
+  EXPECT_EQ(cs.num_components, 2);
+  EXPECT_EQ(cs.largest_size, 5);
+}
+
+TEST(Components, ConnectedPath) {
+  const CsrGraph g = build_csr(make_path(20));
+  const ComponentStats cs = compute_components(g);
+  EXPECT_EQ(cs.num_components, 1);
+  EXPECT_EQ(cs.largest_size, 20);
+  EXPECT_EQ(cs.largest_representative, 0);
+}
+
+TEST(Components, IsolatedVerticesAreSingletons) {
+  EdgeList el;
+  el.num_vertices = 4;
+  el.add(0, 1);
+  const CsrGraph g = build_csr(std::move(el));
+  EXPECT_EQ(compute_components(g).num_components, 3);
+}
+
+TEST(SampleRoots, AllHaveEdgesAndAreDeterministic) {
+  RmatParams p;
+  p.scale = 10;
+  const CsrGraph g = build_csr(generate_rmat(p));
+  const auto roots1 = sample_roots(g, 16, 5);
+  const auto roots2 = sample_roots(g, 16, 5);
+  EXPECT_EQ(roots1, roots2);
+  EXPECT_EQ(roots1.size(), 16u);
+  for (vid_t r : roots1) EXPECT_GT(g.out_degree(r), 0);
+}
+
+TEST(SampleRoots, ThrowsWhenNoEligibleVertices) {
+  EdgeList el;
+  el.num_vertices = 8;  // all isolated
+  const CsrGraph g = build_csr(std::move(el));
+  EXPECT_THROW(sample_roots(g, 4, 1), std::runtime_error);
+}
+
+TEST(Summarize, MentionsCounts) {
+  const CsrGraph g = build_csr(make_path(3));
+  const std::string s = summarize(g);
+  EXPECT_NE(s.find("|V|=3"), std::string::npos);
+  EXPECT_NE(s.find("|E|=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfsx::graph

@@ -1,0 +1,68 @@
+// Unit tests for the M/N switching rule (paper Fig. 4).
+#include "core/hybrid_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bfsx::core {
+namespace {
+
+using bfs::Direction;
+
+constexpr graph::eid_t kE = 1'000'000;  // |E|
+constexpr graph::vid_t kV = 100'000;    // |V|
+
+TEST(HybridPolicy, SmallFrontierGoesTopDown) {
+  const HybridPolicy p{10.0, 10.0};
+  EXPECT_EQ(p.decide(50'000, 5'000, kE, kV), Direction::kTopDown);
+}
+
+TEST(HybridPolicy, LargeEdgeFrontierGoesBottomUp) {
+  const HybridPolicy p{10.0, 10.0};
+  // |E|cq = 200k >= |E|/M = 100k even though |V|cq is small.
+  EXPECT_EQ(p.decide(200'000, 5'000, kE, kV), Direction::kBottomUp);
+}
+
+TEST(HybridPolicy, LargeVertexFrontierGoesBottomUp) {
+  const HybridPolicy p{10.0, 10.0};
+  // |V|cq = 20k >= |V|/N = 10k even though |E|cq is small.
+  EXPECT_EQ(p.decide(50'000, 20'000, kE, kV), Direction::kBottomUp);
+}
+
+TEST(HybridPolicy, ThresholdsAreStrict) {
+  const HybridPolicy p{10.0, 10.0};
+  // Exactly |E|/M is NOT less than |E|/M -> bottom-up (Fig. 4 uses >=).
+  EXPECT_EQ(p.decide(kE / 10, 1, kE, kV), Direction::kBottomUp);
+  EXPECT_EQ(p.decide(kE / 10 - 1, kV / 10 - 1, kE, kV), Direction::kTopDown);
+}
+
+TEST(HybridPolicy, LargerMSwitchesEarlier) {
+  // The same frontier flips to bottom-up as M grows.
+  const graph::eid_t e_cq = 50'000;
+  EXPECT_EQ((HybridPolicy{10, 1}).decide(e_cq, 1, kE, kV),
+            Direction::kTopDown);
+  EXPECT_EQ((HybridPolicy{30, 1}).decide(e_cq, 1, kE, kV),
+            Direction::kBottomUp);
+}
+
+TEST(HybridPolicy, AlwaysHelpersBehave) {
+  // Mid-traversal frontiers are always strictly smaller than the graph.
+  EXPECT_EQ(always_top_down().decide(kE / 2, kV / 2, kE, kV),
+            Direction::kTopDown);
+  EXPECT_EQ(always_bottom_up().decide(1, 1, kE, kV), Direction::kBottomUp);
+}
+
+TEST(HybridPolicy, ValidateRejectsKnobsBelowOne) {
+  EXPECT_THROW((HybridPolicy{0.5, 10.0}.validate()), std::invalid_argument);
+  EXPECT_THROW((HybridPolicy{10.0, 0.0}.validate()), std::invalid_argument);
+  EXPECT_NO_THROW((HybridPolicy{1.0, 1.0}.validate()));
+}
+
+TEST(HybridPolicy, EmptyFrontierIsTopDown) {
+  const HybridPolicy p{10.0, 10.0};
+  EXPECT_EQ(p.decide(0, 0, kE, kV), Direction::kTopDown);
+}
+
+}  // namespace
+}  // namespace bfsx::core

@@ -1,0 +1,132 @@
+// Unit and consistency tests for LevelTrace and policy replay — the
+// correctness core of the exhaustive-search oracle.
+#include "core/level_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_bfs.h"
+#include "core/cross_arch_bfs.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::core {
+namespace {
+
+using graph::build_csr;
+
+graph::CsrGraph rmat_graph(int scale = 12) {
+  graph::RmatParams p;
+  p.scale = scale;
+  return build_csr(graph::generate_rmat(p));
+}
+
+TEST(LevelTrace, RecordsExactFrontierShapeOnPath) {
+  const graph::CsrGraph g = build_csr(graph::make_path(5));
+  const LevelTrace t = build_level_trace(g, 0);
+  ASSERT_EQ(t.depth(), 5);  // levels 0..4 expanded (level 4 finds nothing)
+  for (const TraceLevel& lvl : t.levels) {
+    EXPECT_EQ(lvl.frontier_vertices, 1);
+  }
+  EXPECT_EQ(t.levels[0].next_vertices, 1);
+  EXPECT_EQ(t.levels[4].next_vertices, 0);
+}
+
+TEST(LevelTrace, TotalsMatchGraph) {
+  const graph::CsrGraph g = rmat_graph();
+  const auto roots = graph::sample_roots(g, 1, 9);
+  const LevelTrace t = build_level_trace(g, roots[0]);
+  EXPECT_EQ(t.num_vertices, g.num_vertices());
+  EXPECT_EQ(t.num_edges, g.num_edges());
+  EXPECT_GE(t.depth(), 3);
+}
+
+TEST(LevelTrace, NextVerticesChainIntoFrontiers) {
+  const graph::CsrGraph g = rmat_graph();
+  const auto roots = graph::sample_roots(g, 1, 9);
+  const LevelTrace t = build_level_trace(g, roots[0]);
+  for (std::size_t i = 1; i < t.levels.size(); ++i) {
+    EXPECT_EQ(t.levels[i].frontier_vertices, t.levels[i - 1].next_vertices);
+  }
+}
+
+// The heart of the oracle: replaying a policy against the trace must
+// price exactly what executing that policy costs.
+TEST(LevelTrace, ReplaySingleMatchesExecutedCombination) {
+  const graph::CsrGraph g = rmat_graph();
+  const auto roots = graph::sample_roots(g, 2, 9);
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  const sim::Device gpu{sim::make_kepler_gpu()};
+  for (graph::vid_t root : roots) {
+    const LevelTrace t = build_level_trace(g, root);
+    for (const HybridPolicy& p :
+         {HybridPolicy{2, 4}, HybridPolicy{14, 24}, HybridPolicy{100, 50}}) {
+      const double replayed_cpu = replay_single(t, cpu.spec(), p);
+      const CombinationRun run_cpu = run_combination(g, root, cpu, p);
+      EXPECT_NEAR(replayed_cpu, run_cpu.seconds, 1e-12 + 1e-9 * run_cpu.seconds)
+          << "CPU policy M=" << p.m << " N=" << p.n;
+
+      const double replayed_gpu = replay_single(t, gpu.spec(), p);
+      const CombinationRun run_gpu = run_combination(g, root, gpu, p);
+      EXPECT_NEAR(replayed_gpu, run_gpu.seconds, 1e-12 + 1e-9 * run_gpu.seconds);
+    }
+  }
+}
+
+TEST(LevelTrace, ReplayCrossMatchesExecutedCrossArch) {
+  const graph::CsrGraph g = rmat_graph();
+  const auto roots = graph::sample_roots(g, 2, 5);
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  const sim::Device gpu{sim::make_kepler_gpu()};
+  const sim::InterconnectSpec link;
+  for (graph::vid_t root : roots) {
+    const LevelTrace t = build_level_trace(g, root);
+    const HybridPolicy handoff{20, 30};
+    const HybridPolicy inner{5, 200};
+    const double replayed =
+        replay_cross(t, cpu.spec(), gpu.spec(), link, handoff, inner);
+    const CombinationRun run =
+        run_cross_arch(g, root, cpu, gpu, link, handoff, inner);
+    EXPECT_NEAR(replayed, run.seconds, 1e-12 + 1e-9 * run.seconds);
+  }
+}
+
+TEST(LevelTrace, ReplayPureMatchesPureRuns) {
+  const graph::CsrGraph g = rmat_graph();
+  const auto roots = graph::sample_roots(g, 1, 3);
+  const sim::Device mic{sim::make_knights_corner_mic()};
+  const LevelTrace t = build_level_trace(g, roots[0]);
+  const CombinationRun td =
+      run_pure(g, roots[0], mic, bfs::Direction::kTopDown);
+  EXPECT_NEAR(replay_pure(t, mic.spec(), bfs::Direction::kTopDown), td.seconds,
+              1e-12 + 1e-9 * td.seconds);
+  const CombinationRun bu =
+      run_pure(g, roots[0], mic, bfs::Direction::kBottomUp);
+  EXPECT_NEAR(replay_pure(t, mic.spec(), bfs::Direction::kBottomUp),
+              bu.seconds, 1e-12 + 1e-9 * bu.seconds);
+}
+
+TEST(LevelTrace, CrossReplayChargesHandoffOnce) {
+  const graph::CsrGraph g = rmat_graph();
+  const auto roots = graph::sample_roots(g, 1, 3);
+  const LevelTrace t = build_level_trace(g, roots[0]);
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  sim::InterconnectSpec slow;
+  slow.latency_us = 1e6;  // one full second per transfer
+  sim::InterconnectSpec fast;
+  fast.latency_us = 0;
+  fast.bandwidth_gbps = 1e9;
+  const HybridPolicy handoff{20, 30};
+  const HybridPolicy inner{5, 200};
+  const double with_slow = replay_cross(t, cpu, gpu, slow, handoff, inner);
+  const double with_fast = replay_cross(t, cpu, gpu, fast, handoff, inner);
+  // Exactly one handoff: the difference is one transfer's cost.
+  EXPECT_NEAR(with_slow - with_fast,
+              sim::transfer_seconds(slow, sim::handoff_bytes(g.num_vertices())),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace bfsx::core

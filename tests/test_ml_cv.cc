@@ -1,0 +1,109 @@
+// Unit tests for k-fold cross-validation and SVR grid search.
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "graph/prng.h"
+#include "ml/linreg.h"
+
+namespace bfsx::ml {
+namespace {
+
+Dataset linear_noise(int n, std::uint64_t seed, double noise) {
+  graph::Xoshiro256ss rng(seed);
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_double() * 4 - 2;
+    d.add({x}, 3 * x + noise * (rng.next_double() - 0.5));
+  }
+  return d;
+}
+
+ModelFactory ridge_factory(double lambda = 1e-6) {
+  return [lambda](const Dataset& train) {
+    auto model =
+        std::make_shared<RidgeModel>(RidgeModel::fit(train, {lambda}));
+    return [model](std::span<const double> x) { return model->predict(x); };
+  };
+}
+
+ModelFactory mean_factory() {
+  return [](const Dataset& train) {
+    double mean = 0;
+    for (double y : train.y) mean += y;
+    mean /= static_cast<double>(train.size());
+    return [mean](std::span<const double>) { return mean; };
+  };
+}
+
+TEST(KFold, GoodModelScoresNearNoiseFloor) {
+  const Dataset d = linear_noise(120, 3, 0.1);
+  const double mse = k_fold_mse(d, ridge_factory(), 5);
+  // Residual noise is uniform(-0.05, 0.05): variance ~ 0.00083.
+  EXPECT_LT(mse, 0.004);
+}
+
+TEST(KFold, RanksModelsCorrectly) {
+  const Dataset d = linear_noise(120, 5, 0.1);
+  EXPECT_LT(k_fold_mse(d, ridge_factory(), 5),
+            k_fold_mse(d, mean_factory(), 5));
+}
+
+TEST(KFold, IsDeterministicUnderSeed) {
+  const Dataset d = linear_noise(60, 9, 0.3);
+  EXPECT_DOUBLE_EQ(k_fold_mse(d, ridge_factory(), 4, 7),
+                   k_fold_mse(d, ridge_factory(), 4, 7));
+}
+
+TEST(KFold, EveryFoldIsEvaluatedExactlyOnce) {
+  // The factory counts training-set sizes: with k folds over n rows,
+  // each fold's test size is n/k (+-1) and train+test = n.
+  const int n = 53;
+  const int k = 5;
+  const Dataset d = linear_noise(n, 2, 0.1);
+  int calls = 0;
+  ModelFactory counting = [&calls, n](const Dataset& train) {
+    ++calls;
+    EXPECT_LT(train.size(), static_cast<std::size_t>(n));
+    EXPECT_GE(train.size(), static_cast<std::size_t>(n - n / 5 - 2));
+    return [](std::span<const double>) { return 0.0; };
+  };
+  (void)k_fold_mse(d, counting, k);
+  EXPECT_EQ(calls, k);
+}
+
+TEST(KFold, RejectsBadK) {
+  const Dataset d = linear_noise(10, 1, 0.1);
+  EXPECT_THROW(k_fold_mse(d, mean_factory(), 1), std::invalid_argument);
+  EXPECT_THROW(k_fold_mse(d, mean_factory(), 11), std::invalid_argument);
+}
+
+TEST(TuneSvr, PicksReasonableHyperparameters) {
+  // y = sin(2x): needs an RBF with adequate gamma and a tight tube.
+  graph::Xoshiro256ss rng(11);
+  Dataset d;
+  for (int i = 0; i < 90; ++i) {
+    const double x = rng.next_double() * 3;
+    d.add({x}, std::sin(2 * x));
+  }
+  const SvrSearchResult result = tune_svr(d, {}, 3);
+  EXPECT_EQ(result.evaluated, 27);  // 3 x 3 x 3 default grid
+  EXPECT_LT(result.best_mse, 0.05);
+  // The widest tube (0.3) cannot be optimal for a clean signal of
+  // amplitude 1 when 0.01 is available.
+  EXPECT_LT(result.best.epsilon, 0.3);
+}
+
+TEST(TuneSvr, RejectsEmptyGrid) {
+  const Dataset d = linear_noise(20, 1, 0.1);
+  SvrGrid grid;
+  grid.c_values.clear();
+  EXPECT_THROW(tune_svr(d, grid), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsx::ml

@@ -1,0 +1,71 @@
+// Unit tests for k-NN regression.
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/prng.h"
+#include "ml/metrics.h"
+
+namespace bfsx::ml {
+namespace {
+
+TEST(Knn, ExactTrainingPointReturnsItsTarget) {
+  Dataset d;
+  d.add({0.0, 0.0}, 1.0);
+  d.add({1.0, 0.0}, 2.0);
+  d.add({0.0, 1.0}, 3.0);
+  const KnnModel m = KnnModel::fit(d, {.k = 2});
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{1.0, 0.0}), 2.0);
+}
+
+TEST(Knn, UniformWeightsAverageNeighbours) {
+  Dataset d;
+  d.add({0.0}, 10.0);
+  d.add({1.0}, 20.0);
+  d.add({100.0}, 1000.0);
+  const KnnModel m = KnnModel::fit(d, {.k = 2, .distance_weighted = false});
+  // Query near 0.5: the two closest targets are 10 and 20.
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{0.4}), 15.0);
+}
+
+TEST(Knn, DistanceWeightingPullsTowardCloserNeighbour) {
+  Dataset d;
+  d.add({0.0}, 0.0);
+  d.add({1.0}, 100.0);
+  const KnnModel m = KnnModel::fit(d, {.k = 2, .distance_weighted = true});
+  const double near_zero = m.predict(std::vector<double>{0.1});
+  EXPECT_LT(near_zero, 50.0);
+  EXPECT_GT(near_zero, 0.0);
+}
+
+TEST(Knn, KLargerThanDatasetClamps) {
+  Dataset d;
+  d.add({0.0}, 1.0);
+  d.add({1.0}, 3.0);
+  const KnnModel m = KnnModel::fit(d, {.k = 10, .distance_weighted = false});
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{0.5}), 2.0);
+}
+
+TEST(Knn, FitsSmoothFunctionReasonably) {
+  graph::Xoshiro256ss rng(5);
+  Dataset train;
+  Dataset test;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.next_double() * 6;
+    (i < 300 ? train : test).add({x}, x * x);
+  }
+  const KnnModel m = KnnModel::fit(train, {.k = 3});
+  EXPECT_GT(r_squared(test.y, m.predict_all(test)), 0.98);
+}
+
+TEST(Knn, RejectsBadParams) {
+  Dataset d;
+  d.add({1.0}, 1.0);
+  EXPECT_THROW(KnnModel::fit(d, {.k = 0}), std::invalid_argument);
+  EXPECT_THROW(KnnModel::fit(Dataset{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsx::ml

@@ -1,0 +1,93 @@
+// Unit tests for the SPD solver and ridge regression.
+#include "ml/linreg.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/prng.h"
+#include "ml/metrics.h"
+
+namespace bfsx::ml {
+namespace {
+
+TEST(SolveSpd, IdentitySystem) {
+  const auto x = solve_spd({1, 0, 0, 1}, {3, -4}, 2);
+  EXPECT_DOUBLE_EQ(x[0], 3);
+  EXPECT_DOUBLE_EQ(x[1], -4);
+}
+
+TEST(SolveSpd, KnownThreeByThree) {
+  // A = [[4,1,0],[1,3,1],[0,1,2]], b = A * [1,2,3]^T = [6,10,8]
+  const auto x = solve_spd({4, 1, 0, 1, 3, 1, 0, 1, 2}, {6, 10, 8}, 3);
+  EXPECT_NEAR(x[0], 1, 1e-12);
+  EXPECT_NEAR(x[1], 2, 1e-12);
+  EXPECT_NEAR(x[2], 3, 1e-12);
+}
+
+TEST(SolveSpd, RejectsIndefiniteMatrix) {
+  EXPECT_THROW(solve_spd({0, 0, 0, 0}, {1, 1}, 2), std::runtime_error);
+  EXPECT_THROW(solve_spd({-1, 0, 0, 1}, {1, 1}, 2), std::runtime_error);
+}
+
+TEST(SolveSpd, RejectsShapeMismatch) {
+  EXPECT_THROW(solve_spd({1, 0, 0, 1}, {1}, 2), std::invalid_argument);
+}
+
+TEST(Ridge, RecoversExactLinearRelation) {
+  // y = 3 x0 - 2 x1 + 7, noiseless.
+  graph::Xoshiro256ss rng(4);
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.next_double() * 10;
+    const double x1 = rng.next_double() * 5;
+    d.add({x0, x1}, 3 * x0 - 2 * x1 + 7);
+  }
+  const RidgeModel m = RidgeModel::fit(d, {.lambda = 1e-8});
+  EXPECT_NEAR(m.predict(std::vector<double>{2.0, 1.0}), 3 * 2 - 2 * 1 + 7, 1e-3);
+  EXPECT_NEAR(m.predict(std::vector<double>{0.0, 0.0}), 7, 1e-3);
+}
+
+TEST(Ridge, HandlesCollinearFeaturesViaRegularisation) {
+  // x1 = 2*x0 exactly: OLS normal equations are singular; ridge still
+  // produces a sane predictor.
+  graph::Xoshiro256ss rng(9);
+  Dataset d;
+  for (int i = 0; i < 40; ++i) {
+    const double x0 = rng.next_double();
+    d.add({x0, 2 * x0}, 5 * x0 + 1);
+  }
+  const RidgeModel m = RidgeModel::fit(d, {.lambda = 1e-3});
+  EXPECT_NEAR(m.predict(std::vector<double>{0.5, 1.0}), 3.5, 0.05);
+}
+
+TEST(Ridge, PredictionsBeatMeanBaseline) {
+  graph::Xoshiro256ss rng(2);
+  Dataset train;
+  Dataset test;
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.next_double() * 4 - 2;
+    const double noise = (rng.next_double() - 0.5) * 0.2;
+    (i < 150 ? train : test).add({x0}, 2 * x0 + noise);
+  }
+  const RidgeModel m = RidgeModel::fit(train);
+  const auto pred = m.predict_all(test);
+  EXPECT_GT(r_squared(test.y, pred), 0.95);
+}
+
+TEST(Ridge, RejectsEmptyAndNegativeLambda) {
+  EXPECT_THROW(RidgeModel::fit(Dataset{}), std::invalid_argument);
+  Dataset d;
+  d.add({1.0}, 1.0);
+  EXPECT_THROW(RidgeModel::fit(d, {.lambda = -1.0}), std::invalid_argument);
+}
+
+TEST(Ridge, KindString) {
+  Dataset d;
+  d.add({1.0}, 1.0);
+  d.add({2.0}, 2.0);
+  EXPECT_STREQ(RidgeModel::fit(d).kind(), "ridge");
+}
+
+}  // namespace
+}  // namespace bfsx::ml

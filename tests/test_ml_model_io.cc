@@ -1,0 +1,87 @@
+// Unit tests for model serialisation (text format round trips).
+#include "ml/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/prng.h"
+
+namespace bfsx::ml {
+namespace {
+
+Dataset quad_data(int n, std::uint64_t seed) {
+  graph::Xoshiro256ss rng(seed);
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_double() * 4 - 2;
+    d.add({x, x * 0.5}, x * x + 1);
+  }
+  return d;
+}
+
+TEST(ModelIo, SvrRoundTripPredictsIdentically) {
+  const SvrModel m = SvrModel::fit(quad_data(80, 3));
+  std::stringstream ss;
+  save_svr(ss, m);
+  const SvrModel back = load_svr(ss);
+  graph::Xoshiro256ss rng(5);
+  for (int i = 0; i < 25; ++i) {
+    const double x = rng.next_double() * 4 - 2;
+    const std::vector<double> q = {x, x * 0.5};
+    EXPECT_DOUBLE_EQ(m.predict(q), back.predict(q));
+  }
+}
+
+TEST(ModelIo, RidgeRoundTripPredictsIdentically) {
+  const RidgeModel m = RidgeModel::fit(quad_data(80, 9));
+  std::stringstream ss;
+  save_ridge(ss, m);
+  const RidgeModel back = load_ridge(ss);
+  for (double x : {-1.5, 0.0, 0.7, 1.9}) {
+    const std::vector<double> q = {x, x * 0.5};
+    EXPECT_DOUBLE_EQ(m.predict(q), back.predict(q));
+  }
+}
+
+TEST(ModelIo, LoadRejectsWrongKind) {
+  const RidgeModel m = RidgeModel::fit(quad_data(20, 1));
+  std::stringstream ss;
+  save_ridge(ss, m);
+  EXPECT_THROW(load_svr(ss), std::runtime_error);
+}
+
+TEST(ModelIo, LoadRejectsGarbageHeader) {
+  std::stringstream ss("not-a-model at all");
+  EXPECT_THROW(load_svr(ss), std::runtime_error);
+}
+
+TEST(ModelIo, LoadRejectsTruncatedBody) {
+  const SvrModel m = SvrModel::fit(quad_data(30, 2));
+  std::stringstream full;
+  save_svr(full, m);
+  const std::string text = full.str();
+  std::stringstream cut(text.substr(0, text.size() / 2));
+  EXPECT_THROW(load_svr(cut), std::runtime_error);
+}
+
+TEST(ModelIo, FileHelpersRoundTrip) {
+  const SvrModel m = SvrModel::fit(quad_data(40, 4));
+  const std::string path = ::testing::TempDir() + "/bfsx_svr_model.txt";
+  save_svr_file(path, m);
+  const SvrModel back = load_svr_file(path);
+  const std::vector<double> q = {0.5, 0.25};
+  EXPECT_DOUBLE_EQ(m.predict(q), back.predict(q));
+}
+
+TEST(ModelIo, FileHelpersThrowOnBadPath) {
+  const SvrModel m = SvrModel::fit(quad_data(20, 6));
+  EXPECT_THROW(save_svr_file("/nonexistent-dir/x.txt", m),
+               std::runtime_error);
+  EXPECT_THROW(load_svr_file("/nonexistent-dir/x.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bfsx::ml

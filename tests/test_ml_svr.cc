@@ -1,0 +1,136 @@
+// Unit and property tests for the from-scratch epsilon-SVR (SMO).
+#include "ml/svr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/prng.h"
+#include "ml/linreg.h"
+#include "ml/metrics.h"
+
+namespace bfsx::ml {
+namespace {
+
+Dataset sine_data(int n, std::uint64_t seed, double noise = 0.0) {
+  graph::Xoshiro256ss rng(seed);
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double x0 = 3 * rng.next_double();
+    const double x1 = 3 * rng.next_double();
+    const double eps = noise * (rng.next_double() - 0.5);
+    d.add({x0, x1}, std::sin(x0) + 0.5 * x1 + eps);
+  }
+  return d;
+}
+
+TEST(Svr, ConvergesOnSmoothTarget) {
+  SvrTrainInfo info;
+  const SvrModel m = SvrModel::fit(sine_data(140, 7), {}, &info);
+  EXPECT_TRUE(info.converged);
+  EXPECT_GT(info.support_vectors, 0);
+  EXPECT_LE(info.support_vectors, 140);
+}
+
+TEST(Svr, RbfFitsNonlinearTargetWell) {
+  const SvrModel m = SvrModel::fit(sine_data(140, 7), {.c = 10, .epsilon = 0.05});
+  const Dataset test = sine_data(200, 99);
+  EXPECT_GT(r_squared(test.y, m.predict_all(test)), 0.98);
+}
+
+TEST(Svr, BeatsLinearModelOnNonlinearTarget) {
+  const Dataset train = sine_data(140, 3);
+  const Dataset test = sine_data(200, 77);
+  const SvrModel svr = SvrModel::fit(train, {.c = 10, .epsilon = 0.05});
+  const RidgeModel ridge = RidgeModel::fit(train);
+  EXPECT_GT(r_squared(test.y, svr.predict_all(test)),
+            r_squared(test.y, ridge.predict_all(test)));
+}
+
+TEST(Svr, LinearKernelRecoversLinearRelation) {
+  graph::Xoshiro256ss rng(21);
+  Dataset d;
+  for (int i = 0; i < 80; ++i) {
+    const double x0 = rng.next_double() * 4;
+    d.add({x0}, 2.5 * x0 - 1.0);
+  }
+  SvrParams p;
+  p.kernel.type = KernelType::kLinear;
+  p.c = 100;
+  p.epsilon = 0.01;
+  const SvrModel m = SvrModel::fit(d, p);
+  EXPECT_NEAR(m.predict(std::vector<double>{2.0}), 4.0, 0.1);
+  EXPECT_STREQ(m.kind(), "svr-linear");
+}
+
+TEST(Svr, EpsilonTubeIgnoresSmallNoise) {
+  // With a wide tube, noisy targets inside the tube produce few SVs.
+  SvrTrainInfo tight_info;
+  SvrTrainInfo wide_info;
+  const Dataset noisy = sine_data(100, 17, /*noise=*/0.1);
+  (void)SvrModel::fit(noisy, {.c = 10, .epsilon = 0.01}, &tight_info);
+  (void)SvrModel::fit(noisy, {.c = 10, .epsilon = 0.5}, &wide_info);
+  EXPECT_LT(wide_info.support_vectors, tight_info.support_vectors);
+}
+
+TEST(Svr, ConstantTargetPredictsConstant) {
+  Dataset d;
+  for (int i = 0; i < 20; ++i) d.add({static_cast<double>(i)}, 42.0);
+  const SvrModel m = SvrModel::fit(d);
+  EXPECT_NEAR(m.predict(std::vector<double>{7.5}), 42.0, 0.5);
+}
+
+TEST(Svr, RejectsBadHyperparameters) {
+  Dataset d;
+  d.add({1.0}, 1.0);
+  EXPECT_THROW(SvrModel::fit(d, {.c = 0}), std::invalid_argument);
+  EXPECT_THROW(SvrModel::fit(d, {.epsilon = -0.1}), std::invalid_argument);
+  EXPECT_THROW(SvrModel::fit(Dataset{}), std::invalid_argument);
+}
+
+TEST(Svr, DefaultGammaIsOneOverFeatures) {
+  const SvrModel m = SvrModel::fit(sine_data(30, 1));
+  EXPECT_DOUBLE_EQ(m.to_parts().kernel.gamma, 0.5);  // 2 features
+}
+
+TEST(Svr, PartsRoundTripPreservesPredictions) {
+  const SvrModel m = SvrModel::fit(sine_data(60, 5));
+  const SvrModel copy = SvrModel::from_parts(m.to_parts());
+  graph::Xoshiro256ss rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x = {3 * rng.next_double(), 3 * rng.next_double()};
+    EXPECT_DOUBLE_EQ(m.predict(x), copy.predict(x));
+  }
+}
+
+// Property sweep: SVR must interpolate y = a*x0 + b within tolerance
+// for a grid of (a, b) slopes — the regression machinery cannot depend
+// on the sign or magnitude of the relationship.
+class SvrSlopeSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SvrSlopeSweep, FitsAffineFamily) {
+  const auto [a, b] = GetParam();
+  graph::Xoshiro256ss rng(31);
+  Dataset train;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.next_double() * 2 - 1;
+    train.add({x}, a * x + b);
+  }
+  const SvrModel m = SvrModel::fit(train, {.c = 50, .epsilon = 0.01});
+  for (double q : {-0.8, -0.2, 0.3, 0.9}) {
+    const double want = a * q + b;
+    const double tolerance = 0.05 * (1.0 + std::abs(a));
+    EXPECT_NEAR(m.predict(std::vector<double>{q}), want, tolerance)
+        << "a=" << a << " b=" << b << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Slopes, SvrSlopeSweep,
+    ::testing::Combine(::testing::Values(-20.0, -1.0, 0.0, 1.0, 20.0),
+                       ::testing::Values(-5.0, 0.0, 5.0)));
+
+}  // namespace
+}  // namespace bfsx::ml

@@ -1,0 +1,149 @@
+// Unit tests for the CART regression tree, plus the model bake-off on
+// the library's real switching-point dataset (the paper's Section II-C
+// "why SVM" argument, measured).
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/trainer.h"
+#include "graph/prng.h"
+#include "ml/knn.h"
+#include "ml/linreg.h"
+#include "ml/metrics.h"
+#include "ml/svr.h"
+
+namespace bfsx::ml {
+namespace {
+
+TEST(Tree, SingleLeafPredictsMean) {
+  Dataset d;
+  d.add({0.0}, 2.0);
+  d.add({1.0}, 4.0);
+  TreeParams p;
+  p.max_depth = 1;
+  p.min_samples_split = 10;  // force a leaf
+  const TreeModel m = TreeModel::fit(d, p);
+  EXPECT_EQ(m.num_nodes(), 1);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{0.5}), 3.0);
+}
+
+TEST(Tree, LearnsAStepFunctionExactly) {
+  Dataset d;
+  for (int i = 0; i < 40; ++i) {
+    const double x = i / 40.0;
+    d.add({x}, x < 0.5 ? 1.0 : 9.0);
+  }
+  const TreeModel m = TreeModel::fit(d);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{0.2}), 1.0);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{0.8}), 9.0);
+  EXPECT_LE(m.depth(), 3);
+}
+
+TEST(Tree, SplitsOnTheInformativeFeature) {
+  // Feature 0 is noise; feature 1 carries the signal.
+  graph::Xoshiro256ss rng(3);
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    const double noise = rng.next_double();
+    const double signal = rng.next_double();
+    d.add({noise, signal}, signal > 0.5 ? 10.0 : -10.0);
+  }
+  const TreeModel m = TreeModel::fit(d);
+  EXPECT_NEAR(m.predict(std::vector<double>{0.1, 0.9}), 10.0, 1.0);
+  EXPECT_NEAR(m.predict(std::vector<double>{0.9, 0.1}), -10.0, 1.0);
+}
+
+TEST(Tree, FitsSmoothFunctionApproximately) {
+  graph::Xoshiro256ss rng(5);
+  Dataset train;
+  Dataset test;
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.next_double() * 6;
+    (i < 450 ? train : test).add({x}, std::sin(x));
+  }
+  const TreeModel m = TreeModel::fit(train, {.max_depth = 10});
+  EXPECT_GT(r_squared(test.y, m.predict_all(test)), 0.95);
+}
+
+TEST(Tree, DepthLimitBindsTreeSize) {
+  graph::Xoshiro256ss rng(9);
+  Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double();
+    d.add({x}, rng.next_double());  // pure noise: splits galore
+  }
+  TreeParams p;
+  p.max_depth = 3;
+  p.min_gain_fraction = 0.0;
+  const TreeModel m = TreeModel::fit(d, p);
+  EXPECT_LE(m.depth(), 4);       // root at depth 1
+  EXPECT_LE(m.num_nodes(), 15);  // complete depth-3 binary tree
+}
+
+TEST(Tree, RejectsBadInputs) {
+  EXPECT_THROW(TreeModel::fit(Dataset{}), std::invalid_argument);
+  Dataset d;
+  d.add({1.0}, 1.0);
+  EXPECT_THROW(TreeModel::fit(d, {.max_depth = 0}), std::invalid_argument);
+  const TreeModel m = TreeModel::fit(d);
+  EXPECT_DOUBLE_EQ(m.predict(std::vector<double>{0.0}), 1.0);
+}
+
+// ---- the Section II-C bake-off on real switching-point labels -------
+
+TEST(ModelBakeoff, SvrIsCompetitiveOnSwitchingPointData) {
+  // Real labelled data from the trainer (small config), split 75/25.
+  core::TrainerConfig cfg;
+  for (int scale : {10, 11, 12}) {
+    for (int ef : {8, 16, 32}) {
+      for (std::uint64_t seed : {1ULL, 2ULL}) {
+        graph::RmatParams p;
+        p.scale = scale;
+        p.edgefactor = ef;
+        p.seed = seed;
+        cfg.graphs.push_back(p);
+      }
+    }
+  }
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  cfg.arch_pairs = {{cpu, cpu}, {gpu, gpu}, {cpu, gpu}};
+  cfg.candidates = core::SwitchCandidates::coarse_grid();
+  const core::TrainingData data = core::generate_training_data(cfg);
+
+  const SplitResult split = train_test_split(data.m_data, 0.75, 11);
+  const SvrModel svr = SvrModel::fit(split.train, {.c = 10, .epsilon = 0.1});
+  const RidgeModel ridge = RidgeModel::fit(split.train);
+  const KnnModel knn = KnnModel::fit(split.train, {.k = 3});
+  const TreeModel tree = TreeModel::fit(split.train);
+
+  const double mse_svr =
+      mean_squared_error(split.test.y, svr.predict_all(split.test));
+  const double mse_ridge =
+      mean_squared_error(split.test.y, ridge.predict_all(split.test));
+  const double mse_knn =
+      mean_squared_error(split.test.y, knn.predict_all(split.test));
+  const double mse_tree =
+      mean_squared_error(split.test.y, tree.predict_all(split.test));
+
+  // The paper's claim is qualitative ("SVM can get good prediction
+  // accuracy even with small number of training samples"). The best-M
+  // labels are intrinsically noisy — the optimum is a wide region and
+  // the labeller tie-breaks to its lowest edge (see Table III bench) —
+  // so no model dominates robustly here; we require the SVR to stay
+  // within 2x of the best alternative, i.e. to be a defensible choice.
+  const double best_alt = std::min({mse_ridge, mse_knn, mse_tree});
+  EXPECT_LT(mse_svr, 2.0 * best_alt)
+      << "svr=" << mse_svr << " ridge=" << mse_ridge << " knn=" << mse_knn
+      << " tree=" << mse_tree;
+  RecordProperty("mse_svr", std::to_string(mse_svr));
+  RecordProperty("mse_ridge", std::to_string(mse_ridge));
+  RecordProperty("mse_knn", std::to_string(mse_knn));
+  RecordProperty("mse_tree", std::to_string(mse_tree));
+}
+
+}  // namespace
+}  // namespace bfsx::ml

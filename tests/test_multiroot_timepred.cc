@@ -1,0 +1,186 @@
+// Tests for multi-root sweeps and the TimePredictor / accelerator
+// auto-selection extension.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bfs/validate.h"
+#include "core/api.h"
+#include "core/level_trace.h"
+#include "core/tuner.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::core {
+namespace {
+
+struct MultiFixture {
+  graph::CsrGraph g;
+  std::vector<LevelTrace> traces;
+
+  MultiFixture() {
+    graph::RmatParams p;
+    p.scale = 11;
+    g = graph::build_csr(graph::generate_rmat(p));
+    for (graph::vid_t root : graph::sample_roots(g, 4, 21)) {
+      traces.push_back(build_level_trace(g, root));
+    }
+  }
+};
+
+TEST(MultiRoot, SweepSumsPerRootReplays) {
+  MultiFixture f;
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const SwitchCandidates cands = SwitchCandidates::coarse_grid();
+  const CandidateSweep multi = sweep_single_multi(f.traces, cpu, cands);
+  for (std::size_t i = 0; i < cands.size(); i += 9) {
+    double want = 0;
+    for (const LevelTrace& t : f.traces) {
+      want += replay_single(t, cpu, cands.at(i));
+    }
+    EXPECT_DOUBLE_EQ(multi.seconds[i], want);
+  }
+}
+
+TEST(MultiRoot, BestExpectedPolicyDominatesPerRootAverages) {
+  MultiFixture f;
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const SwitchCandidates cands = SwitchCandidates::paper_grid();
+  const TunedPolicy multi_best =
+      pick_best(sweep_single_multi(f.traces, gpu, cands), cands);
+  // The multi-root optimum must beat applying root 0's optimum to all
+  // roots, or at worst tie it.
+  const TunedPolicy root0_best =
+      pick_best(sweep_single(f.traces[0], gpu, cands), cands);
+  double root0_applied = 0;
+  for (const LevelTrace& t : f.traces) {
+    root0_applied += replay_single(t, gpu, root0_best.policy);
+  }
+  EXPECT_LE(multi_best.seconds, root0_applied + 1e-15);
+}
+
+TEST(MultiRoot, CrossVariantMatchesManualSum) {
+  MultiFixture f;
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const sim::InterconnectSpec link;
+  const SwitchCandidates cands = SwitchCandidates::coarse_grid();
+  const HybridPolicy inner{14, 24};
+  const CandidateSweep multi =
+      sweep_cross_multi(f.traces, cpu, gpu, link, cands, inner);
+  double want = 0;
+  for (const LevelTrace& t : f.traces) {
+    want += replay_cross(t, cpu, gpu, link, cands.at(3), inner);
+  }
+  EXPECT_DOUBLE_EQ(multi.seconds[3], want);
+}
+
+TEST(MultiRoot, EmptyTraceListThrows) {
+  const SwitchCandidates cands = SwitchCandidates::coarse_grid();
+  EXPECT_THROW(
+      sweep_single_multi({}, sim::make_sandy_bridge_cpu(), cands),
+      std::invalid_argument);
+}
+
+// ---- TimePredictor -------------------------------------------------
+
+TrainerConfig tiny_config() {
+  TrainerConfig cfg;
+  for (int scale : {10, 11, 12}) {
+    for (int ef : {8, 16}) {
+      graph::RmatParams p;
+      p.scale = scale;
+      p.edgefactor = ef;
+      p.seed = 55;
+      cfg.graphs.push_back(p);
+    }
+  }
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const sim::ArchSpec mic = sim::make_knights_corner_mic();
+  cfg.arch_pairs = {{cpu, gpu}, {cpu, mic}, {gpu, gpu}, {mic, mic}};
+  cfg.candidates = SwitchCandidates::coarse_grid();
+  return cfg;
+}
+
+TEST(TimePredictor, TrainingDataCarriesLogSeconds) {
+  const TrainingData data = generate_training_data(tiny_config());
+  ASSERT_EQ(data.t_data.size(), data.m_data.size());
+  for (double t : data.t_data.y) {
+    EXPECT_LT(t, 1.0);    // < 10 s
+    EXPECT_GT(t, -7.0);   // > 100 ns
+  }
+}
+
+TEST(TimePredictor, PredictsOrderOfMagnitudeOnTrainingPoints) {
+  const TrainingData data = generate_training_data(tiny_config());
+  const TimePredictor times = train_time_predictor(data);
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edgefactor = 16;
+  p.seed = 55;
+  const double predicted =
+      times.predict_seconds(features_from_rmat(p), cpu, gpu);
+  EXPECT_GT(predicted, 1e-5);
+  EXPECT_LT(predicted, 1.0);
+}
+
+TEST(TimePredictor, SaveLoadRoundTrip) {
+  const TimePredictor times =
+      train_time_predictor(generate_training_data(tiny_config()));
+  std::stringstream ss;
+  times.save(ss);
+  const TimePredictor back = TimePredictor::load(ss);
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  graph::RmatParams p;
+  p.scale = 12;
+  EXPECT_DOUBLE_EQ(
+      times.predict_seconds(features_from_rmat(p), cpu, cpu),
+      back.predict_seconds(features_from_rmat(p), cpu, cpu));
+}
+
+TEST(AcceleratorSelection, PrefersGpuOverMicForRmat) {
+  // On every training configuration the GPU pairing beat the MIC
+  // pairing, so the ranking must pick the GPU (index 0 in the paper
+  // node) for an in-family graph.
+  const TrainingData data = generate_training_data(tiny_config());
+  const TimePredictor times = train_time_predictor(data);
+  sim::Machine machine = sim::make_paper_node();
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edgefactor = 12;
+  const std::size_t pick =
+      select_accelerator(features_from_rmat(p), machine, times);
+  EXPECT_EQ(machine.accelerator(pick).name(), "KeplerK20xGPU");
+}
+
+TEST(AcceleratorSelection, RunAdaptiveAutoProducesValidRun) {
+  const TrainingData data = generate_training_data(tiny_config());
+  const TimePredictor times = train_time_predictor(data);
+  const SwitchPredictor predictor = train_predictor(data);
+  sim::Machine machine = sim::make_paper_node();
+  graph::RmatParams p;
+  p.scale = 11;
+  p.seed = 77;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  const graph::vid_t root = graph::sample_roots(g, 1, 1)[0];
+  const CombinationRun run = run_adaptive_auto(
+      g, root, features_from_rmat(p), machine, predictor, times);
+  EXPECT_TRUE(bfs::validate_bfs(g, root, run.result).ok);
+}
+
+TEST(AcceleratorSelection, ThrowsWithoutAccelerators) {
+  const TimePredictor times =
+      train_time_predictor(generate_training_data(tiny_config()));
+  sim::Machine bare{sim::Device{sim::make_sandy_bridge_cpu()},
+                    sim::InterconnectSpec{}};
+  graph::RmatParams p;
+  EXPECT_THROW(select_accelerator(features_from_rmat(p), bare, times),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsx::core

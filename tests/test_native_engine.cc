@@ -1,0 +1,54 @@
+// Unit tests for the wall-clock engines.
+#include "graph500/native_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/validate.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::graph500 {
+namespace {
+
+graph::CsrGraph test_graph() {
+  graph::RmatParams p;
+  p.scale = 11;
+  return graph::build_csr(graph::generate_rmat(p));
+}
+
+TEST(NativeEngine, TopDownProducesValidTimedResult) {
+  const graph::CsrGraph g = test_graph();
+  const graph::vid_t root = graph::sample_roots(g, 1, 5)[0];
+  const TimedBfs t = make_native_top_down_engine()(g, root);
+  EXPECT_TRUE(bfs::validate_bfs(g, root, t.result).ok);
+  EXPECT_GT(t.seconds, 0.0);
+  EXPECT_LT(t.seconds, 30.0);  // wall clock, sane bound
+}
+
+TEST(NativeEngine, AllNativeEnginesAgreeOnLevels) {
+  const graph::CsrGraph g = test_graph();
+  const graph::vid_t root = graph::sample_roots(g, 1, 5)[0];
+  const TimedBfs td = make_native_top_down_engine()(g, root);
+  const TimedBfs bu = make_native_bottom_up_engine()(g, root);
+  const TimedBfs hy = make_native_hybrid_engine({14, 24})(g, root);
+  EXPECT_EQ(td.result.level, bu.result.level);
+  EXPECT_EQ(td.result.level, hy.result.level);
+}
+
+TEST(NativeEngine, HybridValidatesThroughRunner) {
+  const graph::CsrGraph g = test_graph();
+  RunnerOptions opts;
+  opts.num_roots = 4;
+  const BenchmarkResult res =
+      run_benchmark(g, make_native_hybrid_engine({14, 24}), opts);
+  EXPECT_EQ(res.validation_failures, 0);
+  EXPECT_GT(res.stats.harmonic_mean, 0.0);
+}
+
+TEST(NativeEngine, HybridRejectsInvalidPolicy) {
+  EXPECT_THROW(make_native_hybrid_engine({0.1, 5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsx::graph500

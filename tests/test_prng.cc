@@ -1,0 +1,91 @@
+// Unit tests for the deterministic PRNG stack.
+#include "graph/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace bfsx::graph {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, IsDeterministic) {
+  Xoshiro256ss a(99);
+  Xoshiro256ss b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, DoubleMeanIsNearHalf) {
+  Xoshiro256ss rng(5);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro, BoundedStaysInBound) {
+  Xoshiro256ss rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1'000; ++i) {
+      EXPECT_LT(rng.next_bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BoundedZeroReturnsZero) {
+  Xoshiro256ss rng(1);
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+}
+
+TEST(Xoshiro, BoundedCoversAllResidues) {
+  Xoshiro256ss rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.next_bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, BoundedIsApproximatelyUniform) {
+  Xoshiro256ss rng(13);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kN = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_bounded(kBound)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kN / 10.0, kN / 10.0 * 0.1);
+  }
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 1'000; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace bfsx::graph

@@ -1,0 +1,126 @@
+// Property-based tests: BFS invariants over randomly generated graphs
+// and over every executor in the library. Parameterised sweeps stand in
+// for a quickcheck harness; each (generator, seed) cell is a distinct
+// random instance.
+#include <gtest/gtest.h>
+
+#include "bfs/drivers.h"
+#include "bfs/validate.h"
+#include "core/adaptive_bfs.h"
+#include "core/cross_arch_bfs.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx {
+namespace {
+
+using bfs::BfsResult;
+using graph::CsrGraph;
+using graph::vid_t;
+
+enum class Family { kErdosRenyiSparse, kErdosRenyiDense, kRmat, kLollipop };
+
+CsrGraph make_graph(Family family, std::uint64_t seed) {
+  switch (family) {
+    case Family::kErdosRenyiSparse:
+      return graph::build_csr(graph::make_erdos_renyi(2000, 3000, seed));
+    case Family::kErdosRenyiDense:
+      return graph::build_csr(graph::make_erdos_renyi(500, 20000, seed));
+    case Family::kRmat: {
+      graph::RmatParams p;
+      p.scale = 11;
+      p.seed = seed;
+      return graph::build_csr(graph::generate_rmat(p));
+    }
+    case Family::kLollipop:
+      return graph::build_csr(
+          graph::make_lollipop(60, static_cast<vid_t>(40 + seed % 60)));
+  }
+  std::abort();
+}
+
+class BfsProperty
+    : public ::testing::TestWithParam<std::tuple<Family, std::uint64_t>> {
+ protected:
+  CsrGraph g_ = make_graph(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  vid_t root_ = graph::sample_roots(g_, 1, std::get<1>(GetParam()) + 17)[0];
+};
+
+// Property: every engine produces a result the Graph 500 validator
+// accepts, and all engines agree on the level map (levels are unique;
+// parents may differ).
+TEST_P(BfsProperty, AllEnginesAgreeAndValidate) {
+  const BfsResult serial = bfs::run_serial(g_, root_);
+  ASSERT_TRUE(bfs::validate_bfs(g_, root_, serial).ok);
+
+  const BfsResult td = bfs::run_top_down(g_, root_);
+  EXPECT_TRUE(bfs::validate_bfs(g_, root_, td).ok);
+  EXPECT_TRUE(bfs::same_levels(serial, td));
+
+  const BfsResult bu = bfs::run_bottom_up(g_, root_);
+  EXPECT_TRUE(bfs::validate_bfs(g_, root_, bu).ok);
+  EXPECT_TRUE(bfs::same_levels(serial, bu));
+
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  const sim::Device gpu{sim::make_kepler_gpu()};
+  const core::CombinationRun cb =
+      core::run_combination(g_, root_, cpu, {14, 24});
+  EXPECT_TRUE(bfs::validate_bfs(g_, root_, cb.result).ok);
+  EXPECT_EQ(cb.result.level, serial.level);
+
+  const core::CombinationRun cross = core::run_cross_arch(
+      g_, root_, cpu, gpu, sim::InterconnectSpec{}, {20, 30}, {14, 24});
+  EXPECT_TRUE(bfs::validate_bfs(g_, root_, cross.result).ok);
+  EXPECT_EQ(cross.result.level, serial.level);
+}
+
+// Property: reached count equals the size of the root's connected
+// component, and edges_in_component is consistent across engines.
+TEST_P(BfsProperty, ReachedMatchesComponentStructure) {
+  const BfsResult serial = bfs::run_serial(g_, root_);
+  const BfsResult bu = bfs::run_bottom_up(g_, root_);
+  EXPECT_EQ(serial.reached, bu.reached);
+  EXPECT_EQ(serial.edges_in_component, bu.edges_in_component);
+  EXPECT_GE(serial.reached, 1);
+  EXPECT_LE(serial.reached, g_.num_vertices());
+  // Every reached vertex's parent is also reached.
+  for (vid_t v = 0; v < g_.num_vertices(); ++v) {
+    const vid_t p = serial.parent[static_cast<std::size_t>(v)];
+    if (p != graph::kNoVertex) {
+      EXPECT_NE(serial.parent[static_cast<std::size_t>(p)], graph::kNoVertex);
+    }
+  }
+}
+
+// Property: level sets partition the reached set and each non-empty
+// level is preceded by a non-empty level (no gaps).
+TEST_P(BfsProperty, LevelSetsHaveNoGaps) {
+  const BfsResult r = bfs::run_serial(g_, root_);
+  std::int32_t max_level = 0;
+  for (vid_t v = 0; v < g_.num_vertices(); ++v) {
+    max_level = std::max(max_level, r.level[static_cast<std::size_t>(v)]);
+  }
+  std::vector<vid_t> level_count(static_cast<std::size_t>(max_level) + 1, 0);
+  vid_t reached = 0;
+  for (vid_t v = 0; v < g_.num_vertices(); ++v) {
+    const std::int32_t lv = r.level[static_cast<std::size_t>(v)];
+    if (lv >= 0) {
+      ++level_count[static_cast<std::size_t>(lv)];
+      ++reached;
+    }
+  }
+  EXPECT_EQ(reached, r.reached);
+  for (vid_t count : level_count) EXPECT_GT(count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, BfsProperty,
+    ::testing::Combine(::testing::Values(Family::kErdosRenyiSparse,
+                                         Family::kErdosRenyiDense,
+                                         Family::kRmat, Family::kLollipop),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace bfsx

@@ -1,0 +1,124 @@
+// Property-based tests on the switching machinery: replay/execute
+// equivalence and cost-model invariants over random policies and
+// random graphs.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_bfs.h"
+#include "core/cross_arch_bfs.h"
+#include "core/level_trace.h"
+#include "core/tuner.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/prng.h"
+#include "graph/rmat.h"
+
+namespace bfsx::core {
+namespace {
+
+struct TraceFixture {
+  graph::CsrGraph g;
+  graph::vid_t root;
+  LevelTrace trace;
+
+  explicit TraceFixture(std::uint64_t seed) {
+    graph::RmatParams p;
+    p.scale = 11;
+    p.seed = seed;
+    g = graph::build_csr(graph::generate_rmat(p));
+    root = graph::sample_roots(g, 1, seed)[0];
+    trace = build_level_trace(g, root);
+  }
+};
+
+class PolicyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: for random policies, replaying the trace equals executing
+// the combination, on every architecture.
+TEST_P(PolicyProperty, ReplayEqualsExecutionForRandomPolicies) {
+  TraceFixture f(GetParam());
+  graph::Xoshiro256ss rng(GetParam() * 7919 + 1);
+  const sim::Device devices[] = {sim::Device{sim::make_sandy_bridge_cpu()},
+                                 sim::Device{sim::make_kepler_gpu()},
+                                 sim::Device{sim::make_knights_corner_mic()}};
+  for (int i = 0; i < 8; ++i) {
+    const HybridPolicy p{1.0 + 299.0 * rng.next_double(),
+                         1.0 + 299.0 * rng.next_double()};
+    const auto& dev = devices[i % 3];
+    const double replayed = replay_single(f.trace, dev.spec(), p);
+    const double executed = run_combination(f.g, f.root, dev, p).seconds;
+    EXPECT_NEAR(replayed, executed, 1e-12 + 1e-9 * executed)
+        << dev.spec().name << " M=" << p.m << " N=" << p.n;
+  }
+}
+
+// Property: the exhaustive best over a grid is no slower than any pure
+// strategy expressible inside that grid's span.
+TEST_P(PolicyProperty, ExhaustiveBestDominatesGridMembers) {
+  TraceFixture f(GetParam());
+  const sim::ArchSpec arch = sim::make_kepler_gpu();
+  const SwitchCandidates cands = SwitchCandidates::coarse_grid();
+  const CandidateSweep sweep = sweep_single(f.trace, arch, cands);
+  const TunedPolicy best = pick_best(sweep, cands);
+  graph::Xoshiro256ss rng(GetParam() + 3);
+  for (int i = 0; i < 16; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(
+        rng.next_bounded(static_cast<std::uint64_t>(cands.size())));
+    EXPECT_LE(best.seconds, sweep.seconds[idx] + 1e-15);
+  }
+}
+
+// Property: making the interconnect slower never makes the replayed
+// cross-architecture plan faster (monotonicity of the transfer term).
+TEST_P(PolicyProperty, CrossCostMonotoneInLinkLatency) {
+  TraceFixture f(GetParam());
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const HybridPolicy handoff{20, 30};
+  const HybridPolicy inner{14, 24};
+  double prev = -1.0;
+  for (double latency_us : {0.0, 10.0, 1000.0, 100000.0}) {
+    sim::InterconnectSpec link;
+    link.latency_us = latency_us;
+    const double t = replay_cross(f.trace, cpu, gpu, link, handoff, inner);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+// Property: the single-architecture combination under the grid's best
+// policy is never slower than either pure direction (the grid contains
+// near-pure policies at its corners).
+TEST_P(PolicyProperty, TunedCombinationDominatesPureDirections) {
+  TraceFixture f(GetParam());
+  for (const sim::ArchSpec& arch :
+       {sim::make_sandy_bridge_cpu(), sim::make_kepler_gpu()}) {
+    const CandidateSweep sweep =
+        sweep_single(f.trace, arch, SwitchCandidates::paper_grid());
+    const double best = sweep.best_seconds();
+    const double td = replay_pure(f.trace, arch, bfs::Direction::kTopDown);
+    const double bu = replay_pure(f.trace, arch, bfs::Direction::kBottomUp);
+    // The grid's M=1 row approximates pure top-down but the N condition
+    // still binds; allow a small tolerance above the true pure runs.
+    EXPECT_LE(best, td * 1.05 + 1e-9) << arch.name;
+    EXPECT_LE(best, bu * 1.05 + 1e-9) << arch.name;
+  }
+}
+
+// Property: direction decisions depend only on the thresholds, so
+// scaling M and N together past every frontier ratio saturates to
+// all-bottom-up (and the replay cost converges).
+TEST_P(PolicyProperty, PolicySaturatesToBottomUp) {
+  TraceFixture f(GetParam());
+  const sim::ArchSpec arch = sim::make_sandy_bridge_cpu();
+  const double huge1 = replay_single(f.trace, arch, {1e15, 1e15});
+  const double huge2 = replay_single(f.trace, arch, {1e16, 1e16});
+  const double pure_bu = replay_pure(f.trace, arch, bfs::Direction::kBottomUp);
+  EXPECT_DOUBLE_EQ(huge1, huge2);
+  EXPECT_DOUBLE_EQ(huge1, pure_bu);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace bfsx::core

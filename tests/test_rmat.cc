@@ -1,0 +1,151 @@
+// Unit and property tests for the R-MAT Kronecker generator.
+#include "graph/rmat.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+
+namespace bfsx::graph {
+namespace {
+
+TEST(Rmat, RespectsRequestedSizes) {
+  RmatParams p;
+  p.scale = 10;
+  p.edgefactor = 8;
+  const EdgeList el = generate_rmat(p);
+  EXPECT_EQ(el.num_vertices, 1024);
+  EXPECT_EQ(el.num_edges(), 8 * 1024);
+  for (const Edge& e : el.edges) {
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, el.num_vertices);
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, el.num_vertices);
+  }
+}
+
+TEST(Rmat, IsDeterministicUnderSeed) {
+  RmatParams p;
+  p.scale = 9;
+  const EdgeList a = generate_rmat(p);
+  const EdgeList b = generate_rmat(p);
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(Rmat, SeedsProduceDifferentGraphs) {
+  RmatParams p;
+  p.scale = 9;
+  p.seed = 1;
+  const EdgeList a = generate_rmat(p);
+  p.seed = 2;
+  const EdgeList b = generate_rmat(p);
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(Rmat, SkewedParametersProduceSkewedDegrees) {
+  // With A=0.57 the degree distribution must be far more skewed than a
+  // uniform graph: max degree well above the mean.
+  RmatParams p;
+  p.scale = 12;
+  p.edgefactor = 16;
+  const CsrGraph g = build_csr(generate_rmat(p));
+  const DegreeStats s = compute_degree_stats(g);
+  EXPECT_GT(static_cast<double>(s.max), 8.0 * s.mean);
+  EXPECT_GT(s.isolated, 0);  // scale-free graphs strand low-id leaves
+}
+
+TEST(Rmat, UniformParametersApproachErdosRenyi) {
+  RmatParams p;
+  p.scale = 12;
+  p.edgefactor = 16;
+  p.a = p.b = p.c = p.d = 0.25;
+  p.noise = 0.0;
+  const CsrGraph g = build_csr(generate_rmat(p));
+  const DegreeStats s = compute_degree_stats(g);
+  // Uniform quadrant probabilities give a near-Poisson degree profile:
+  // max degree within a small factor of the mean.
+  EXPECT_LT(static_cast<double>(s.max), 4.0 * s.mean);
+}
+
+TEST(Rmat, PermutationPreservesDegreeMultiset) {
+  RmatParams p;
+  p.scale = 10;
+  p.seed = 77;
+  p.noise = 0.0;
+  p.permute_vertices = false;
+  const CsrGraph g1 = build_csr(generate_rmat(p));
+  p.permute_vertices = true;
+  const CsrGraph g2 = build_csr(generate_rmat(p));
+  std::vector<eid_t> d1;
+  std::vector<eid_t> d2;
+  for (vid_t v = 0; v < g1.num_vertices(); ++v) {
+    d1.push_back(g1.out_degree(v));
+    d2.push_back(g2.out_degree(v));
+  }
+  std::sort(d1.begin(), d1.end());
+  std::sort(d2.begin(), d2.end());
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Rmat, WithoutPermutationHubsHaveSmallIds) {
+  // The raw Kronecker recursion biases mass toward low ids when A is
+  // the largest quadrant; the permutation option exists to destroy
+  // exactly this artefact.
+  RmatParams p;
+  p.scale = 12;
+  p.permute_vertices = false;
+  const CsrGraph g = build_csr(generate_rmat(p));
+  const vid_t n = g.num_vertices();
+  eid_t low_half = 0;
+  eid_t high_half = 0;
+  for (vid_t v = 0; v < n; ++v) {
+    (v < n / 2 ? low_half : high_half) += g.out_degree(v);
+  }
+  EXPECT_GT(low_half, 2 * high_half);
+}
+
+TEST(RmatValidate, RejectsBadParameters) {
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.edgefactor = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.a = 0.9;  // sum != 1
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.noise = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+// Parameterised sweep: every (scale, edgefactor) combination must build
+// a structurally sane CSR.
+class RmatSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RmatSweep, BuildsSaneCsr) {
+  const auto [scale, ef] = GetParam();
+  RmatParams p;
+  p.scale = scale;
+  p.edgefactor = ef;
+  const CsrGraph g = build_csr(generate_rmat(p));
+  EXPECT_EQ(g.num_vertices(), vid_t{1} << scale);
+  // Symmetrised and deduplicated: at most 2x the generated count, and
+  // at least half of it (dedup and self-loop removal shrink a little).
+  EXPECT_LE(g.num_edges(), 2 * p.num_edges());
+  EXPECT_GE(g.num_edges(), p.num_edges() / 2);
+  // Symmetry: out and in views are the same arrays.
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+INSTANTIATE_TEST_SUITE_P(ScaleAndEdgefactor, RmatSweep,
+                         ::testing::Combine(::testing::Values(8, 10, 12),
+                                            ::testing::Values(4, 8, 16)));
+
+}  // namespace
+}  // namespace bfsx::graph

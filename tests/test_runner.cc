@@ -1,0 +1,106 @@
+// Unit tests for the Graph 500 benchmark runner protocol.
+#include "graph500/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph500/reference_bfs.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::graph500 {
+namespace {
+
+graph::CsrGraph test_graph() {
+  graph::RmatParams p;
+  p.scale = 10;
+  return graph::build_csr(graph::generate_rmat(p));
+}
+
+TEST(Runner, RunsRequestedRootsAndAggregates) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  RunnerOptions opts;
+  opts.num_roots = 8;
+  const BenchmarkResult r = run_benchmark(g, make_top_down_engine(cpu), opts);
+  EXPECT_EQ(r.runs.size(), 8u);
+  EXPECT_EQ(r.validation_failures, 0);
+  EXPECT_GT(r.stats.harmonic_mean, 0.0);
+  EXPECT_GT(r.mean_seconds(), 0.0);
+  for (const RootRun& run : r.runs) {
+    EXPECT_TRUE(run.valid);
+    EXPECT_GT(run.teps, 0.0);
+    EXPECT_GT(run.reached, 0);
+  }
+}
+
+TEST(Runner, IsDeterministicUnderSeed) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  RunnerOptions opts;
+  opts.num_roots = 4;
+  const BenchmarkResult a = run_benchmark(g, make_top_down_engine(cpu), opts);
+  const BenchmarkResult b = run_benchmark(g, make_top_down_engine(cpu), opts);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].root, b.runs[i].root);
+    EXPECT_DOUBLE_EQ(a.runs[i].seconds, b.runs[i].seconds);
+  }
+}
+
+TEST(Runner, DetectsCorruptedEngine) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  BfsEngine broken = [&cpu](const graph::CsrGraph& gg,
+                            graph::vid_t root) -> TimedBfs {
+    TimedBfs t = make_top_down_engine(cpu)(gg, root);
+    // Corrupt one level entry: the validator must notice.
+    t.result.level[static_cast<std::size_t>(root)] = 3;
+    return t;
+  };
+  RunnerOptions opts;
+  opts.num_roots = 3;
+  EXPECT_THROW(run_benchmark(g, broken, opts), std::runtime_error);
+}
+
+TEST(Runner, ValidationCanBeDisabled) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  RunnerOptions opts;
+  opts.num_roots = 2;
+  opts.validate = false;
+  const BenchmarkResult r = run_benchmark(g, make_top_down_engine(cpu), opts);
+  EXPECT_EQ(r.validation_failures, 0);
+}
+
+TEST(Runner, RejectsNonPositiveRootCount) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  RunnerOptions opts;
+  opts.num_roots = 0;
+  EXPECT_THROW(run_benchmark(g, make_top_down_engine(cpu), opts),
+               std::invalid_argument);
+}
+
+TEST(ReferenceEngine, IsSlowerThanOptimisedTopDownByThePenalty) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  const auto roots = graph::sample_roots(g, 1, 500);
+  const TimedBfs ref = make_reference_engine(cpu)(g, roots[0]);
+  const TimedBfs opt = make_top_down_engine(cpu)(g, roots[0]);
+  EXPECT_NEAR(ref.seconds / opt.seconds, kReferencePenalty, 1e-9);
+}
+
+TEST(Engines, BottomUpEngineProducesValidResult) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device gpu{sim::make_kepler_gpu()};
+  const auto roots = graph::sample_roots(g, 1, 7);
+  const TimedBfs t = make_bottom_up_engine(gpu)(g, roots[0]);
+  EXPECT_TRUE(bfs::validate_bfs(g, roots[0], t.result).ok);
+  EXPECT_GT(t.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace bfsx::graph500

@@ -1,0 +1,111 @@
+// Unit tests for the SpMV view of BFS and the RCMA/RCMB analysis
+// (paper Section III-B).
+#include <gtest/gtest.h>
+
+#include "bfs/drivers.h"
+#include "bfs/spmv.h"
+#include "bfs/validate.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+#include "sim/roofline.h"
+
+namespace bfsx {
+namespace {
+
+using bfs::CsrGraph;
+using graph::build_csr;
+
+TEST(SpmvLevel, CountsFrontierInNeighbours) {
+  // Path 0-1-2-3, frontier {1}: y = in-neighbour counts of {1}.
+  const CsrGraph g = build_csr(graph::make_path(4));
+  std::vector<std::uint8_t> x = {0, 1, 0, 0};
+  std::vector<std::int32_t> y;
+  bfs::spmv_level(g, x, y);
+  EXPECT_EQ(y, (std::vector<std::int32_t>{1, 0, 1, 0}));
+}
+
+TEST(SpmvLevel, MultipleFrontierNeighboursAccumulate) {
+  // Star with hub 0; frontier = all spokes -> y[0] = spoke count.
+  const CsrGraph g = build_csr(graph::make_star(6));
+  std::vector<std::uint8_t> x = {0, 1, 1, 1, 1, 1};
+  std::vector<std::int32_t> y;
+  bfs::spmv_level(g, x, y);
+  EXPECT_EQ(y[0], 5);
+  for (std::size_t v = 1; v < 6; ++v) EXPECT_EQ(y[v], 0);
+}
+
+TEST(SpmvLevel, RejectsWrongWidth) {
+  const CsrGraph g = build_csr(graph::make_path(4));
+  std::vector<std::uint8_t> x = {1, 0};
+  std::vector<std::int32_t> y;
+  EXPECT_THROW(bfs::spmv_level(g, x, y), std::invalid_argument);
+}
+
+TEST(SpmvBfs, MatchesSerialLevelsOnRmat) {
+  graph::RmatParams p;
+  p.scale = 10;
+  const CsrGraph g = build_csr(graph::generate_rmat(p));
+  for (graph::vid_t root : graph::sample_roots(g, 3, 4)) {
+    const bfs::BfsResult serial = bfs::run_serial(g, root);
+    const bfs::BfsResult spmv = bfs::run_spmv_bfs(g, root);
+    EXPECT_TRUE(bfs::same_levels(serial, spmv)) << "root " << root;
+    EXPECT_TRUE(bfs::validate_bfs(g, root, spmv).ok);
+    EXPECT_EQ(serial.edges_in_component, spmv.edges_in_component);
+  }
+}
+
+TEST(SpmvBfs, RejectsBadRoot) {
+  const CsrGraph g = build_csr(graph::make_path(3));
+  EXPECT_THROW(bfs::run_spmv_bfs(g, 7), std::out_of_range);
+}
+
+TEST(Rcma, DenseMatchesPaperHalf) {
+  // The paper computes 0.5 for the dense case (Equation 1).
+  EXPECT_NEAR(bfs::rcma_dense_spmv(1'000'000), 0.5, 0.01);
+  EXPECT_LT(bfs::rcma_dense_spmv(10), 0.5);
+}
+
+TEST(Rcma, SparseIsBelowDense) {
+  const double sparse = bfs::rcma_sparse_bfs(1'000'000, 16'000'000);
+  EXPECT_GT(sparse, 0.0);
+  EXPECT_LT(sparse, 0.5);
+}
+
+TEST(Rcmb, MatchesTableTwo) {
+  // Table II RCMB rows: SP 7.52 / 12.70 / 21.01, DP 3.76 / 6.35 / 7.02.
+  EXPECT_NEAR(sim::rcmb(sim::make_sandy_bridge_cpu(), true), 7.52, 0.02);
+  EXPECT_NEAR(sim::rcmb(sim::make_knights_corner_mic(), true), 12.70, 0.02);
+  EXPECT_NEAR(sim::rcmb(sim::make_kepler_gpu(), true), 21.01, 0.02);
+  EXPECT_NEAR(sim::rcmb(sim::make_sandy_bridge_cpu(), false), 3.76, 0.01);
+  EXPECT_NEAR(sim::rcmb(sim::make_knights_corner_mic(), false), 6.35, 0.01);
+  EXPECT_NEAR(sim::rcmb(sim::make_kepler_gpu(), false), 7.02, 0.01);
+}
+
+TEST(Roofline, BfsIsMemoryBoundEverywhere) {
+  const double algo = bfs::rcma_sparse_bfs(1 << 20, 16 << 20);
+  for (const sim::ArchSpec& arch :
+       {sim::make_sandy_bridge_cpu(), sim::make_kepler_gpu(),
+        sim::make_knights_corner_mic()}) {
+    EXPECT_GT(sim::memory_bound_factor(algo, arch, true), 10.0) << arch.name;
+  }
+}
+
+TEST(Roofline, AttainableGflopsCapsAtPeak) {
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  // Very high intensity -> compute roof.
+  EXPECT_DOUBLE_EQ(sim::roofline_gflops(cpu, 100.0, true), 256);
+  // BFS-like intensity -> bandwidth roof.
+  EXPECT_NEAR(sim::roofline_gflops(cpu, 0.12, true), 0.12 * 34, 1e-9);
+}
+
+TEST(Roofline, DescribeBalanceNamesTheVerdict) {
+  const std::string verdict =
+      sim::describe_balance(0.12, sim::make_kepler_gpu(), true);
+  EXPECT_NE(verdict.find("memory-bound"), std::string::npos);
+  EXPECT_NE(verdict.find("KeplerK20xGPU"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfsx

@@ -1,0 +1,152 @@
+// Integration tests: the full offline-training -> online-prediction
+// pipeline of paper Fig. 6, on container-sized graphs.
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/validate.h"
+#include "core/api.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+
+namespace bfsx::core {
+namespace {
+
+/// Small config (scales 10-11, coarse grid) so the whole pipeline runs
+/// in seconds inside the test suite.
+TrainerConfig tiny_config() {
+  TrainerConfig cfg;
+  for (int scale : {10, 11}) {
+    for (int ef : {8, 16}) {
+      graph::RmatParams p;
+      p.scale = scale;
+      p.edgefactor = ef;
+      p.seed = 101;
+      cfg.graphs.push_back(p);
+    }
+  }
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  cfg.arch_pairs = {{cpu, cpu}, {gpu, gpu}, {cpu, gpu}};
+  cfg.candidates = SwitchCandidates::coarse_grid();
+  return cfg;
+}
+
+TEST(Trainer, GeneratesOneSamplePerConfiguration) {
+  const TrainerConfig cfg = tiny_config();
+  const TrainingData data = generate_training_data(cfg);
+  const std::size_t want = cfg.graphs.size() * cfg.arch_pairs.size();
+  EXPECT_EQ(data.m_data.size(), want);
+  EXPECT_EQ(data.n_data.size(), want);
+  EXPECT_EQ(data.m_data.num_features(), kNumFeatures);
+  for (double m : data.m_data.y) {
+    EXPECT_GE(m, kMinSwitchKnob);
+    EXPECT_LE(m, kMaxSwitchKnob);
+  }
+}
+
+TEST(Trainer, LabelsAreReproducible) {
+  const TrainerConfig cfg = tiny_config();
+  const TrainingData a = generate_training_data(cfg);
+  const TrainingData b = generate_training_data(cfg);
+  EXPECT_EQ(a.m_data.y, b.m_data.y);
+  EXPECT_EQ(a.n_data.y, b.n_data.y);
+}
+
+TEST(Trainer, DefaultConfigIsPaperSized) {
+  const TrainerConfig cfg = default_trainer_config();
+  const std::size_t samples = cfg.graphs.size() * cfg.arch_pairs.size();
+  EXPECT_GE(samples, 120u);  // "140 training samples" regime
+  EXPECT_LE(samples, 200u);
+}
+
+TEST(Pipeline, TrainedPredictorIsNearExhaustiveOnHeldOutGraph) {
+  const TrainerConfig cfg = tiny_config();
+  const SwitchPredictor pred = train_predictor(generate_training_data(cfg));
+
+  // Held-out graph: same family, unseen seed/size combination.
+  graph::RmatParams p;
+  p.scale = 11;
+  p.edgefactor = 12;
+  p.seed = 999;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  const graph::vid_t root = graph::sample_roots(g, 1, 5)[0];
+  const LevelTrace trace = build_level_trace(g, root);
+
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const CandidateSweep sweep =
+      sweep_single(trace, cpu, SwitchCandidates::paper_grid());
+  const HybridPolicy predicted =
+      pred.predict(features_from_rmat(p), cpu, cpu);
+  const double predicted_seconds = replay_single(trace, cpu, predicted);
+
+  // The paper reports regression reaching ~95% of the exhaustive best
+  // with 140 samples; with this deliberately tiny training set we
+  // require 70% — the trainer bench measures the real figure. (At this
+  // scale the CPU's whole sweep range is narrow, so this is the only
+  // meaningful bound; range membership below guards against NaNs.)
+  EXPECT_GE(sweep.best_seconds() / predicted_seconds, 0.70);
+  EXPECT_GE(predicted_seconds, sweep.best_seconds());
+  EXPECT_LE(predicted_seconds, sweep.worst_seconds());
+}
+
+TEST(Pipeline, RunAdaptiveEndToEnd) {
+  const TrainerConfig cfg = tiny_config();
+  const SwitchPredictor pred = train_predictor(generate_training_data(cfg));
+
+  graph::RmatParams p;
+  p.scale = 11;
+  p.seed = 4242;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  const graph::vid_t root = graph::sample_roots(g, 1, 5)[0];
+
+  sim::Machine machine = sim::make_paper_node();
+  const CombinationRun run =
+      run_adaptive(g, root, features_from_rmat(p), machine, pred);
+  EXPECT_TRUE(bfs::validate_bfs(g, root, run.result).ok);
+  EXPECT_GT(run.seconds, 0.0);
+  EXPECT_EQ(run.levels.front().device, "SandyBridgeCPU");
+}
+
+TEST(Pipeline, RunAdaptiveSingleEndToEnd) {
+  const TrainerConfig cfg = tiny_config();
+  const SwitchPredictor pred = train_predictor(generate_training_data(cfg));
+
+  graph::RmatParams p;
+  p.scale = 10;
+  p.seed = 7;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  const graph::vid_t root = graph::sample_roots(g, 1, 5)[0];
+  const sim::Device gpu{sim::make_kepler_gpu()};
+  const CombinationRun run =
+      run_adaptive_single(g, root, features_from_rmat(p), gpu, pred);
+  EXPECT_TRUE(bfs::validate_bfs(g, root, run.result).ok);
+  for (const ExecutedLevel& lvl : run.levels) {
+    EXPECT_EQ(lvl.device, "KeplerK20xGPU");
+  }
+}
+
+TEST(Trainer, LabelConfigurationCrossUsesLink) {
+  graph::RmatParams p;
+  p.scale = 11;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  const LevelTrace trace =
+      build_level_trace(g, graph::sample_roots(g, 1, 5)[0]);
+  const ArchPair cross{sim::make_sandy_bridge_cpu(), sim::make_kepler_gpu()};
+  sim::InterconnectSpec cheap;
+  cheap.latency_us = 0.0;
+  cheap.bandwidth_gbps = 1e6;
+  sim::InterconnectSpec expensive;
+  expensive.latency_us = 5e5;  // half a second per handoff
+  const SwitchCandidates cands = SwitchCandidates::coarse_grid();
+  const TunedPolicy with_cheap =
+      label_configuration(trace, cross, cheap, cands);
+  const TunedPolicy with_expensive =
+      label_configuration(trace, cross, expensive, cands);
+  // An absurdly expensive link must make the tuned plan slower (or keep
+  // everything on the host, which caps the damage).
+  EXPECT_GE(with_expensive.seconds, with_cheap.seconds);
+}
+
+}  // namespace
+}  // namespace bfsx::core

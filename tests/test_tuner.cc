@@ -1,0 +1,132 @@
+// Unit tests for candidate grids and the Random/Exhaustive tuners.
+#include "core/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::core {
+namespace {
+
+LevelTrace rmat_trace() {
+  graph::RmatParams p;
+  p.scale = 12;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  return build_level_trace(g, graph::sample_roots(g, 1, 3)[0]);
+}
+
+TEST(Candidates, LogSpacedCoversRangeMonotonically) {
+  const auto v = SwitchCandidates::log_spaced(1.0, 300.0, 10);
+  ASSERT_EQ(v.size(), 10u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_NEAR(v.back(), 300.0, 1e-9);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Candidates, LogSpacedRejectsBadRanges) {
+  EXPECT_THROW(SwitchCandidates::log_spaced(0.0, 10.0, 5),
+               std::invalid_argument);
+  EXPECT_THROW(SwitchCandidates::log_spaced(10.0, 1.0, 5),
+               std::invalid_argument);
+  EXPECT_THROW(SwitchCandidates::log_spaced(1.0, 10.0, 0),
+               std::invalid_argument);
+}
+
+TEST(Candidates, PaperGridHasAThousandCases) {
+  const SwitchCandidates c = SwitchCandidates::paper_grid();
+  EXPECT_EQ(c.size(), 1000u);  // the Fig. 8 setup
+}
+
+TEST(Candidates, AtEnumeratesFullCross) {
+  SwitchCandidates c;
+  c.m_values = {1, 2};
+  c.n_values = {10, 20, 30};
+  ASSERT_EQ(c.size(), 6u);
+  EXPECT_EQ(c.at(0).m, 1);
+  EXPECT_EQ(c.at(0).n, 10);
+  EXPECT_EQ(c.at(5).m, 2);
+  EXPECT_EQ(c.at(5).n, 30);
+}
+
+TEST(Sweep, PricesEveryCandidateAndFindsExtremes) {
+  const LevelTrace t = rmat_trace();
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const SwitchCandidates c = SwitchCandidates::coarse_grid();
+  const CandidateSweep sweep = sweep_single(t, cpu, c);
+  ASSERT_EQ(sweep.seconds.size(), c.size());
+  for (std::size_t i = 0; i < sweep.seconds.size(); ++i) {
+    EXPECT_GE(sweep.seconds[i], sweep.best_seconds());
+    EXPECT_LE(sweep.seconds[i], sweep.worst_seconds());
+  }
+  EXPECT_GE(sweep.mean_seconds, sweep.best_seconds());
+  EXPECT_LE(sweep.mean_seconds, sweep.worst_seconds());
+}
+
+TEST(Sweep, BestBeatsWorstStrictlyOnRealTrace) {
+  // On a scale-free graph the switching point genuinely matters.
+  const LevelTrace t = rmat_trace();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const CandidateSweep sweep =
+      sweep_single(t, gpu, SwitchCandidates::paper_grid());
+  EXPECT_LT(sweep.best_seconds(), 0.5 * sweep.worst_seconds());
+}
+
+TEST(Sweep, SweepEntriesMatchDirectReplay) {
+  const LevelTrace t = rmat_trace();
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const SwitchCandidates c = SwitchCandidates::coarse_grid();
+  const CandidateSweep sweep = sweep_single(t, cpu, c);
+  for (std::size_t i = 0; i < c.size(); i += 7) {
+    EXPECT_DOUBLE_EQ(sweep.seconds[i], replay_single(t, cpu, c.at(i)));
+  }
+}
+
+TEST(Sweep, CrossSweepRespectsInnerPolicy) {
+  const LevelTrace t = rmat_trace();
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const sim::ArchSpec gpu = sim::make_kepler_gpu();
+  const sim::InterconnectSpec link;
+  const SwitchCandidates c = SwitchCandidates::coarse_grid();
+  const CandidateSweep sweep =
+      sweep_cross(t, cpu, gpu, link, c, HybridPolicy{14, 24});
+  for (std::size_t i = 0; i < c.size(); i += 11) {
+    EXPECT_DOUBLE_EQ(sweep.seconds[i],
+                     replay_cross(t, cpu, gpu, link, c.at(i), {14, 24}));
+  }
+}
+
+TEST(PickBest, ReturnsTheMinimum) {
+  const LevelTrace t = rmat_trace();
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const SwitchCandidates c = SwitchCandidates::coarse_grid();
+  const CandidateSweep sweep = sweep_single(t, cpu, c);
+  const TunedPolicy best = pick_best(sweep, c);
+  EXPECT_DOUBLE_EQ(best.seconds, sweep.best_seconds());
+  EXPECT_DOUBLE_EQ(replay_single(t, cpu, best.policy), best.seconds);
+}
+
+TEST(PickRandom, IsDeterministicAndWithinRange) {
+  const LevelTrace t = rmat_trace();
+  const sim::ArchSpec cpu = sim::make_sandy_bridge_cpu();
+  const SwitchCandidates c = SwitchCandidates::coarse_grid();
+  const CandidateSweep sweep = sweep_single(t, cpu, c);
+  const TunedPolicy a = pick_random(sweep, c, 5);
+  const TunedPolicy b = pick_random(sweep, c, 5);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_GE(a.seconds, sweep.best_seconds());
+  EXPECT_LE(a.seconds, sweep.worst_seconds());
+}
+
+TEST(Sweep, EmptyGridThrows) {
+  const LevelTrace t = rmat_trace();
+  EXPECT_THROW(sweep_single(t, sim::make_sandy_bridge_cpu(), {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsx::core

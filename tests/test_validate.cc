@@ -1,0 +1,115 @@
+// Unit tests for the Graph 500-style validator, including negative
+// cases with deliberately corrupted results.
+#include "bfs/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "bfs/drivers.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::bfs {
+namespace {
+
+using graph::build_csr;
+
+CsrGraph small_rmat() {
+  graph::RmatParams p;
+  p.scale = 9;
+  return build_csr(graph::generate_rmat(p));
+}
+
+TEST(Validate, AcceptsCorrectSerialResult) {
+  const CsrGraph g = small_rmat();
+  const auto roots = graph::sample_roots(g, 4, 1);
+  for (vid_t root : roots) {
+    const BfsResult r = run_serial(g, root);
+    const ValidationReport rep = validate_bfs(g, root, r);
+    EXPECT_TRUE(rep.ok) << rep.error;
+  }
+}
+
+TEST(Validate, AcceptsParallelResults) {
+  const CsrGraph g = small_rmat();
+  const auto roots = graph::sample_roots(g, 2, 1);
+  for (vid_t root : roots) {
+    EXPECT_TRUE(validate_bfs(g, root, run_top_down(g, root)).ok);
+    EXPECT_TRUE(validate_bfs(g, root, run_bottom_up(g, root)).ok);
+  }
+}
+
+TEST(Validate, RejectsRootOutOfRange) {
+  const CsrGraph g = build_csr(graph::make_path(4));
+  const BfsResult r = run_serial(g, 0);
+  EXPECT_FALSE(validate_bfs(g, -1, r).ok);
+  EXPECT_FALSE(validate_bfs(g, 4, r).ok);
+}
+
+TEST(Validate, RejectsNonSelfParentRoot) {
+  const CsrGraph g = build_csr(graph::make_path(4));
+  BfsResult r = run_serial(g, 0);
+  r.parent[0] = 1;
+  EXPECT_FALSE(validate_bfs(g, 0, r).ok);
+}
+
+TEST(Validate, RejectsLevelSkip) {
+  const CsrGraph g = build_csr(graph::make_path(5));
+  BfsResult r = run_serial(g, 0);
+  r.level[3] = 5;  // claims distance 5 on a path where it is 3
+  EXPECT_FALSE(validate_bfs(g, 0, r).ok);
+}
+
+TEST(Validate, RejectsPhantomTreeEdge) {
+  const CsrGraph g = build_csr(graph::make_path(5));
+  BfsResult r = run_serial(g, 0);
+  r.parent[4] = 0;  // (0,4) is not an edge
+  r.level[4] = 1;
+  EXPECT_FALSE(validate_bfs(g, 0, r).ok);
+}
+
+TEST(Validate, RejectsParentLevelDisagreement) {
+  const CsrGraph g = build_csr(graph::make_path(3));
+  BfsResult r = run_serial(g, 0);
+  r.level[2] = -1;  // parent says reached, level says not
+  EXPECT_FALSE(validate_bfs(g, 0, r).ok);
+}
+
+TEST(Validate, RejectsPrematureStop) {
+  // Mark vertex 3 (and 4) unreached even though 2 is reached: edge
+  // (2,3) then leaves the traversed region.
+  const CsrGraph g = build_csr(graph::make_path(5));
+  BfsResult r = run_serial(g, 0);
+  r.parent[3] = graph::kNoVertex;
+  r.level[3] = -1;
+  r.parent[4] = graph::kNoVertex;
+  r.level[4] = -1;
+  r.reached = 3;
+  EXPECT_FALSE(validate_bfs(g, 0, r).ok);
+}
+
+TEST(Validate, RejectsWrongReachedCount) {
+  const CsrGraph g = build_csr(graph::make_path(3));
+  BfsResult r = run_serial(g, 0);
+  r.reached = 2;
+  EXPECT_FALSE(validate_bfs(g, 0, r).ok);
+}
+
+TEST(Validate, AcceptsDisconnectedGraphResult) {
+  const CsrGraph g = build_csr(graph::make_two_cliques(8));
+  const BfsResult r = run_serial(g, 1);
+  EXPECT_TRUE(validate_bfs(g, 1, r).ok);
+}
+
+TEST(Validate, ErrorMessageNamesOffendingVertex) {
+  const CsrGraph g = build_csr(graph::make_path(5));
+  BfsResult r = run_serial(g, 0);
+  r.level[3] = 9;
+  const ValidationReport rep = validate_bfs(g, 0, r);
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfsx::bfs
