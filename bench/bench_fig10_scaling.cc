@@ -2,10 +2,16 @@
 // combination on CPU and MIC as the core count grows on a fixed graph;
 // (b) weak scaling — each core keeps a fixed share of vertices/edges as
 // cores grow.
+// Beyond the paper: (c) multi-device strong scaling — the same graph
+// partitioned over a growing simulated cluster (src/dist), modelled
+// GTEPS per device count for homogeneous and heterogeneous clusters
+// and both partition strategies.
 #include "bench_common.h"
 
 #include "core/level_trace.h"
 #include "core/tuner.h"
+#include "dist/dist_bfs.h"
+#include "sim/cluster.h"
 
 namespace {
 
@@ -83,6 +89,60 @@ void weak_scaling(int base_scale) {
               "scaling (paper Fig. 10b)\n");
 }
 
+/// Modelled GTEPS of one distributed run (undirected edges / seconds).
+double dist_gteps(const dist::DistBfsRun& run) {
+  return static_cast<double>(run.result.edges_in_component) / run.seconds /
+         1e9;
+}
+
+void dist_strong_scaling(int scale) {
+  std::printf("\n(c) multi-device strong scaling: SCALE=%d, modelled GTEPS "
+              "per device count (src/dist BSP simulation)\n", scale);
+  const BuiltGraph bg = make_graph(scale, 16);
+
+  for (const graph::PartitionStrategy strategy :
+       {graph::PartitionStrategy::kBlock,
+        graph::PartitionStrategy::kDegreeBalanced}) {
+    dist::DistBfsOptions opts;
+    opts.strategy = strategy;
+    std::printf("CPU cluster, %-8s:", graph::to_string(strategy));
+    double t1 = 0;
+    for (const int n : {1, 2, 4, 8}) {
+      const dist::DistBfsRun run =
+          dist::run_dist_bfs(bg.csr, bg.root, sim::make_paper_cluster(n),
+                             opts);
+      if (n == 1) t1 = run.seconds;
+      std::printf("  %dd %.3f GTEPS (%.2fx, comm %2.0f%%)", n,
+                  dist_gteps(run), t1 / run.seconds,
+                  100.0 * run.comm_seconds / run.seconds);
+    }
+    std::printf("\n");
+  }
+
+  // Heterogeneous: half the paper's CPUs, half its GPUs. Equal-share 1D
+  // partitions hand both device classes the same rows, so the slower
+  // class gates each superstep — the balance column shows the skew the
+  // degree-balanced strategy cannot fix (it balances edges, not speed).
+  std::vector<sim::Device> mixed;
+  mixed.emplace_back(sim::make_sandy_bridge_cpu());
+  mixed.emplace_back(sim::make_sandy_bridge_cpu());
+  mixed.emplace_back(sim::make_kepler_gpu());
+  mixed.emplace_back(sim::make_kepler_gpu());
+  const sim::Cluster hetero{std::move(mixed), sim::InterconnectSpec{}};
+  dist::DistBfsOptions opts;
+  opts.strategy = graph::PartitionStrategy::kDegreeBalanced;
+  const dist::DistBfsRun run =
+      dist::run_dist_bfs(bg.csr, bg.root, hetero, opts);
+  double worst_balance = 1.0;
+  for (const dist::DistLevelOutcome& lvl : run.levels) {
+    worst_balance = std::max(worst_balance, lvl.balance);
+  }
+  std::printf("2xCPU+2xGPU, balanced:  %.3f GTEPS, comm %2.0f%%, worst "
+              "superstep balance %.2f (1.0 = even)\n",
+              dist_gteps(run), 100.0 * run.comm_seconds / run.seconds,
+              worst_balance);
+}
+
 }  // namespace
 
 int main() {
@@ -90,5 +150,6 @@ int main() {
   const int scale = pick_scale(17, 22);
   strong_scaling(scale);
   weak_scaling(scale - 3);
+  dist_strong_scaling(scale - 1);
   return 0;
 }

@@ -63,8 +63,11 @@ ValidationReport validate_bfs(const CsrGraph& g, vid_t root,
     for (vid_t v : g.out_neighbors(u)) {
       const std::int32_t lv = result.level[static_cast<std::size_t>(v)];
       if (lu >= 0 && lv >= 0) {
-        const std::int32_t diff = lu > lv ? lu - lv : lv - lu;
-        if (diff > 1) {
+        // An out-edge (u, v) relaxes v, so lv <= lu + 1 always. The
+        // reverse bound lu <= lv + 1 needs the mirror edge (v, u) and
+        // therefore only holds on symmetric graphs — a directed back
+        // edge may legally jump many levels up the tree.
+        if (lv - lu > 1 || (g.is_symmetric() && lu - lv > 1)) {
           return fail("edge (" + std::to_string(u) + "," + std::to_string(v) +
                       ") spans more than one level");
         }

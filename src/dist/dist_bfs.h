@@ -1,0 +1,87 @@
+// Distributed-memory BFS simulation: N devices, 1D-partitioned graph,
+// bulk-synchronous supersteps (Buluç & Beamer; Pan et al.).
+//
+// Each device owns a contiguous vertex range (graph/partition.h) and
+// holds that range's rows. One superstep expands one BFS level:
+//
+//   1. The per-device frontier counters are allreduced and the *global*
+//     direction for the level is chosen by the paper's M/N rule over
+//     the aggregated |E|cq / |V|cq (the Buluç–Beamer distributed
+//     direction-optimizing switch: every rank takes the same branch).
+//   2a. Top-down: every device expands the frontier vertices it owns;
+//       discoveries owned elsewhere are sent to their owner as
+//       (vertex, parent) pairs in an all-to-all at the end of the step.
+//   2b. Bottom-up: the frontier bitmap is allgathered (each device
+//       ships its owned slice), then every device scans its own
+//       unvisited vertices' in-neighbours against it; discoveries are
+//       owned locally, so no pair traffic flows.
+//   3. The superstep barrier: compute time is the max over devices,
+//     communication is charged by the cluster's alpha-beta model.
+//
+// Execution is functional — the existing bfs:: kernels advance one
+// authoritative global state, so distances and parents are exact by
+// construction — while per-device counting passes over the partitioned
+// subgraphs split the work counters that drive the modelled time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bfs/state.h"
+#include "core/hybrid_policy.h"
+#include "graph/partition.h"
+#include "sim/cluster.h"
+
+namespace bfsx::dist {
+
+/// One executed superstep: the global direction, the BSP time split,
+/// and how evenly the compute landed across devices.
+struct DistLevelOutcome {
+  bfs::Direction direction = bfs::Direction::kTopDown;
+  std::int32_t level = 0;        // the level that was expanded
+  double compute_seconds = 0.0;  // max over devices (the BSP barrier)
+  double comm_seconds = 0.0;     // allreduce + frontier exchange
+  /// max/mean of per-device compute seconds; 1.0 is a perfectly even
+  /// superstep, P is one device doing all the work.
+  double balance = 1.0;
+  graph::vid_t frontier_vertices = 0;  // aggregated |V|cq
+  graph::eid_t frontier_edges = 0;     // aggregated |E|cq
+  graph::vid_t next_vertices = 0;
+  std::vector<double> device_compute_seconds;  // one entry per device
+};
+
+struct DistBfsRun {
+  bfs::BfsResult result;
+  double seconds = 0.0;          // compute_seconds + comm_seconds
+  double compute_seconds = 0.0;  // sum over supersteps of the max
+  double comm_seconds = 0.0;
+  int direction_switches = 0;
+  std::vector<DistLevelOutcome> levels;
+  /// Resident bytes of each device's subgraph share.
+  std::vector<std::size_t> device_graph_bytes;
+
+  /// TEPS over the reached component at the modelled time (the
+  /// Graph 500 figure of merit).
+  [[nodiscard]] double teps() const {
+    return seconds > 0
+               ? static_cast<double>(result.edges_in_component) / seconds
+               : 0.0;
+  }
+};
+
+struct DistBfsOptions {
+  /// Direction rule over the aggregated counters. The degenerate
+  /// presets (always_top_down / always_bottom_up) express pure runs.
+  core::HybridPolicy policy{};
+  graph::PartitionStrategy strategy = graph::PartitionStrategy::kBlock;
+};
+
+/// Runs the BSP distributed BFS from `root` over `cluster` (one
+/// partition per device). Throws std::invalid_argument when the graph
+/// is empty or the root is out of range.
+[[nodiscard]] DistBfsRun run_dist_bfs(const graph::CsrGraph& g,
+                                      graph::vid_t root,
+                                      const sim::Cluster& cluster,
+                                      const DistBfsOptions& opts = {});
+
+}  // namespace bfsx::dist

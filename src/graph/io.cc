@@ -54,12 +54,25 @@ EdgeList read_edge_list_text(std::istream& is) {
       throw std::runtime_error("graph io: malformed line " +
                                std::to_string(lineno) + ": '" + line + "'");
     }
+    // Same contract as the binary path: endpoints must fit the declared
+    // vertex count. Checked as each line is read so the error can name
+    // the offending line.
+    if (declared_vertices >= 0 &&
+        (src >= declared_vertices || dst >= declared_vertices)) {
+      throw std::runtime_error(
+          "graph io: line " + std::to_string(lineno) + ": edge (" +
+          std::to_string(src) + ", " + std::to_string(dst) +
+          ") exceeds declared vertex count " +
+          std::to_string(declared_vertices));
+    }
     el.add(static_cast<vid_t>(src), static_cast<vid_t>(dst));
     max_seen = std::max({max_seen, static_cast<vid_t>(src),
                          static_cast<vid_t>(dst)});
   }
   el.num_vertices = declared_vertices >= 0 ? declared_vertices : max_seen + 1;
   require(el.num_vertices >= 0, "no vertices");
+  // Re-check the whole list: a "# vertices: N" header is also honoured
+  // when it appears after edge lines, which the inline check misses.
   for (const Edge& e : el.edges) {
     require(e.src < el.num_vertices && e.dst < el.num_vertices,
             "edge endpoint exceeds declared vertex count");

@@ -1,0 +1,137 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace bfsx::graph {
+
+PartitionStrategy parse_partition_strategy(std::string_view text) {
+  if (text == "block") return PartitionStrategy::kBlock;
+  if (text == "balanced") return PartitionStrategy::kDegreeBalanced;
+  throw std::invalid_argument("unknown partition strategy '" +
+                              std::string(text) +
+                              "' (expected block|balanced)");
+}
+
+VertexPartition::VertexPartition(std::vector<vid_t> starts,
+                                 PartitionStrategy strategy)
+    : starts_(std::move(starts)), strategy_(strategy) {
+  if (starts_.size() < 2 || starts_.front() != 0 ||
+      !std::is_sorted(starts_.begin(), starts_.end())) {
+    throw std::invalid_argument(
+        "VertexPartition: starts must be non-decreasing from 0 with a "
+        "final vertex-count sentinel");
+  }
+}
+
+int VertexPartition::owner(vid_t v) const {
+  if (v < 0 || v >= num_vertices()) {
+    throw std::out_of_range("VertexPartition::owner: vertex out of range");
+  }
+  // Last boundary <= v; ties from empty parts resolve to the part whose
+  // half-open range actually contains v.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), v);
+  return static_cast<int>(it - starts_.begin()) - 1;
+}
+
+VertexPartition partition_vertices(const CsrGraph& g, int parts,
+                                   PartitionStrategy strategy) {
+  if (parts < 1) {
+    throw std::invalid_argument("partition_vertices: need at least one part");
+  }
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> starts(static_cast<std::size_t>(parts) + 1);
+  if (strategy == PartitionStrategy::kBlock) {
+    // Equal vertex counts; the first n % parts parts take one extra.
+    const vid_t base = n / parts;
+    const vid_t extra = n % parts;
+    vid_t at = 0;
+    for (int p = 0; p < parts; ++p) {
+      starts[static_cast<std::size_t>(p)] = at;
+      at += base + (p < extra ? 1 : 0);
+    }
+    starts.back() = n;
+    return {std::move(starts), strategy};
+  }
+  // Degree-balanced: put boundary p at the first vertex whose out-degree
+  // prefix sum reaches p/parts of the total edge count. The global CSR
+  // offsets array *is* that prefix sum.
+  const auto& offs = g.out_offsets();
+  const eid_t total = g.num_edges();
+  for (int p = 0; p <= parts; ++p) {
+    const eid_t want =
+        static_cast<eid_t>((static_cast<double>(total) * p) /
+                           static_cast<double>(parts));
+    const auto it = std::lower_bound(offs.begin(), offs.end(), want);
+    starts[static_cast<std::size_t>(p)] =
+        std::min<vid_t>(n, static_cast<vid_t>(it - offs.begin()));
+  }
+  starts.front() = 0;
+  starts.back() = n;
+  // Skew can make consecutive boundaries cross; restore monotonicity.
+  for (std::size_t p = 1; p < starts.size(); ++p) {
+    starts[p] = std::max(starts[p], starts[p - 1]);
+  }
+  return {std::move(starts), strategy};
+}
+
+eid_t part_out_edges(const CsrGraph& g, const VertexPartition& part, int p) {
+  const auto& offs = g.out_offsets();
+  if (offs.empty()) return 0;
+  return offs[static_cast<std::size_t>(part.end(p))] -
+         offs[static_cast<std::size_t>(part.begin(p))];
+}
+
+std::size_t LocalSubgraph::memory_footprint_bytes() const noexcept {
+  return out_offsets.size() * sizeof(eid_t) +
+         out_targets.size() * sizeof(vid_t) +
+         in_offsets.size() * sizeof(eid_t) +
+         in_targets.size() * sizeof(vid_t);
+}
+
+namespace {
+
+/// Copies rows [first, last) of one adjacency into rebased local arrays.
+void copy_rows(const std::vector<eid_t>& offs, const std::vector<vid_t>& tgts,
+               vid_t first, vid_t last, std::vector<eid_t>& local_offs,
+               std::vector<vid_t>& local_tgts) {
+  const auto lo = offs[static_cast<std::size_t>(first)];
+  const auto hi = offs[static_cast<std::size_t>(last)];
+  local_offs.resize(static_cast<std::size_t>(last - first) + 1);
+  for (vid_t v = first; v <= last; ++v) {
+    local_offs[static_cast<std::size_t>(v - first)] =
+        offs[static_cast<std::size_t>(v)] - lo;
+  }
+  local_tgts.assign(tgts.begin() + lo, tgts.begin() + hi);
+}
+
+}  // namespace
+
+LocalSubgraph extract_subgraph(const CsrGraph& g, const VertexPartition& part,
+                               int p) {
+  if (p < 0 || p >= part.num_parts()) {
+    throw std::out_of_range("extract_subgraph: no such part");
+  }
+  if (part.num_vertices() != g.num_vertices()) {
+    throw std::invalid_argument(
+        "extract_subgraph: partition drawn over a different graph");
+  }
+  LocalSubgraph sub;
+  sub.first = part.begin(p);
+  sub.num_local = part.part_size(p);
+  if (g.num_vertices() == 0) {
+    sub.out_offsets = {0};
+    return sub;
+  }
+  const vid_t last = part.end(p);
+  copy_rows(g.out_offsets(), g.out_targets(), sub.first, last,
+            sub.out_offsets, sub.out_targets);
+  if (!g.is_symmetric()) {
+    copy_rows(g.in_offsets(), g.in_targets(), sub.first, last, sub.in_offsets,
+              sub.in_targets);
+  }
+  return sub;
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,134 @@
+// 1D vertex partitioning of a CsrGraph across N devices.
+//
+// Distributed BFS in the Buluç–Beamer style assigns each device a
+// contiguous range of vertices: the device owns those vertices' rows
+// (out- and in-adjacency), expands the part of the frontier it owns,
+// and exchanges discoveries with the other owners every superstep
+// (see src/dist). Contiguity keeps the owner map O(log P) with no
+// per-vertex table and keeps each device's rows a single slice of the
+// global CSR.
+//
+// Two ways to draw the range boundaries:
+//   * kBlock           — equal vertex counts per part;
+//   * kDegreeBalanced  — boundaries placed on the out-degree prefix sum
+//     so each part owns ~|E|/P edges. On skewed (R-MAT) graphs this is
+//     the difference between one device holding most of the work and an
+//     even superstep (the per-level balance the simulator reports).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace bfsx::graph {
+
+enum class PartitionStrategy { kBlock, kDegreeBalanced };
+
+[[nodiscard]] constexpr const char* to_string(PartitionStrategy s) noexcept {
+  return s == PartitionStrategy::kBlock ? "block" : "balanced";
+}
+
+/// Parses "block" / "balanced". Throws std::invalid_argument otherwise.
+[[nodiscard]] PartitionStrategy parse_partition_strategy(std::string_view text);
+
+/// A 1D contiguous partition: part p owns the global vertex range
+/// [begin(p), end(p)), and the ranges tile [0, num_vertices).
+class VertexPartition {
+ public:
+  /// `starts` must have one entry per part plus a final sentinel equal
+  /// to the vertex count, and be non-decreasing from 0 (empty parts are
+  /// allowed). Throws std::invalid_argument otherwise.
+  VertexPartition(std::vector<vid_t> starts, PartitionStrategy strategy);
+
+  [[nodiscard]] int num_parts() const noexcept {
+    return static_cast<int>(starts_.size()) - 1;
+  }
+  [[nodiscard]] PartitionStrategy strategy() const noexcept {
+    return strategy_;
+  }
+  [[nodiscard]] vid_t num_vertices() const noexcept { return starts_.back(); }
+
+  [[nodiscard]] vid_t begin(int p) const {
+    return starts_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] vid_t end(int p) const {
+    return starts_.at(static_cast<std::size_t>(p) + 1);
+  }
+  [[nodiscard]] vid_t part_size(int p) const { return end(p) - begin(p); }
+
+  /// Owner map: which part owns global vertex `v`. O(log P).
+  [[nodiscard]] int owner(vid_t v) const;
+
+  [[nodiscard]] const std::vector<vid_t>& starts() const noexcept {
+    return starts_;
+  }
+
+ private:
+  std::vector<vid_t> starts_;  // size num_parts + 1
+  PartitionStrategy strategy_;
+};
+
+/// Draws the part boundaries over `g` for `parts` devices. Throws
+/// std::invalid_argument when parts < 1.
+[[nodiscard]] VertexPartition partition_vertices(const CsrGraph& g, int parts,
+                                                 PartitionStrategy strategy);
+
+/// Out-edges owned by part `p` (the rows of its vertex range) — the
+/// top-down work share this part holds.
+[[nodiscard]] eid_t part_out_edges(const CsrGraph& g,
+                                   const VertexPartition& part, int p);
+
+/// The subgraph one device materialises in its own memory: the owned
+/// vertex range's out- and in-rows, offsets rebased to local row 0,
+/// targets kept in *global* vertex ids (a frontier exchange ships
+/// global ids, so local renumbering would buy nothing here).
+struct LocalSubgraph {
+  vid_t first = 0;      // global id of local row 0
+  vid_t num_local = 0;  // owned vertex count
+
+  std::vector<eid_t> out_offsets;  // size num_local + 1
+  std::vector<vid_t> out_targets;  // global ids
+  /// In-adjacency; left empty when the source graph is symmetric (the
+  /// out arrays then serve both directions, mirroring CsrGraph).
+  std::vector<eid_t> in_offsets;
+  std::vector<vid_t> in_targets;
+
+  [[nodiscard]] bool owns(vid_t v) const noexcept {
+    return v >= first && v < first + num_local;
+  }
+  [[nodiscard]] eid_t num_out_edges() const noexcept {
+    return out_offsets.empty() ? 0 : out_offsets.back();
+  }
+  [[nodiscard]] eid_t num_in_edges() const noexcept {
+    return in_offsets.empty() ? num_out_edges() : in_offsets.back();
+  }
+
+  /// Out-neighbours of owned global vertex `v` (global ids).
+  [[nodiscard]] std::span<const vid_t> out_neighbors(vid_t v) const noexcept {
+    const auto r = static_cast<std::size_t>(v - first);
+    return {out_targets.data() + out_offsets[r],
+            static_cast<std::size_t>(out_offsets[r + 1] - out_offsets[r])};
+  }
+
+  /// In-neighbours of owned global vertex `v` (global ids).
+  [[nodiscard]] std::span<const vid_t> in_neighbors(vid_t v) const noexcept {
+    const auto& offs = in_offsets.empty() ? out_offsets : in_offsets;
+    const auto& tgts = in_offsets.empty() ? out_targets : in_targets;
+    const auto r = static_cast<std::size_t>(v - first);
+    return {tgts.data() + offs[r],
+            static_cast<std::size_t>(offs[r + 1] - offs[r])};
+  }
+
+  /// Resident bytes of this device's share of the graph.
+  [[nodiscard]] std::size_t memory_footprint_bytes() const noexcept;
+};
+
+/// Copies part `p`'s rows out of the global CSR.
+[[nodiscard]] LocalSubgraph extract_subgraph(const CsrGraph& g,
+                                             const VertexPartition& part,
+                                             int p);
+
+}  // namespace bfsx::graph

@@ -1,6 +1,12 @@
 #include "graph500/reference_bfs.h"
 
+#include "bfs/drivers.h"
+
 namespace bfsx::graph500 {
+
+bfs::BfsResult reference_bfs(const graph::CsrGraph& g, graph::vid_t root) {
+  return bfs::run_serial(g, root);
+}
 
 BfsEngine make_reference_engine(const sim::Device& device) {
   return [&device](const graph::CsrGraph& g, graph::vid_t root) -> TimedBfs {

@@ -22,6 +22,12 @@ namespace bfsx::graph500 {
 /// repository's optimised top-down kernel on the same hardware.
 inline constexpr double kReferencePenalty = 3.0;
 
+/// The reference traversal itself: a plain serial queue BFS, the
+/// distance/parent oracle every engine (including the distributed one,
+/// src/dist) is checked against in tests.
+[[nodiscard]] bfs::BfsResult reference_bfs(const graph::CsrGraph& g,
+                                           graph::vid_t root);
+
 /// Builds a BfsEngine that emulates the Graph 500 reference code
 /// running on `device`.
 [[nodiscard]] BfsEngine make_reference_engine(const sim::Device& device);

@@ -1,0 +1,98 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bfsx::sim {
+
+namespace {
+constexpr double kUsToS = 1e-6;
+}  // namespace
+
+Cluster::Cluster(std::vector<Device> devices, InterconnectSpec interconnect)
+    : devices_(std::move(devices)), interconnect_(std::move(interconnect)) {
+  if (devices_.empty()) {
+    throw std::invalid_argument("Cluster: need at least one device");
+  }
+}
+
+Cluster Cluster::homogeneous(const ArchSpec& spec, int n,
+                             InterconnectSpec interconnect) {
+  if (n < 1) {
+    throw std::invalid_argument("Cluster: need at least one device");
+  }
+  std::vector<Device> devices;
+  devices.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) devices.emplace_back(spec);
+  return {std::move(devices), std::move(interconnect)};
+}
+
+double Cluster::exchange_seconds(
+    const std::vector<std::vector<std::size_t>>& bytes) const {
+  const std::size_t p = devices_.size();
+  if (p < 2) return 0.0;
+  if (bytes.size() != p) {
+    throw std::invalid_argument("Cluster::exchange_seconds: need one row "
+                                "of byte counts per device");
+  }
+  const double latency =
+      static_cast<double>(p - 1) * interconnect_.latency_us * kUsToS;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (bytes[i].size() != p) {
+      throw std::invalid_argument("Cluster::exchange_seconds: byte matrix "
+                                  "must be P x P");
+    }
+    std::size_t traffic = 0;  // sent + received by device i
+    for (std::size_t j = 0; j < p; ++j) {
+      if (j == i) continue;
+      traffic += bytes[i][j] + bytes[j][i];
+    }
+    const double t = latency + static_cast<double>(traffic) /
+                                   (interconnect_.bandwidth_gbps * 1e9);
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+double Cluster::exchange_seconds(std::span<const std::size_t> bytes_out) const {
+  const std::size_t p = devices_.size();
+  if (p < 2) return 0.0;
+  if (bytes_out.size() != p) {
+    throw std::invalid_argument("Cluster::exchange_seconds: need one byte "
+                                "count per device");
+  }
+  std::size_t total = 0;
+  for (const std::size_t b : bytes_out) total += b;
+  const double latency =
+      static_cast<double>(p - 1) * interconnect_.latency_us * kUsToS;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    // Even spread: i receives everyone else's slice in full.
+    const std::size_t traffic = bytes_out[i] + (total - bytes_out[i]);
+    const double t = latency + static_cast<double>(traffic) /
+                                   (interconnect_.bandwidth_gbps * 1e9);
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+double Cluster::allreduce_seconds(std::size_t bytes) const {
+  const std::size_t p = devices_.size();
+  if (p < 2) return 0.0;
+  const double depth =
+      std::ceil(std::log2(static_cast<double>(p)));
+  return depth * (interconnect_.latency_us * kUsToS +
+                  static_cast<double>(bytes) /
+                      (interconnect_.bandwidth_gbps * 1e9));
+}
+
+Cluster make_paper_cluster(int n) {
+  InterconnectSpec fabric;
+  fabric.name = "node-fabric";
+  fabric.latency_us = 4.0;
+  fabric.bandwidth_gbps = 24.0;
+  return Cluster::homogeneous(make_sandy_bridge_cpu(), n, fabric);
+}
+
+}  // namespace bfsx::sim

@@ -1,0 +1,81 @@
+// An N-device simulated cluster joined by an all-to-all interconnect —
+// the hardware shape distributed BFS (src/dist) runs on.
+//
+// Machine (machine.h) models the paper's single node: one host, a few
+// accelerators, one PCIe link crossed by a single frontier handoff.
+// Cluster generalizes that contract to N peer devices that exchange
+// data *every superstep*, so it also owns the bulk-synchronous
+// communication cost model:
+//
+//   t_i  = (P-1) * latency + (bytes sent by i + bytes received by i) / BW
+//   step = max_i t_i
+//
+// the alpha-beta model of Pan et al. (GPU-cluster BFS): every device
+// posts a message to each peer (empty or not — that is what an
+// MPI_Alltoall costs), pays bandwidth for its own traffic, and the
+// superstep barrier means the slowest device gates the step.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/device.h"
+
+namespace bfsx::sim {
+
+class Cluster {
+ public:
+  /// Throws std::invalid_argument when `devices` is empty.
+  Cluster(std::vector<Device> devices, InterconnectSpec interconnect);
+
+  /// N identical devices on one interconnect.
+  [[nodiscard]] static Cluster homogeneous(const ArchSpec& spec, int n,
+                                           InterconnectSpec interconnect = {});
+
+  [[nodiscard]] std::size_t num_devices() const noexcept {
+    return devices_.size();
+  }
+  [[nodiscard]] const Device& device(std::size_t i) const {
+    if (i >= devices_.size()) {
+      throw std::out_of_range("Cluster: no such device");
+    }
+    return devices_[i];
+  }
+  [[nodiscard]] const std::vector<Device>& devices() const noexcept {
+    return devices_;
+  }
+  [[nodiscard]] const InterconnectSpec& interconnect() const noexcept {
+    return interconnect_;
+  }
+
+  /// Modelled seconds for one bulk-synchronous all-to-all exchange.
+  /// `bytes[i][j]` is what device i ships to device j (diagonal
+  /// ignored). Returns 0 for a single-device cluster: there is no one
+  /// to talk to.
+  [[nodiscard]] double exchange_seconds(
+      const std::vector<std::vector<std::size_t>>& bytes) const;
+
+  /// Convenience overload: device i ships `bytes_out[i]` in total,
+  /// spread evenly over the other P-1 peers (the shape of a frontier
+  /// bitmap allgather, where every peer gets the same slice).
+  [[nodiscard]] double exchange_seconds(
+      std::span<const std::size_t> bytes_out) const;
+
+  /// Modelled seconds to allreduce one small per-device record (the
+  /// aggregated |E|cq / |V|cq counters the direction rule consumes):
+  /// a ceil(log2 P)-deep reduction tree of latency-bound messages.
+  [[nodiscard]] double allreduce_seconds(std::size_t bytes) const;
+
+ private:
+  std::vector<Device> devices_;
+  InterconnectSpec interconnect_;
+};
+
+/// An 8-way cluster of the paper's CPU nodes over a 4x-PCIe-class
+/// fabric; the stock configuration of the scaling study.
+[[nodiscard]] Cluster make_paper_cluster(int n);
+
+}  // namespace bfsx::sim

@@ -1,0 +1,73 @@
+// Minimal command-line option parser for the bfsx tool.
+//
+// Accepts both spellings for every option — `--key value` and
+// `--key=value` — and rejects a repeated option outright: silently
+// letting the last occurrence win hides typos in long benchmark
+// invocations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace bfsx::tools {
+
+class Args {
+ public:
+  Args() = default;
+
+  /// Parses argv[first..argc). Throws std::invalid_argument on a
+  /// non-`--` token, a missing value, an empty option name, or a
+  /// duplicated option.
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --option, got '" + token + "'");
+      }
+      token = token.substr(2);
+      std::string key;
+      std::string value;
+      if (const auto eq = token.find('='); eq != std::string::npos) {
+        key = token.substr(0, eq);
+        value = token.substr(eq + 1);
+      } else {
+        key = token;
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for --" + key);
+        }
+        value = argv[++i];
+      }
+      if (key.empty()) {
+        throw std::invalid_argument("empty option name in '--" + token + "'");
+      }
+      if (!values_.emplace(key, value).second) {
+        throw std::invalid_argument("duplicate option --" + key);
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& dflt) const {
+    return get(key).value_or(dflt);
+  }
+  [[nodiscard]] int get_int(const std::string& key, int dflt) const {
+    const auto v = get(key);
+    return v ? std::stoi(*v) : dflt;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double dflt) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : dflt;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace bfsx::tools

@@ -11,8 +11,6 @@
 // Run `bfsx help` or any subcommand with no arguments for usage.
 #include <cstdio>
 #include <cstring>
-#include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,56 +18,22 @@
 #include "core/level_trace.h"
 #include "core/online_tuner.h"
 #include "core/tuner.h"
+#include "dist/dist_bfs.h"
 #include "graph/builder.h"
 #include "graph/graph_stats.h"
 #include "graph/io.h"
+#include "graph/partition.h"
 #include "graph500/native_engine.h"
 #include "graph500/reference_bfs.h"
 #include "graph500/runner.h"
 #include "sim/arch_config.h"
+#include "sim/cluster.h"
+#include "tools/args.h"
 
 namespace {
 
 using namespace bfsx;
-
-/// Minimal --key value argument parser.
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) {
-        throw std::invalid_argument("expected --option, got '" + key + "'");
-      }
-      key = key.substr(2);
-      if (i + 1 >= argc) {
-        throw std::invalid_argument("missing value for --" + key);
-      }
-      values_[key] = argv[++i];
-    }
-  }
-
-  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? std::nullopt
-                               : std::optional<std::string>(it->second);
-  }
-  [[nodiscard]] std::string get_or(const std::string& key,
-                                   const std::string& dflt) const {
-    return get(key).value_or(dflt);
-  }
-  [[nodiscard]] int get_int(const std::string& key, int dflt) const {
-    const auto v = get(key);
-    return v ? std::stoi(*v) : dflt;
-  }
-  [[nodiscard]] double get_double(const std::string& key, double dflt) const {
-    const auto v = get(key);
-    return v ? std::stod(*v) : dflt;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+using tools::Args;
 
 graph::RmatParams rmat_from_args(const Args& args) {
   graph::RmatParams p;
@@ -97,12 +61,48 @@ graph::CsrGraph load_graph(const Args& args, graph::RmatParams* params_out) {
   return graph::build_csr(graph::generate_rmat(p));
 }
 
-sim::Device device_from_args(const Args& args, const char* key = "device") {
-  const std::string text = args.get_or(key, "cpu");
+sim::Device device_from_spec(const std::string& text) {
   if (text == "cpu" || text == "gpu" || text == "mic") {
     return sim::Device{sim::parse_arch_spec("base=" + text + ",name=" + text)};
   }
   return sim::Device{sim::parse_arch_spec(text)};
+}
+
+sim::Device device_from_args(const Args& args, const char* key = "device") {
+  return device_from_spec(args.get_or(key, "cpu"));
+}
+
+/// Cluster source: --cluster names each device, '+'-separated (each
+/// element a preset or a full key=value arch spec, e.g. "cpu+cpu+gpu");
+/// otherwise --devices N copies of --device. Link knobs:
+/// --link-latency-us / --link-gbps.
+sim::Cluster cluster_from_args(const Args& args) {
+  sim::InterconnectSpec fabric;
+  fabric.name = "cluster-fabric";
+  fabric.latency_us = args.get_double("link-latency-us", fabric.latency_us);
+  fabric.bandwidth_gbps = args.get_double("link-gbps", fabric.bandwidth_gbps);
+
+  std::vector<sim::Device> devices;
+  if (const auto list = args.get("cluster")) {
+    std::size_t begin = 0;
+    while (begin <= list->size()) {
+      const std::size_t end = list->find('+', begin);
+      const std::string token = list->substr(
+          begin, end == std::string::npos ? std::string::npos : end - begin);
+      if (!token.empty()) devices.push_back(device_from_spec(token));
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+    if (devices.empty()) {
+      throw std::invalid_argument("--cluster: no devices in list");
+    }
+  } else {
+    const int ndev = args.get_int("devices", 2);
+    if (ndev < 1) throw std::invalid_argument("--devices: need at least 1");
+    const sim::Device proto = device_from_args(args);
+    devices.assign(static_cast<std::size_t>(ndev), proto);
+  }
+  return sim::Cluster{std::move(devices), std::move(fabric)};
 }
 
 int cmd_generate(const Args& args) {
@@ -145,6 +145,22 @@ int cmd_bfs(const Args& args) {
       engine = graph500::make_bottom_up_engine(device);
     } else if (engine_name == "ref") {
       engine = graph500::make_reference_engine(device);
+    } else if (engine_name == "dist") {
+      dist::DistBfsOptions dopts;
+      dopts.policy = policy;
+      dopts.strategy =
+          graph::parse_partition_strategy(args.get_or("partition", "block"));
+      const sim::Cluster cluster = cluster_from_args(args);
+      std::printf("engine: dist over %zu device(s), %s partition, link "
+                  "%.1fus/%.0fGB/s (modelled time)\n",
+                  cluster.num_devices(), graph::to_string(dopts.strategy),
+                  cluster.interconnect().latency_us,
+                  cluster.interconnect().bandwidth_gbps);
+      engine = [cluster, dopts](const graph::CsrGraph& gg,
+                                graph::vid_t root) {
+        dist::DistBfsRun run = dist::run_dist_bfs(gg, root, cluster, dopts);
+        return graph500::TimedBfs{std::move(run.result), run.seconds};
+      };
     } else if (engine_name == "cross") {
       // Captured by value: the engine outlives this block.
       const sim::Device host = device_from_args(args, "host");
@@ -164,8 +180,10 @@ int cmd_bfs(const Args& args) {
         return graph500::TimedBfs{std::move(run.result), run.seconds};
       };
     }
-    std::printf("engine: %s on %s (modelled time)\n", engine_name.c_str(),
-                std::string(device.name()).c_str());
+    if (engine_name != "dist") {
+      std::printf("engine: %s on %s (modelled time)\n", engine_name.c_str(),
+                  std::string(device.name()).c_str());
+    }
   }
 
   graph500::RunnerOptions opts;
@@ -286,14 +304,18 @@ int usage() {
       "usage: bfsx <command> [--option value ...]\n\n"
       "commands:\n"
       "  generate  --scale N --edgefactor E [--seed S --a --b --c --d] --out FILE\n"
-      "  bfs       [--graph FILE | --scale N ...] --engine td|bu|hybrid|ref|cross\n"
+      "  bfs       [--graph FILE | --scale N ...] --engine td|bu|hybrid|ref|cross|dist\n"
       "            [--device cpu|gpu|mic|KEY=VAL,...] [--host cpu] [--m M --n N]\n"
       "            [--m2 M --n2 N] [--roots K] [--native 1]\n"
+      "            dist: [--devices N] [--partition block|balanced]\n"
+      "                  [--cluster cpu+cpu+gpu] [--link-latency-us L --link-gbps B]\n"
       "  analyze   [--graph FILE | --scale N ...]   degree/component report\n"
       "  trace     [--graph FILE | --scale N ...] [--root R]   level-trace CSV\n"
       "  tune      [--graph FILE | --scale N ...] [--device ...]\n"
       "  train     [--out FILE]\n"
-      "  predict   --model FILE [--scale N ...] [--td-arch cpu] [--bu-arch gpu]\n");
+      "  predict   --model FILE [--scale N ...] [--td-arch cpu] [--bu-arch gpu]\n"
+      "\noptions accept both '--key value' and '--key=value'; repeating an "
+      "option is an error\n");
   return 2;
 }
 

@@ -1,0 +1,72 @@
+// Unit tests for the bfsx CLI option parser (tools/args.h).
+#include "tools/args.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace bfsx::tools {
+namespace {
+
+/// argv helper: parses the given tokens from index 0.
+Args parse(std::vector<const char*> tokens) {
+  return {static_cast<int>(tokens.size()),
+          const_cast<char**>(tokens.data()), 0};
+}
+
+TEST(CliArgs, SpaceSeparatedValues) {
+  const Args args = parse({"--scale", "16", "--engine", "dist"});
+  EXPECT_EQ(args.get_int("scale", 0), 16);
+  EXPECT_EQ(args.get_or("engine", ""), "dist");
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(CliArgs, EqualsSeparatedValues) {
+  const Args args = parse({"--scale=16", "--m=14.5", "--out=graph.bel"});
+  EXPECT_EQ(args.get_int("scale", 0), 16);
+  EXPECT_DOUBLE_EQ(args.get_double("m", 0.0), 14.5);
+  EXPECT_EQ(args.get_or("out", ""), "graph.bel");
+}
+
+TEST(CliArgs, MixedSyntaxesInOneCommandLine) {
+  const Args args = parse({"--scale=14", "--engine", "dist", "--devices=4"});
+  EXPECT_EQ(args.get_int("scale", 0), 14);
+  EXPECT_EQ(args.get_or("engine", ""), "dist");
+  EXPECT_EQ(args.get_int("devices", 0), 4);
+}
+
+TEST(CliArgs, EqualsValueMayContainEquals) {
+  // Arch specs are key=value lists themselves; only the first '='
+  // splits the option.
+  const Args args = parse({"--device=base=gpu,bu_edge_miss_ns=0.5"});
+  EXPECT_EQ(args.get_or("device", ""), "base=gpu,bu_edge_miss_ns=0.5");
+}
+
+TEST(CliArgs, EmptyValueIsAllowedWithEquals) {
+  const Args args = parse({"--tag="});
+  EXPECT_EQ(args.get_or("tag", "unset"), "");
+}
+
+TEST(CliArgs, RejectsDuplicateOptions) {
+  EXPECT_THROW(parse({"--scale", "16", "--scale", "18"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--scale=16", "--scale=18"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--scale", "16", "--scale=18"}), std::invalid_argument);
+}
+
+TEST(CliArgs, RejectsMalformedTokens) {
+  EXPECT_THROW(parse({"scale", "16"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--scale"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--=16"}), std::invalid_argument);
+}
+
+TEST(CliArgs, DefaultsApplyWhenAbsent) {
+  const Args args = parse({});
+  EXPECT_EQ(args.get_int("scale", 16), 16);
+  EXPECT_DOUBLE_EQ(args.get_double("m", 14.0), 14.0);
+  EXPECT_EQ(args.get_or("engine", "hybrid"), "hybrid");
+}
+
+}  // namespace
+}  // namespace bfsx::tools

@@ -76,6 +76,28 @@ TEST(Machine, AcceleratorOutOfRangeThrows) {
   EXPECT_THROW(m.accelerator(0), std::out_of_range);
 }
 
+TEST(Machine, AddAcceleratorReturnsConsecutiveIndices) {
+  Machine m{Device{make_sandy_bridge_cpu()}, InterconnectSpec{}};
+  EXPECT_EQ(m.num_accelerators(), 0u);
+  EXPECT_EQ(m.add_accelerator(Device{make_kepler_gpu()}), 0u);
+  EXPECT_EQ(m.add_accelerator(Device{make_knights_corner_mic()}), 1u);
+  EXPECT_EQ(m.add_accelerator(Device{make_kepler_gpu()}), 2u);
+  EXPECT_EQ(m.num_accelerators(), 3u);
+}
+
+TEST(Machine, AcceleratorIndexSelectsTheRightDevice) {
+  Machine m{Device{make_sandy_bridge_cpu()}, InterconnectSpec{}};
+  m.add_accelerator(Device{make_kepler_gpu()});
+  m.add_accelerator(Device{make_knights_corner_mic()});
+  EXPECT_EQ(m.accelerator(0).name(), "KeplerK20xGPU");
+  EXPECT_EQ(m.accelerator(1).name(), "KnightsCornerMIC");
+  // The default argument selects the first accelerator.
+  EXPECT_EQ(m.accelerator().name(), "KeplerK20xGPU");
+  // One past the end throws; valid indices are untouched by the probe.
+  EXPECT_THROW(m.accelerator(2), std::out_of_range);
+  EXPECT_EQ(m.num_accelerators(), 2u);
+}
+
 TEST(Machine, HandoffSecondsGrowWithGraph) {
   const Machine m = make_paper_node();
   EXPECT_LT(m.handoff_seconds(1'000), m.handoff_seconds(10'000'000));

@@ -64,6 +64,23 @@ TEST(DirectedBfs, ValidatorAcceptsDirectedResults) {
   EXPECT_TRUE(rep.ok) << rep.error;
 }
 
+TEST(DirectedBfs, ValidatorAcceptsDirectedBackEdgeAcrossLevels) {
+  // 0->1->2->3 plus back edge 3->0. The back edge spans three levels,
+  // which is legal in a directed graph: only lv <= lu + 1 must hold
+  // along an out-edge.
+  EdgeList el;
+  el.num_vertices = 4;
+  el.add(0, 1);
+  el.add(1, 2);
+  el.add(2, 3);
+  el.add(3, 0);
+  const CsrGraph g = build_directed_csr(std::move(el));
+  const BfsResult r = run_serial(g, 0);
+  EXPECT_EQ(r.level, (std::vector<std::int32_t>{0, 1, 2, 3}));
+  const ValidationReport rep = validate_bfs(g, 0, r);
+  EXPECT_TRUE(rep.ok) << rep.error;
+}
+
 TEST(DirectedBfs, ValidatorRejectsFabricatedReverseTreeEdge) {
   const CsrGraph g = directed_chain_with_shortcut();
   BfsResult r = run_serial(g, 0);

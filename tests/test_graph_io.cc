@@ -56,6 +56,32 @@ TEST(GraphIoText, RejectsEdgeBeyondDeclaredCount) {
   EXPECT_THROW(read_edge_list_text(ss), std::runtime_error);
 }
 
+TEST(GraphIoText, OutOfRangeErrorNamesTheOffendingLine) {
+  std::stringstream ss("# vertices: 4\n0 1\n2 3\n1 9\n");
+  try {
+    (void)read_edge_list_text(ss);
+    FAIL() << "expected out-of-range edge to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("(1, 9)"), std::string::npos) << what;
+    EXPECT_NE(what.find("4"), std::string::npos) << what;
+  }
+}
+
+TEST(GraphIoText, BoundaryEndpointEqualToCountIsRejected) {
+  // Vertex ids are 0-based: id N is the first invalid one.
+  std::stringstream bad("# vertices: 4\n0 4\n");
+  EXPECT_THROW(read_edge_list_text(bad), std::runtime_error);
+  std::stringstream ok("# vertices: 4\n0 3\n");
+  EXPECT_EQ(read_edge_list_text(ok).num_vertices, 4);
+}
+
+TEST(GraphIoText, HeaderAfterEdgesStillEnforcesTheBound) {
+  std::stringstream ss("0 5\n# vertices: 2\n");
+  EXPECT_THROW(read_edge_list_text(ss), std::runtime_error);
+}
+
 TEST(GraphIoBinary, RoundTripsExactly) {
   RmatParams p;
   p.scale = 10;
