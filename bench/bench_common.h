@@ -19,6 +19,7 @@
 #include "graph/builder.h"
 #include "graph/graph_stats.h"
 #include "graph/rmat.h"
+#include "obs/json.h"
 
 namespace bfsx::bench {
 
@@ -69,6 +70,58 @@ inline void print_header(const char* experiment, const char* what) {
               full_mode() ? "FULL (paper sizes)" : "scaled-down");
   std::printf("==================================================================\n");
 }
+
+/// Machine-readable companion to a bench's printed tables: rows of
+/// key/value cells collected while the bench runs, written as
+/// `BENCH_<figure>.json` (schema "bfsx.bench.v1") next to the binary.
+/// Plotting scripts read these instead of scraping stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string figure) : figure_(std::move(figure)) {}
+
+  /// Starts a new output row; subsequent cell() calls land in it.
+  void row() { rows_.emplace_back(); }
+
+  template <typename V>
+  void cell(std::string_view key, V value) {
+    rows_.back().field(key, value);
+  }
+  void cell(std::string_view key, int value) {
+    rows_.back().field(key, static_cast<std::int64_t>(value));
+  }
+
+  /// Writes BENCH_<figure>.json in the working directory and reports
+  /// the path on stdout. Call once, after the tables are printed.
+  void write() const {
+    const std::string path = "BENCH_" + figure_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::string rows = "[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r != 0) rows += ",";
+      rows += rows_[r].str();
+    }
+    rows += "]";
+    const std::string out = obs::JsonObject()
+                                .field("schema", "bfsx.bench.v1")
+                                .field("figure", figure_)
+                                .field("mode", full_mode() ? "full" : "scaled")
+                                .raw_field("rows", rows)
+                                .str() +
+                            "\n";
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::printf("machine-readable result: %s (%zu rows)\n", path.c_str(),
+                rows_.size());
+  }
+
+ private:
+  std::string figure_;
+  std::vector<obs::JsonObject> rows_;
+};
 
 /// A quick trainer config that spans the scales the benches evaluate,
 /// so the regression predictor interpolates rather than extrapolates.

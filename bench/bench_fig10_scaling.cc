@@ -23,7 +23,7 @@ double tuned_seconds(const core::LevelTrace& tr, const sim::ArchSpec& arch) {
   return core::pick_best(core::sweep_single(tr, arch, cands), cands).seconds;
 }
 
-void strong_scaling(int scale) {
+void strong_scaling(int scale, JsonReport& report) {
   std::printf("\n(a) strong scaling: SCALE=%d (paper: SCALE 22, 4M vertices), "
               "GTEPS per core count\n", scale);
   const BuiltGraph bg = make_graph(scale, 16);
@@ -37,6 +37,13 @@ void strong_scaling(int scale) {
     const double t = tuned_seconds(tr, cpu.with_cores(p));
     if (p == 1) cpu1 = t;
     std::printf("  %d-core %.3f GTEPS (%.1fx)", p, edges / t / 1e9, cpu1 / t);
+    report.row();
+    report.cell("panel", "strong");
+    report.cell("arch", "cpu");
+    report.cell("cores", p);
+    report.cell("scale", scale);
+    report.cell("gteps", edges / t / 1e9);
+    report.cell("speedup", cpu1 / t);
   }
   std::printf("\n");
 
@@ -47,6 +54,13 @@ void strong_scaling(int scale) {
     const double t = tuned_seconds(tr, mic.with_cores(p));
     if (p == 1) mic1 = t;
     std::printf("  %d-core %.3f GTEPS (%.1fx)", p, edges / t / 1e9, mic1 / t);
+    report.row();
+    report.cell("panel", "strong");
+    report.cell("arch", "mic");
+    report.cell("cores", p);
+    report.cell("scale", scale);
+    report.cell("gteps", edges / t / 1e9);
+    report.cell("speedup", mic1 / t);
   }
   std::printf("\n");
 
@@ -60,7 +74,7 @@ void strong_scaling(int scale) {
                                        tuned_seconds(tr, cpu.with_cores(1)));
 }
 
-void weak_scaling(int base_scale) {
+void weak_scaling(int base_scale, JsonReport& report) {
   std::printf("\n(b) weak scaling: per-core load fixed (paper: 1M vertices "
               "per CPU core, 0.25M per MIC core)\n");
   // Each doubling of cores doubles the graph: constant per-core load.
@@ -73,6 +87,12 @@ void weak_scaling(int base_scale) {
     const double edges = static_cast<double>(tr.num_edges) / 2.0;
     const double t = tuned_seconds(tr, cpu.with_cores(p));
     std::printf("  %d-core/2^%d %.3f GTEPS", p, scale, edges / t / 1e9);
+    report.row();
+    report.cell("panel", "weak");
+    report.cell("arch", "cpu");
+    report.cell("cores", p);
+    report.cell("scale", scale);
+    report.cell("gteps", edges / t / 1e9);
   }
   std::printf("\n");
   const sim::ArchSpec mic = sim::make_knights_corner_mic();
@@ -84,6 +104,12 @@ void weak_scaling(int base_scale) {
     const double edges = static_cast<double>(tr.num_edges) / 2.0;
     const double t = tuned_seconds(tr, mic.with_cores(p));
     std::printf("  %d-core/2^%d %.3f GTEPS", p, scale, edges / t / 1e9);
+    report.row();
+    report.cell("panel", "weak");
+    report.cell("arch", "mic");
+    report.cell("cores", p);
+    report.cell("scale", scale);
+    report.cell("gteps", edges / t / 1e9);
   }
   std::printf("\n-> rising GTEPS with constant per-core load = good weak "
               "scaling (paper Fig. 10b)\n");
@@ -95,7 +121,7 @@ double dist_gteps(const dist::DistBfsRun& run) {
          1e9;
 }
 
-void dist_strong_scaling(int scale) {
+void dist_strong_scaling(int scale, JsonReport& report) {
   std::printf("\n(c) multi-device strong scaling: SCALE=%d, modelled GTEPS "
               "per device count (src/dist BSP simulation)\n", scale);
   const BuiltGraph bg = make_graph(scale, 16);
@@ -115,6 +141,14 @@ void dist_strong_scaling(int scale) {
       std::printf("  %dd %.3f GTEPS (%.2fx, comm %2.0f%%)", n,
                   dist_gteps(run), t1 / run.seconds,
                   100.0 * run.comm_seconds / run.seconds);
+      report.row();
+      report.cell("panel", "dist");
+      report.cell("partition", graph::to_string(strategy));
+      report.cell("devices", n);
+      report.cell("scale", scale);
+      report.cell("gteps", dist_gteps(run));
+      report.cell("speedup", t1 / run.seconds);
+      report.cell("comm_fraction", run.comm_seconds / run.seconds);
     }
     std::printf("\n");
   }
@@ -148,8 +182,10 @@ void dist_strong_scaling(int scale) {
 int main() {
   print_header("Figure 10", "strong and weak scaling of the combination");
   const int scale = pick_scale(17, 22);
-  strong_scaling(scale);
-  weak_scaling(scale - 3);
-  dist_strong_scaling(scale - 1);
+  JsonReport report("fig10_scaling");
+  strong_scaling(scale, report);
+  weak_scaling(scale - 3, report);
+  dist_strong_scaling(scale - 1, report);
+  report.write();
   return 0;
 }

@@ -67,5 +67,22 @@ int main() {
               res.validation_failures);
   std::printf("mean_bfs_time:        %.6f s (modelled, Sandy Bridge)\n",
               res.mean_seconds());
+
+  JsonReport report("graph500_report");
+  report.row();
+  report.cell("scale", scale);
+  report.cell("edgefactor", edgefactor);
+  report.cell("nbfs", static_cast<std::int64_t>(res.runs.size()));
+  report.cell("generation_seconds",
+              std::chrono::duration<double>(t1 - t0).count());
+  report.cell("construction_seconds",
+              std::chrono::duration<double>(t2 - t1).count());
+  report.cell("tuned_m", policy.m);
+  report.cell("tuned_n", policy.n);
+  report.cell("harmonic_mean_teps", res.stats.harmonic_mean);
+  report.cell("median_teps", res.stats.median);
+  report.cell("mean_bfs_seconds", res.mean_seconds());
+  report.cell("validation_failures", res.validation_failures);
+  report.write();
   return res.validation_failures == 0 ? 0 : 1;
 }

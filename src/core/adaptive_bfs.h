@@ -7,6 +7,7 @@
 
 #include "core/beamer_policy.h"
 #include "core/hybrid_policy.h"
+#include "obs/sink.h"
 #include "sim/device.h"
 
 namespace bfsx::core {
@@ -35,24 +36,28 @@ struct CombinationRun {
 
 /// Runs the combination of Algorithms 1 and 2 on one device, switching
 /// by `policy` each level (paper Section II-B / Fig. 4), and returns
-/// the full per-level account.
+/// the full per-level account. `sink` (optional, non-owning) observes
+/// the traversal as engine "hybrid".
 [[nodiscard]] CombinationRun run_combination(const graph::CsrGraph& g,
                                              graph::vid_t root,
                                              const sim::Device& device,
-                                             const HybridPolicy& policy);
+                                             const HybridPolicy& policy,
+                                             obs::TraceSink* sink = nullptr);
 
 /// Pure-direction runs through the same reporting path (the paper's
-/// GPUTD/GPUBU/... columns of Table IV).
+/// GPUTD/GPUBU/... columns of Table IV). Traced as "td" / "bu".
 [[nodiscard]] CombinationRun run_pure(const graph::CsrGraph& g,
                                       graph::vid_t root,
                                       const sim::Device& device,
-                                      bfs::Direction direction);
+                                      bfs::Direction direction,
+                                      obs::TraceSink* sink = nullptr);
 
 /// The same combination under Beamer's stateful alpha/beta rule
 /// (core/beamer_policy.h) — the SC'12 baseline the paper's M/N rule
-/// reformulates. Tracks the unexplored-edge count live.
+/// reformulates. Tracks the unexplored-edge count live. Traced as
+/// "beamer".
 [[nodiscard]] CombinationRun run_combination_beamer(
     const graph::CsrGraph& g, graph::vid_t root, const sim::Device& device,
-    const BeamerPolicy& policy);
+    const BeamerPolicy& policy, obs::TraceSink* sink = nullptr);
 
 }  // namespace bfsx::core

@@ -7,7 +7,8 @@ namespace bfsx::core {
 CombinationRun run_adaptive(const graph::CsrGraph& g, graph::vid_t root,
                             const GraphFeatures& features,
                             const sim::Machine& machine,
-                            const SwitchPredictor& predictor) {
+                            const SwitchPredictor& predictor,
+                            obs::TraceSink* sink) {
   const sim::Device& host = machine.host();
   const sim::Device& accel = machine.accelerator(0);
   // Algorithm 3 lines 1-2: the two independent predictions.
@@ -16,7 +17,7 @@ CombinationRun run_adaptive(const graph::CsrGraph& g, graph::vid_t root,
   const HybridPolicy on_accel =
       predictor.predict(features, accel.spec(), accel.spec());
   return run_cross_arch(g, root, host, accel, machine.link(), handoff,
-                        on_accel);
+                        on_accel, sink);
 }
 
 std::size_t select_accelerator(const GraphFeatures& features,
@@ -44,7 +45,8 @@ CombinationRun run_adaptive_auto(const graph::CsrGraph& g, graph::vid_t root,
                                  const GraphFeatures& features,
                                  const sim::Machine& machine,
                                  const SwitchPredictor& predictor,
-                                 const TimePredictor& times) {
+                                 const TimePredictor& times,
+                                 obs::TraceSink* sink) {
   const std::size_t pick = select_accelerator(features, machine, times);
   const sim::Device& host = machine.host();
   const sim::Device& accel = machine.accelerator(pick);
@@ -53,14 +55,15 @@ CombinationRun run_adaptive_auto(const graph::CsrGraph& g, graph::vid_t root,
   const HybridPolicy on_accel =
       predictor.predict(features, accel.spec(), accel.spec());
   return run_cross_arch(g, root, host, accel, machine.link(), handoff,
-                        on_accel);
+                        on_accel, sink);
 }
 
 CombinationRun run_adaptive_single(const graph::CsrGraph& g,
                                    graph::vid_t root,
                                    const GraphFeatures& features,
                                    const sim::Device& device,
-                                   const SwitchPredictor& predictor) {
+                                   const SwitchPredictor& predictor,
+                            obs::TraceSink* sink) {
   const HybridPolicy policy = predictor.predict(features, device.spec());
   return run_combination(g, root, device, policy);
 }

@@ -24,14 +24,15 @@ namespace bfsx::core {
                                           graph::vid_t root,
                                           const GraphFeatures& features,
                                           const sim::Machine& machine,
-                                          const SwitchPredictor& predictor);
+                                          const SwitchPredictor& predictor,
+                                          obs::TraceSink* sink = nullptr);
 
 /// Single-architecture adaptive combination (the paper's CPUCB/GPUCB/
 /// MICCB rows, with the switching point predicted instead of hand-tuned).
 [[nodiscard]] CombinationRun run_adaptive_single(
     const graph::CsrGraph& g, graph::vid_t root,
     const GraphFeatures& features, const sim::Device& device,
-    const SwitchPredictor& predictor);
+    const SwitchPredictor& predictor, obs::TraceSink* sink = nullptr);
 
 /// Extension beyond the paper: rank the machine's accelerators by
 /// predicted runtime (TimePredictor) and return the index of the best
@@ -49,6 +50,7 @@ namespace bfsx::core {
                                                const GraphFeatures& features,
                                                const sim::Machine& machine,
                                                const SwitchPredictor& predictor,
-                                               const TimePredictor& times);
+                                               const TimePredictor& times,
+                                               obs::TraceSink* sink = nullptr);
 
 }  // namespace bfsx::core

@@ -1,6 +1,7 @@
 #include "core/cross_arch_bfs.h"
 
 #include "bfs/frontier.h"
+#include "core/trace_emit.h"
 
 namespace bfsx::core {
 namespace {
@@ -10,11 +11,14 @@ CombinationRun run_cross_impl(const graph::CsrGraph& g, graph::vid_t root,
                               const sim::Device& accel,
                               const sim::InterconnectSpec& link,
                               const HybridPolicy& handoff_policy,
-                              const HybridPolicy* accel_policy) {
+                              const HybridPolicy* accel_policy,
+                              obs::TraceSink* sink) {
   handoff_policy.validate();
   if (accel_policy != nullptr) accel_policy->validate();
 
   CombinationRun run;
+  obs::RunEvent trace = trace_begin_run(
+      sink, accel_policy != nullptr ? "cross" : "cross-bu", g, root);
   bfs::BfsState state(g, root);
   bool on_accel = false;
   bfs::Direction prev = bfs::Direction::kTopDown;
@@ -37,6 +41,16 @@ CombinationRun run_cross_impl(const graph::CsrGraph& g, graph::vid_t root,
             sim::transfer_seconds(link, sim::handoff_bytes(g.num_vertices()));
         run.transfer_seconds += xfer;
         run.seconds += xfer;
+        if (sink != nullptr) {
+          obs::LevelEvent handoff;
+          handoff.kind = obs::LevelEvent::Kind::kHandoff;
+          handoff.level = state.current_level;
+          handoff.device = std::string(accel.name());
+          handoff.frontier_vertices = v_cq;
+          handoff.frontier_edges = e_cq;
+          handoff.comm_seconds = xfer;
+          sink->on_level(handoff);
+        }
       }
     }
     if (on_accel) {
@@ -54,9 +68,16 @@ CombinationRun run_cross_impl(const graph::CsrGraph& g, graph::vid_t root,
     prev = dir;
     first = false;
     run.seconds += out.seconds;
+    if (sink != nullptr) {
+      sink->on_level(trace_level(out, std::string(device->name())));
+    }
     run.levels.push_back({out, std::string(device->name())});
   }
   run.result = std::move(state).take_result(g);
+  trace_end_run(sink, std::move(trace), run.result, run.seconds,
+                run.transfer_seconds,
+                static_cast<std::int32_t>(run.levels.size()),
+                run.direction_switches);
   return run;
 }
 
@@ -67,9 +88,10 @@ CombinationRun run_cross_arch(const graph::CsrGraph& g, graph::vid_t root,
                               const sim::Device& accel,
                               const sim::InterconnectSpec& link,
                               const HybridPolicy& handoff_policy,
-                              const HybridPolicy& accel_policy) {
+                              const HybridPolicy& accel_policy,
+                              obs::TraceSink* sink) {
   return run_cross_impl(g, root, host, accel, link, handoff_policy,
-                        &accel_policy);
+                        &accel_policy, sink);
 }
 
 CombinationRun run_cross_arch_bu_only(const graph::CsrGraph& g,
@@ -77,8 +99,10 @@ CombinationRun run_cross_arch_bu_only(const graph::CsrGraph& g,
                                       const sim::Device& host,
                                       const sim::Device& accel,
                                       const sim::InterconnectSpec& link,
-                                      const HybridPolicy& handoff_policy) {
-  return run_cross_impl(g, root, host, accel, link, handoff_policy, nullptr);
+                                      const HybridPolicy& handoff_policy,
+                                      obs::TraceSink* sink) {
+  return run_cross_impl(g, root, host, accel, link, handoff_policy, nullptr,
+                        sink);
 }
 
 }  // namespace bfsx::core

@@ -20,18 +20,23 @@
 
 namespace bfsx::core {
 
-/// Runs Algorithm 3 on host + accelerator over a link.
+/// Runs Algorithm 3 on host + accelerator over a link. `sink`
+/// (optional, non-owning) observes the traversal as engine "cross";
+/// the host→accelerator frontier shipment is emitted as an explicit
+/// handoff event carrying the modelled wire time.
 [[nodiscard]] CombinationRun run_cross_arch(
     const graph::CsrGraph& g, graph::vid_t root, const sim::Device& host,
     const sim::Device& accel, const sim::InterconnectSpec& link,
-    const HybridPolicy& handoff_policy, const HybridPolicy& accel_policy);
+    const HybridPolicy& handoff_policy, const HybridPolicy& accel_policy,
+    obs::TraceSink* sink = nullptr);
 
 /// The paper's intermediate variant CPUTD+GPUBU (Table IV, column 7):
 /// host top-down for the early levels, then pure bottom-up on the
-/// accelerator to the end — no switch-back to top-down.
+/// accelerator to the end — no switch-back to top-down. Traced as
+/// "cross-bu".
 [[nodiscard]] CombinationRun run_cross_arch_bu_only(
     const graph::CsrGraph& g, graph::vid_t root, const sim::Device& host,
     const sim::Device& accel, const sim::InterconnectSpec& link,
-    const HybridPolicy& handoff_policy);
+    const HybridPolicy& handoff_policy, obs::TraceSink* sink = nullptr);
 
 }  // namespace bfsx::core

@@ -1,0 +1,63 @@
+// Adapters from the executors' internal records (sim::LevelOutcome,
+// CombinationRun totals) to the unified obs:: trace events. Shared by
+// the single-arch, cross-arch, and Graph 500 sim engines so every
+// family serializes byte-identical counters for identical work.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "graph/csr.h"
+#include "obs/sink.h"
+#include "sim/device.h"
+
+namespace bfsx::core {
+
+/// Builds the identity half of a RunEvent and emits run_begin when a
+/// sink is attached. The returned event is reused for run_end once the
+/// totals are known.
+inline obs::RunEvent trace_begin_run(obs::TraceSink* sink, std::string engine,
+                                     const graph::CsrGraph& g,
+                                     graph::vid_t root) {
+  obs::RunEvent e;
+  e.engine = std::move(engine);
+  e.root = root;
+  e.num_vertices = g.num_vertices();
+  e.num_edges = g.num_edges();
+  if (sink != nullptr) sink->on_run_begin(e);
+  return e;
+}
+
+/// Fills the totals of `e` from the finished run and emits run_end.
+inline void trace_end_run(obs::TraceSink* sink, obs::RunEvent e,
+                          const bfs::BfsResult& result, double seconds,
+                          double comm_seconds, std::int32_t depth,
+                          int direction_switches) {
+  if (sink == nullptr) return;
+  e.seconds = seconds;
+  e.comm_seconds = comm_seconds;
+  e.compute_seconds = seconds - comm_seconds;
+  e.depth = depth;
+  e.reached = result.reached;
+  e.edges_in_component = result.edges_in_component;
+  e.direction_switches = direction_switches;
+  sink->on_run_end(e);
+}
+
+/// One executed level on a simulated device, verbatim.
+inline obs::LevelEvent trace_level(const sim::LevelOutcome& out,
+                                   std::string device) {
+  obs::LevelEvent e;
+  e.level = out.level;
+  e.direction = out.direction;
+  e.device = std::move(device);
+  e.frontier_vertices = out.frontier_vertices;
+  e.frontier_edges = out.frontier_edges;
+  e.bu_edges_hit = out.bu_edges_hit;
+  e.bu_edges_miss = out.bu_edges_miss;
+  e.next_vertices = out.next_vertices;
+  e.compute_seconds = out.seconds;
+  return e;
+}
+
+}  // namespace bfsx::core

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "bfs/bottomup.h"
 #include "bfs/topdown.h"
+#include "core/trace_emit.h"
 
 namespace bfsx::dist {
 namespace {
@@ -142,6 +144,10 @@ DistBfsRun run_dist_bfs(const graph::CsrGraph& g, vid_t root,
     run.device_graph_bytes.push_back(sub.memory_footprint_bytes());
   }
 
+  obs::RunEvent trace = core::trace_begin_run(opts.sink, "dist", g, root);
+  const std::string cluster_name =
+      "cluster[" + std::to_string(cluster.num_devices()) + "]";
+
   bfs::BfsState state(g, root);
   std::vector<graph::Bitmap> sent_scratch;
   sent_scratch.reserve(cluster.num_devices());
@@ -192,6 +198,8 @@ DistBfsRun run_dist_bfs(const graph::CsrGraph& g, vid_t root,
         out.device_compute_seconds[d] = cluster.device(d).bottom_up_cost(
             part.part_size(static_cast<int>(d)), count.hit_edges[d],
             count.miss_edges[d]);
+        out.bu_edges_hit += count.hit_edges[d];
+        out.bu_edges_miss += count.miss_edges[d];
       }
       const bfs::BottomUpStats stats = bfs::bottom_up_step(g, state);
       out.next_vertices = stats.next_vertices;
@@ -211,11 +219,30 @@ DistBfsRun run_dist_bfs(const graph::CsrGraph& g, vid_t root,
 
     run.compute_seconds += out.compute_seconds;
     run.comm_seconds += out.comm_seconds;
+    if (opts.sink != nullptr) {
+      obs::LevelEvent event;
+      event.level = out.level;
+      event.direction = out.direction;
+      event.device = cluster_name;
+      event.frontier_vertices = out.frontier_vertices;
+      event.frontier_edges = out.frontier_edges;
+      event.bu_edges_hit = out.bu_edges_hit;
+      event.bu_edges_miss = out.bu_edges_miss;
+      event.next_vertices = out.next_vertices;
+      event.compute_seconds = out.compute_seconds;
+      event.comm_seconds = out.comm_seconds;
+      event.balance = out.balance;
+      opts.sink->on_level(event);
+    }
     run.levels.push_back(std::move(out));
   }
 
   run.seconds = run.compute_seconds + run.comm_seconds;
   run.result = std::move(state).take_result(g);
+  core::trace_end_run(opts.sink, std::move(trace), run.result, run.seconds,
+                      run.comm_seconds,
+                      static_cast<std::int32_t>(run.levels.size()),
+                      run.direction_switches);
   return run;
 }
 

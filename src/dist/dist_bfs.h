@@ -30,6 +30,7 @@
 #include "bfs/state.h"
 #include "core/hybrid_policy.h"
 #include "graph/partition.h"
+#include "obs/sink.h"
 #include "sim/cluster.h"
 
 namespace bfsx::dist {
@@ -46,6 +47,9 @@ struct DistLevelOutcome {
   double balance = 1.0;
   graph::vid_t frontier_vertices = 0;  // aggregated |V|cq
   graph::eid_t frontier_edges = 0;     // aggregated |E|cq
+  /// Aggregated bottom-up scan split (0 for top-down supersteps).
+  graph::eid_t bu_edges_hit = 0;
+  graph::eid_t bu_edges_miss = 0;
   graph::vid_t next_vertices = 0;
   std::vector<double> device_compute_seconds;  // one entry per device
 };
@@ -74,6 +78,10 @@ struct DistBfsOptions {
   /// presets (always_top_down / always_bottom_up) express pure runs.
   core::HybridPolicy policy{};
   graph::PartitionStrategy strategy = graph::PartitionStrategy::kBlock;
+  /// Optional, non-owning trace consumer. Each superstep is emitted as
+  /// one level event (engine "dist") whose comm_seconds and balance
+  /// carry the BSP fabric share and compute skew.
+  obs::TraceSink* sink = nullptr;
 };
 
 /// Runs the BSP distributed BFS from `root` over `cluster` (one

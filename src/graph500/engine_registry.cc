@@ -1,0 +1,198 @@
+#include "graph500/engine_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/adaptive_bfs.h"
+#include "core/cross_arch_bfs.h"
+#include "dist/dist_bfs.h"
+#include "graph500/native_engine.h"
+#include "graph500/reference_bfs.h"
+#include "sim/arch_config.h"
+
+namespace bfsx::graph500 {
+namespace {
+
+/// Classic O(a*b) edit distance, small strings only (engine names).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next_diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = next_diag;
+    }
+  }
+  return row[b.size()];
+}
+
+sim::Device cpu_preset() {
+  return sim::Device{sim::parse_arch_spec("base=cpu,name=cpu")};
+}
+
+}  // namespace
+
+EngineConfig::EngineConfig() : device(cpu_preset()), host(cpu_preset()) {}
+
+void EngineRegistry::register_engine(Entry entry) {
+  if (entry.name.empty()) {
+    throw std::invalid_argument("EngineRegistry: empty engine name");
+  }
+  if (!entry.factory) {
+    throw std::invalid_argument("EngineRegistry: engine '" + entry.name +
+                                "' has no factory");
+  }
+  if (find(entry.name) != nullptr) {
+    throw std::invalid_argument("EngineRegistry: duplicate engine '" +
+                                entry.name + "'");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+const EngineRegistry::Entry* EngineRegistry::find(
+    std::string_view name) const noexcept {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+BfsEngine EngineRegistry::make_engine(const std::string& name,
+                                      const EngineConfig& config) const {
+  if (const Entry* entry = find(name)) return entry->factory(config);
+
+  std::string message = "unknown engine '" + name + "'";
+  const Entry* closest = nullptr;
+  std::size_t best = name.size();  // suggestions must beat "retype it all"
+  for (const Entry& e : entries_) {
+    const std::size_t d = edit_distance(name, e.name);
+    if (d < best || (closest == nullptr && d <= best)) {
+      closest = &e;
+      best = d;
+    }
+  }
+  if (closest != nullptr && best <= std::max<std::size_t>(2, name.size() / 3)) {
+    message += " (did you mean '" + closest->name + "'?)";
+  }
+  message += "; valid engines:";
+  for (const Entry& e : entries_) message += " " + e.name;
+  throw UnknownEngineError(message);
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+std::string EngineRegistry::describe() const {
+  std::size_t width = 0;
+  for (const Entry& e : entries_) width = std::max(width, e.name.size());
+  std::string out;
+  for (const Entry& e : entries_) {
+    out += "    " + e.name + std::string(width - e.name.size() + 2, ' ') +
+           e.description + "\n";
+  }
+  return out;
+}
+
+EngineRegistry EngineRegistry::with_builtin_engines() {
+  EngineRegistry r;
+  r.register_engine(
+      {"td", "pure top-down on one simulated device (CPUTD/GPUTD rows)",
+       [](const EngineConfig& cfg) -> BfsEngine {
+         return [device = cfg.device, sink = cfg.sink](
+                    const graph::CsrGraph& g, graph::vid_t root) {
+           core::CombinationRun run = core::run_pure(
+               g, root, device, bfs::Direction::kTopDown, sink);
+           return TimedBfs{std::move(run.result), run.seconds};
+         };
+       }});
+  r.register_engine(
+      {"bu", "pure bottom-up on one simulated device (CPUBU/GPUBU rows)",
+       [](const EngineConfig& cfg) -> BfsEngine {
+         return [device = cfg.device, sink = cfg.sink](
+                    const graph::CsrGraph& g, graph::vid_t root) {
+           core::CombinationRun run = core::run_pure(
+               g, root, device, bfs::Direction::kBottomUp, sink);
+           return TimedBfs{std::move(run.result), run.seconds};
+         };
+       }});
+  r.register_engine(
+      {"ref", "Graph 500 reference-code stand-in (penalised top-down)",
+       [](const EngineConfig& cfg) -> BfsEngine {
+         // make_reference_engine holds the device by reference; give
+         // the closure shared ownership of a copy instead.
+         auto device = std::make_shared<sim::Device>(cfg.device);
+         BfsEngine inner = make_reference_engine(*device, cfg.sink);
+         return [device, inner = std::move(inner)](const graph::CsrGraph& g,
+                                                   graph::vid_t root) {
+           return inner(g, root);
+         };
+       }});
+  r.register_engine(
+      {"hybrid", "M/N direction-switching combination on one device",
+       [](const EngineConfig& cfg) -> BfsEngine {
+         return [device = cfg.device, policy = cfg.policy, sink = cfg.sink](
+                    const graph::CsrGraph& g, graph::vid_t root) {
+           core::CombinationRun run =
+               core::run_combination(g, root, device, policy, sink);
+           return TimedBfs{std::move(run.result), run.seconds};
+         };
+       }});
+  r.register_engine(
+      {"cross",
+       "host runs top-down, accelerator finishes (paper Algorithm 3)",
+       [](const EngineConfig& cfg) -> BfsEngine {
+         return [host = cfg.host, accel = cfg.device, link = cfg.link,
+                 handoff = cfg.policy, accel_policy = cfg.accel_policy,
+                 sink = cfg.sink](const graph::CsrGraph& g,
+                                  graph::vid_t root) {
+           core::CombinationRun run = core::run_cross_arch(
+               g, root, host, accel, link, handoff, accel_policy, sink);
+           return TimedBfs{std::move(run.result), run.seconds};
+         };
+       }});
+  r.register_engine(
+      {"dist", "BSP distributed BFS over a partitioned device cluster",
+       [](const EngineConfig& cfg) -> BfsEngine {
+         std::shared_ptr<const sim::Cluster> cluster = cfg.cluster;
+         if (cluster == nullptr) {
+           cluster = std::make_shared<const sim::Cluster>(
+               std::vector<sim::Device>{cfg.device, cfg.device},
+               sim::InterconnectSpec{});
+         }
+         dist::DistBfsOptions dopts;
+         dopts.policy = cfg.policy;
+         dopts.strategy = cfg.strategy;
+         dopts.sink = cfg.sink;
+         return [cluster, dopts](const graph::CsrGraph& g,
+                                 graph::vid_t root) {
+           dist::DistBfsRun run = dist::run_dist_bfs(g, root, *cluster, dopts);
+           return TimedBfs{std::move(run.result), run.seconds};
+         };
+       }});
+  r.register_engine(
+      {"native-td", "pure top-down on this host, wall-clock timed",
+       [](const EngineConfig& cfg) {
+         return make_native_top_down_engine(cfg.sink);
+       }});
+  r.register_engine(
+      {"native-bu", "pure bottom-up on this host, wall-clock timed",
+       [](const EngineConfig& cfg) {
+         return make_native_bottom_up_engine(cfg.sink);
+       }});
+  r.register_engine(
+      {"native-hybrid", "M/N combination on this host, wall-clock timed",
+       [](const EngineConfig& cfg) {
+         return make_native_hybrid_engine(cfg.policy, cfg.sink);
+       }});
+  return r;
+}
+
+}  // namespace bfsx::graph500

@@ -5,52 +5,127 @@
 #include "bfs/bottomup.h"
 #include "bfs/frontier.h"
 #include "bfs/topdown.h"
+#include "core/trace_emit.h"
 
 namespace bfsx::graph500 {
 namespace {
 
 using clock = std::chrono::steady_clock;
 
-template <typename Body>
-TimedBfs timed_traversal(const graph::CsrGraph& g, graph::vid_t root,
-                         Body&& body) {
+double seconds_since(clock::time_point start) {
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+/// Runs a traversal with `step(state, event_or_null)`. With no sink the
+/// loop is exactly the untraced original — one clock read per
+/// traversal, no per-level work. With a sink, each level is wall-timed
+/// and emitted (the counter collection adds a frontier scan on
+/// bottom-up levels, so traced native runs pay a small, explicit
+/// observation cost).
+template <typename Step>
+TimedBfs traced_traversal(const graph::CsrGraph& g, graph::vid_t root,
+                          const char* engine, obs::TraceSink* sink,
+                          Step&& step) {
   bfs::BfsState state(g, root);
+  if (sink == nullptr) {
+    const auto start = clock::now();
+    while (!state.frontier_empty()) step(state, nullptr);
+    const double seconds = seconds_since(start);
+    return {std::move(state).take_result(g), seconds};
+  }
+
+  obs::RunEvent trace = core::trace_begin_run(sink, engine, g, root);
+  std::int32_t depth = 0;
+  int switches = 0;
+  bfs::Direction prev = bfs::Direction::kTopDown;
   const auto start = clock::now();
-  while (!state.frontier_empty()) body(state);
-  const double seconds =
-      std::chrono::duration<double>(clock::now() - start).count();
-  return {std::move(state).take_result(g), seconds};
+  while (!state.frontier_empty()) {
+    obs::LevelEvent event;
+    event.device = "host";
+    const auto level_start = clock::now();
+    step(state, &event);
+    event.compute_seconds = seconds_since(level_start);
+    if (depth > 0 && event.direction != prev) ++switches;
+    prev = event.direction;
+    ++depth;
+    sink->on_level(event);
+  }
+  const double seconds = seconds_since(start);
+  TimedBfs timed{std::move(state).take_result(g), seconds};
+  core::trace_end_run(sink, std::move(trace), timed.result, seconds, 0.0,
+                      depth, switches);
+  return timed;
+}
+
+void step_top_down(const graph::CsrGraph& g, bfs::BfsState& s,
+                   obs::LevelEvent* e) {
+  if (e == nullptr) {
+    bfs::top_down_step(g, s);
+    return;
+  }
+  e->level = s.current_level;
+  e->direction = bfs::Direction::kTopDown;
+  const bfs::TopDownStats stats = bfs::top_down_step(g, s);
+  e->frontier_vertices = stats.frontier_vertices;
+  e->frontier_edges = stats.frontier_edges;
+  e->next_vertices = stats.next_vertices;
+}
+
+void step_bottom_up(const graph::CsrGraph& g, bfs::BfsState& s,
+                    obs::LevelEvent* e) {
+  if (e == nullptr) {
+    bfs::bottom_up_step(g, s);
+    return;
+  }
+  e->level = s.current_level;
+  e->direction = bfs::Direction::kBottomUp;
+  // |E|cq is not a bottom-up kernel byproduct; count it so traces from
+  // every engine family carry the same per-level counters.
+  e->frontier_vertices = static_cast<graph::vid_t>(s.frontier_queue.size());
+  e->frontier_edges = bfs::frontier_out_edges(g, s.frontier_queue);
+  const bfs::BottomUpStats stats = bfs::bottom_up_step(g, s);
+  e->bu_edges_hit = stats.edges_scanned_hit;
+  e->bu_edges_miss = stats.edges_scanned_miss;
+  e->next_vertices = stats.next_vertices;
 }
 
 }  // namespace
 
-BfsEngine make_native_top_down_engine() {
-  return [](const graph::CsrGraph& g, graph::vid_t root) {
-    return timed_traversal(
-        g, root, [&g](bfs::BfsState& s) { bfs::top_down_step(g, s); });
+BfsEngine make_native_top_down_engine(obs::TraceSink* sink) {
+  return [sink](const graph::CsrGraph& g, graph::vid_t root) {
+    return traced_traversal(g, root, "native-td", sink,
+                            [&g](bfs::BfsState& s, obs::LevelEvent* e) {
+                              step_top_down(g, s, e);
+                            });
   };
 }
 
-BfsEngine make_native_bottom_up_engine() {
-  return [](const graph::CsrGraph& g, graph::vid_t root) {
-    return timed_traversal(
-        g, root, [&g](bfs::BfsState& s) { bfs::bottom_up_step(g, s); });
+BfsEngine make_native_bottom_up_engine(obs::TraceSink* sink) {
+  return [sink](const graph::CsrGraph& g, graph::vid_t root) {
+    return traced_traversal(g, root, "native-bu", sink,
+                            [&g](bfs::BfsState& s, obs::LevelEvent* e) {
+                              step_bottom_up(g, s, e);
+                            });
   };
 }
 
-BfsEngine make_native_hybrid_engine(core::HybridPolicy policy) {
+BfsEngine make_native_hybrid_engine(core::HybridPolicy policy,
+                                    obs::TraceSink* sink) {
   policy.validate();
-  return [policy](const graph::CsrGraph& g, graph::vid_t root) {
-    return timed_traversal(g, root, [&g, &policy](bfs::BfsState& s) {
-      const graph::eid_t e_cq = bfs::frontier_out_edges(g, s.frontier_queue);
-      const auto v_cq = static_cast<graph::vid_t>(s.frontier_queue.size());
-      if (policy.decide(e_cq, v_cq, g.num_edges(), g.num_vertices()) ==
-          bfs::Direction::kTopDown) {
-        bfs::top_down_step(g, s);
-      } else {
-        bfs::bottom_up_step(g, s);
-      }
-    });
+  return [policy, sink](const graph::CsrGraph& g, graph::vid_t root) {
+    return traced_traversal(
+        g, root, "native-hybrid", sink,
+        [&g, &policy](bfs::BfsState& s, obs::LevelEvent* e) {
+          const graph::eid_t e_cq =
+              bfs::frontier_out_edges(g, s.frontier_queue);
+          const auto v_cq = static_cast<graph::vid_t>(s.frontier_queue.size());
+          if (policy.decide(e_cq, v_cq, g.num_edges(), g.num_vertices()) ==
+              bfs::Direction::kTopDown) {
+            step_top_down(g, s, e);
+          } else {
+            step_bottom_up(g, s, e);
+          }
+        });
   };
 }
 

@@ -10,18 +10,24 @@
 
 #include "core/hybrid_policy.h"
 #include "graph500/runner.h"
+#include "obs/sink.h"
 
 namespace bfsx::graph500 {
 
-/// Pure top-down, wall-clock timed.
-[[nodiscard]] BfsEngine make_native_top_down_engine();
+/// Pure top-down, wall-clock timed. `sink` (optional, non-owning, must
+/// outlive the engine) observes every traversal as engine "native-td"
+/// with real per-level seconds.
+[[nodiscard]] BfsEngine make_native_top_down_engine(
+    obs::TraceSink* sink = nullptr);
 
-/// Pure bottom-up, wall-clock timed.
-[[nodiscard]] BfsEngine make_native_bottom_up_engine();
+/// Pure bottom-up, wall-clock timed. Traced as "native-bu".
+[[nodiscard]] BfsEngine make_native_bottom_up_engine(
+    obs::TraceSink* sink = nullptr);
 
 /// The M/N combination, wall-clock timed. `policy` is evaluated against
 /// the real frontier statistics every level, exactly like the simulated
-/// executor.
-[[nodiscard]] BfsEngine make_native_hybrid_engine(core::HybridPolicy policy);
+/// executor. Traced as "native-hybrid".
+[[nodiscard]] BfsEngine make_native_hybrid_engine(
+    core::HybridPolicy policy, obs::TraceSink* sink = nullptr);
 
 }  // namespace bfsx::graph500

@@ -1,6 +1,8 @@
 #include "graph500/reference_bfs.h"
 
 #include "bfs/drivers.h"
+#include "core/adaptive_bfs.h"
+#include "core/trace_emit.h"
 
 namespace bfsx::graph500 {
 
@@ -8,37 +10,47 @@ bfs::BfsResult reference_bfs(const graph::CsrGraph& g, graph::vid_t root) {
   return bfs::run_serial(g, root);
 }
 
-BfsEngine make_reference_engine(const sim::Device& device) {
-  return [&device](const graph::CsrGraph& g, graph::vid_t root) -> TimedBfs {
+BfsEngine make_reference_engine(const sim::Device& device,
+                                obs::TraceSink* sink) {
+  return [&device, sink](const graph::CsrGraph& g,
+                         graph::vid_t root) -> TimedBfs {
+    obs::RunEvent trace = core::trace_begin_run(sink, "ref", g, root);
     bfs::BfsState state(g, root);
     double seconds = 0.0;
+    std::int32_t depth = 0;
     while (!state.frontier_empty()) {
-      const sim::LevelOutcome out = device.run_top_down_level(g, state);
-      seconds += out.seconds * kReferencePenalty;
+      sim::LevelOutcome out = device.run_top_down_level(g, state);
+      out.seconds *= kReferencePenalty;
+      seconds += out.seconds;
+      ++depth;
+      if (sink != nullptr) {
+        sink->on_level(core::trace_level(out, std::string(device.name())));
+      }
     }
-    return {std::move(state).take_result(g), seconds};
+    TimedBfs timed{std::move(state).take_result(g), seconds};
+    core::trace_end_run(sink, std::move(trace), timed.result, seconds, 0.0,
+                        depth, 0);
+    return timed;
   };
 }
 
-BfsEngine make_top_down_engine(const sim::Device& device) {
-  return [&device](const graph::CsrGraph& g, graph::vid_t root) -> TimedBfs {
-    bfs::BfsState state(g, root);
-    double seconds = 0.0;
-    while (!state.frontier_empty()) {
-      seconds += device.run_top_down_level(g, state).seconds;
-    }
-    return {std::move(state).take_result(g), seconds};
+BfsEngine make_top_down_engine(const sim::Device& device,
+                               obs::TraceSink* sink) {
+  return [&device, sink](const graph::CsrGraph& g,
+                         graph::vid_t root) -> TimedBfs {
+    core::CombinationRun run =
+        core::run_pure(g, root, device, bfs::Direction::kTopDown, sink);
+    return {std::move(run.result), run.seconds};
   };
 }
 
-BfsEngine make_bottom_up_engine(const sim::Device& device) {
-  return [&device](const graph::CsrGraph& g, graph::vid_t root) -> TimedBfs {
-    bfs::BfsState state(g, root);
-    double seconds = 0.0;
-    while (!state.frontier_empty()) {
-      seconds += device.run_bottom_up_level(g, state).seconds;
-    }
-    return {std::move(state).take_result(g), seconds};
+BfsEngine make_bottom_up_engine(const sim::Device& device,
+                                obs::TraceSink* sink) {
+  return [&device, sink](const graph::CsrGraph& g,
+                         graph::vid_t root) -> TimedBfs {
+    core::CombinationRun run =
+        core::run_pure(g, root, device, bfs::Direction::kBottomUp, sink);
+    return {std::move(run.result), run.seconds};
   };
 }
 

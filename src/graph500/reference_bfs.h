@@ -14,6 +14,7 @@
 #pragma once
 
 #include "graph500/runner.h"
+#include "obs/sink.h"
 #include "sim/device.h"
 
 namespace bfsx::graph500 {
@@ -29,14 +30,19 @@ inline constexpr double kReferencePenalty = 3.0;
                                            graph::vid_t root);
 
 /// Builds a BfsEngine that emulates the Graph 500 reference code
-/// running on `device`.
-[[nodiscard]] BfsEngine make_reference_engine(const sim::Device& device);
+/// running on `device`. `sink` (optional, non-owning, must outlive the
+/// engine) observes every traversal as engine "ref", with per-level
+/// modelled seconds already penalty-inflated.
+[[nodiscard]] BfsEngine make_reference_engine(const sim::Device& device,
+                                              obs::TraceSink* sink = nullptr);
 
 /// Builds a BfsEngine for this repo's optimised pure top-down on
-/// `device` (the paper's CPUTD / GPUTD / MICTD rows).
-[[nodiscard]] BfsEngine make_top_down_engine(const sim::Device& device);
+/// `device` (the paper's CPUTD / GPUTD / MICTD rows). Traced as "td".
+[[nodiscard]] BfsEngine make_top_down_engine(const sim::Device& device,
+                                             obs::TraceSink* sink = nullptr);
 
-/// Ditto for pure bottom-up (CPUBU / GPUBU / MICBU).
-[[nodiscard]] BfsEngine make_bottom_up_engine(const sim::Device& device);
+/// Ditto for pure bottom-up (CPUBU / GPUBU / MICBU). Traced as "bu".
+[[nodiscard]] BfsEngine make_bottom_up_engine(const sim::Device& device,
+                                              obs::TraceSink* sink = nullptr);
 
 }  // namespace bfsx::graph500

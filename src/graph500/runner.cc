@@ -25,16 +25,33 @@ BenchmarkResult run_benchmark(const graph::CsrGraph& g,
   BenchmarkResult out;
   std::vector<double> teps;
   for (graph::vid_t root : roots) {
-    TimedBfs timed = engine(g, root);
+    TimedBfs timed = [&] {
+      if (opts.metrics == nullptr) return engine(g, root);
+      obs::ScopedTimer t(*opts.metrics, "runner.engine_seconds");
+      return engine(g, root);
+    }();
     RootRun run;
     run.root = root;
     run.seconds = timed.seconds;
     run.reached = timed.result.reached;
+    if (opts.metrics != nullptr) {
+      opts.metrics->add("runner.roots");
+      opts.metrics->add("runner.vertices_reached", timed.result.reached);
+    }
     if (opts.validate) {
-      const bfs::ValidationReport report =
-          bfs::validate_bfs(g, root, timed.result);
+      const bfs::ValidationReport report = [&] {
+        if (opts.metrics == nullptr) return bfs::validate_bfs(g, root,
+                                                              timed.result);
+        obs::ScopedTimer t(*opts.metrics, "runner.validate_seconds");
+        return bfs::validate_bfs(g, root, timed.result);
+      }();
       run.valid = report.ok;
-      if (!report.ok) ++out.validation_failures;
+      if (!report.ok) {
+        ++out.validation_failures;
+        if (opts.metrics != nullptr) {
+          opts.metrics->add("runner.validation_failures");
+        }
+      }
     }
     if (run.valid && timed.seconds > 0.0) {
       run.teps = static_cast<double>(timed.result.edges_in_component) /

@@ -7,6 +7,7 @@
 #include "bfs/state.h"
 #include "bfs/validate.h"
 #include "graph500/teps.h"
+#include "obs/registry.h"
 
 namespace bfsx::graph500 {
 
@@ -45,6 +46,13 @@ struct RunnerOptions {
   std::uint64_t root_seed = 500;
   /// Run the Graph 500 validator on every traversal.
   bool validate = true;
+  /// Optional, non-owning metrics registry. The runner accounts its
+  /// protocol phases into it: wall timers runner.engine_seconds /
+  /// runner.validate_seconds, counters runner.roots,
+  /// runner.validation_failures, runner.vertices_reached. Per-level
+  /// tracing is the engine's job (obs::TraceSink bound at engine
+  /// construction); the runner only sees opaque timed results.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Runs `engine` over sampled roots of `g` and aggregates TEPS.

@@ -1,0 +1,74 @@
+// Observability event types: the unified per-level / per-run records
+// every engine family emits through a TraceSink (obs/sink.h).
+//
+// The paper's contribution rests on per-level work counters — |V|cq,
+// |E|cq, bottom-up hit/miss scans — but before this subsystem those
+// numbers escaped the engines only through printf and four
+// incompatible result structs (TimedBfs, CombinationRun, LevelTrace,
+// the dist per-superstep outcomes). LevelEvent is the superset record
+// all of them map onto, so one consumer (a JSONL file, a test, a
+// dashboard) can observe any engine. The serialized schema is
+// versioned (kTraceSchema); see README "Observability" for the field
+// table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bfs/state.h"
+#include "graph/types.h"
+
+namespace bfsx::obs {
+
+/// Version tag stamped on every serialized trace line. Bump when a
+/// field changes meaning; add-only changes keep the version.
+inline constexpr const char* kTraceSchema = "bfsx.trace.v1";
+
+/// One traversal (one root). Emitted twice per run: on_run_begin with
+/// the identity fields filled, on_run_end with the totals added.
+struct RunEvent {
+  std::string engine;            // registry name, e.g. "hybrid", "dist"
+  graph::vid_t root = 0;
+  graph::vid_t num_vertices = 0;
+  graph::eid_t num_edges = 0;    // directed CSR edge count
+
+  // Totals — populated only for on_run_end.
+  double seconds = 0.0;          // modelled or wall, engine-dependent
+  double compute_seconds = 0.0;  // seconds minus interconnect share
+  double comm_seconds = 0.0;     // transfer / fabric share
+  std::int32_t depth = 0;        // levels expanded
+  graph::vid_t reached = 0;
+  graph::eid_t edges_in_component = 0;
+  int direction_switches = 0;
+};
+
+/// One expanded level — or, for kHandoff, the cross-architecture
+/// frontier shipment between two levels (Algorithm 3 line 11), which
+/// has no work counters but does cost wire time.
+struct LevelEvent {
+  enum class Kind { kLevel, kHandoff };
+
+  Kind kind = Kind::kLevel;
+  std::int32_t level = 0;        // the level being expanded
+  bfs::Direction direction = bfs::Direction::kTopDown;
+  std::string device;            // executing device (handoff: the target)
+
+  // The M/N policy's decision inputs for this level (|V|cq, |E|cq; the
+  // graph totals they are tested against live in the RunEvent).
+  graph::vid_t frontier_vertices = 0;  // |V|cq
+  graph::eid_t frontier_edges = 0;     // |E|cq
+  graph::eid_t bu_edges_hit = 0;       // bottom-up scan, successful part
+  graph::eid_t bu_edges_miss = 0;      // bottom-up scan, failed part
+  graph::vid_t next_vertices = 0;
+
+  double compute_seconds = 0.0;  // modelled or wall
+  double comm_seconds = 0.0;     // handoff transfer / dist fabric time
+  /// Distributed only: max/mean of per-device compute (1.0 = even).
+  double balance = 1.0;
+};
+
+[[nodiscard]] constexpr const char* to_string(LevelEvent::Kind k) noexcept {
+  return k == LevelEvent::Kind::kLevel ? "level" : "handoff";
+}
+
+}  // namespace bfsx::obs

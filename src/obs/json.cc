@@ -1,0 +1,43 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bfsx::obs {
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+}  // namespace bfsx::obs

@@ -1,0 +1,65 @@
+// Tiny JSON emission helpers shared by the trace writers, the metrics
+// registry, and the bench report helper. Emission only — the repo has
+// no JSON dependency, and the trace consumers (tests, CI validation,
+// plotting scripts) parse with real JSON libraries on their side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bfsx::obs {
+
+/// Appends `text` to `out` as a JSON string literal, quotes included.
+/// Escapes the characters JSON requires (quote, backslash, control).
+void append_json_string(std::string& out, std::string_view text);
+
+/// Shortest round-trippable decimal for a finite double ("%.17g" is
+/// exact; shorter forms are tried first). NaN/Inf — which JSON cannot
+/// represent — are emitted as null.
+[[nodiscard]] std::string json_double(double v);
+
+/// Incremental writer for one flat JSON object: field(...) appends
+/// `"key":value` pairs with commas handled, str() closes the brace.
+class JsonObject {
+ public:
+  JsonObject() : text_("{") {}
+
+  JsonObject& field(std::string_view key, std::string_view value) {
+    key_prefix(key);
+    append_json_string(text_, value);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, double value) {
+    key_prefix(key);
+    text_ += json_double(value);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, std::int64_t value) {
+    key_prefix(key);
+    text_ += std::to_string(value);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, std::int32_t value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  /// Appends pre-serialized JSON (an array or nested object) verbatim.
+  JsonObject& raw_field(std::string_view key, std::string_view json) {
+    key_prefix(key);
+    text_ += json;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return text_ + "}"; }
+
+ private:
+  void key_prefix(std::string_view key) {
+    if (text_.size() > 1) text_ += ",";
+    append_json_string(text_, key);
+    text_ += ":";
+  }
+
+  std::string text_;
+};
+
+}  // namespace bfsx::obs

@@ -1,0 +1,51 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace bfsx::obs {
+
+std::string Registry::format() const {
+  std::string out;
+  char line[160];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(line, sizeof line, "  %-32s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, t] : timers_) {
+    std::snprintf(line, sizeof line, "  %-32s %.6f s over %lld scope(s)\n",
+                  name.c_str(), t.seconds, static_cast<long long>(t.count));
+    out += line;
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::string counters = "{";
+  for (const auto& [name, value] : counters_) {
+    if (counters.size() > 1) counters += ",";
+    append_json_string(counters, name);
+    counters += ":" + std::to_string(value);
+  }
+  counters += "}";
+
+  std::string timers = "{";
+  for (const auto& [name, t] : timers_) {
+    if (timers.size() > 1) timers += ",";
+    append_json_string(timers, name);
+    timers += ":" + JsonObject()
+                        .field("seconds", t.seconds)
+                        .field("count", t.count)
+                        .str();
+  }
+  timers += "}";
+
+  return JsonObject()
+      .raw_field("counters", counters)
+      .raw_field("timers", timers)
+      .str();
+}
+
+}  // namespace bfsx::obs

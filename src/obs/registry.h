@@ -1,0 +1,95 @@
+// Metrics registry: named monotonic counters and accumulating timers,
+// with an RAII scope for wall-clock sections. Deliberately small — no
+// histograms, no threads of its own — this is the substrate CLI
+// `--metrics`, the Graph 500 runner, and future servers report
+// through, replacing ad-hoc printf accounting.
+//
+// Not thread-safe by design: one Registry belongs to one run/driver,
+// matching the explicit-options threading of TraceSink (no globals).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace bfsx::obs {
+
+class Registry {
+ public:
+  struct Timer {
+    double seconds = 0.0;
+    std::int64_t count = 0;  // completed scopes / record calls
+  };
+
+  /// Increments counter `name` by `delta` (creating it at zero).
+  void add(std::string_view name, std::int64_t delta = 1) {
+    counters_[std::string(name)] += delta;
+  }
+
+  /// Folds one measured duration into timer `name`.
+  void record_seconds(std::string_view name, double seconds) {
+    Timer& t = timers_[std::string(name)];
+    t.seconds += seconds;
+    ++t.count;
+  }
+
+  /// Current counter value; 0 for a name never incremented.
+  [[nodiscard]] std::int64_t counter(std::string_view name) const {
+    const auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Accumulated timer; zero-valued for a name never recorded.
+  [[nodiscard]] Timer timer(std::string_view name) const {
+    const auto it = timers_.find(std::string(name));
+    return it == timers_.end() ? Timer{} : it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::int64_t>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Timer>& timers() const noexcept {
+    return timers_;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && timers_.empty();
+  }
+
+  /// Human-readable table, one "name value" line per entry, timers
+  /// with total seconds and scope count.
+  [[nodiscard]] std::string format() const;
+
+  /// One flat JSON object: {"counters":{...},"timers":{"x":{...}}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Timer> timers_;
+};
+
+/// RAII wall-clock scope: records elapsed steady-clock seconds into
+/// `registry` under `name` on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry& registry, std::string_view name)
+      : registry_(registry), name_(name),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_.record_seconds(
+        name_, std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  Registry& registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bfsx::obs

@@ -1,0 +1,58 @@
+// TraceSink: the consumer interface every engine family reports to.
+//
+// Threading choice (DESIGN.md §7): sinks are passed explicitly as an
+// optional, non-owning pointer on each driver's options — never a
+// global. The library stays embeddable (two concurrent traversals can
+// trace to two files), and a null sink costs one pointer test per
+// level, which is not measurable next to a level expansion.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace bfsx::obs {
+
+/// Abstract trace consumer. All hooks default to no-ops so concrete
+/// sinks override only what they record. Emission order per traversal:
+/// on_run_begin, then on_level per expanded level (plus one kHandoff
+/// event at a cross-architecture frontier shipment), then on_run_end.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void on_run_begin(const RunEvent&) {}
+  virtual void on_level(const LevelEvent&) {}
+  virtual void on_run_end(const RunEvent&) {}
+};
+
+/// In-memory sink: keeps every event. The test-suite workhorse, also
+/// useful for programmatic consumers that post-process a traversal.
+class MemorySink final : public TraceSink {
+ public:
+  void on_run_begin(const RunEvent& e) override { run_begins.push_back(e); }
+  void on_level(const LevelEvent& e) override {
+    // Runs are sequential, so the current run is the last begun one.
+    const std::size_t run = run_begins.empty() ? 0 : run_begins.size() - 1;
+    levels.emplace_back(run, e);
+  }
+  void on_run_end(const RunEvent& e) override { run_ends.push_back(e); }
+
+  /// The expanded-level (non-handoff) events of run `i`, in order.
+  [[nodiscard]] std::vector<LevelEvent> levels_of_run(std::size_t i) const {
+    std::vector<LevelEvent> out;
+    for (const auto& [run, e] : levels) {
+      if (run == i && e.kind == LevelEvent::Kind::kLevel) out.push_back(e);
+    }
+    return out;
+  }
+
+  std::vector<RunEvent> run_begins;
+  /// (run index, event) in emission order; includes handoff events.
+  std::vector<std::pair<std::size_t, LevelEvent>> levels;
+  std::vector<RunEvent> run_ends;
+};
+
+}  // namespace bfsx::obs

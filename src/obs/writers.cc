@@ -1,0 +1,142 @@
+#include "obs/writers.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace bfsx::obs {
+namespace {
+
+std::int64_t i64(graph::vid_t v) { return static_cast<std::int64_t>(v); }
+std::int64_t i64(graph::eid_t e) { return static_cast<std::int64_t>(e); }
+
+/// CSV cells never need quoting here: device/engine names come from
+/// arch specs, which reject commas; still, quote defensively.
+std::string csv_cell(const std::string& text) {
+  if (text.find_first_of(",\"\n") == std::string::npos) return text;
+  std::string quoted = "\"";
+  for (const char c : text) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+StreamSink::StreamSink(const std::string& path)
+    : file_(path), out_(&file_) {
+  if (!file_) {
+    throw std::runtime_error("trace sink: cannot open '" + path +
+                             "' for writing");
+  }
+}
+
+StreamSink::StreamSink(std::ostream& out) : out_(&out) {}
+
+void JsonlWriter::on_run_begin(const RunEvent& e) {
+  begin_run();
+  out() << JsonObject()
+               .field("schema", kTraceSchema)
+               .field("event", "run_begin")
+               .field("run", run_index())
+               .field("engine", e.engine)
+               .field("root", i64(e.root))
+               .field("vertices", i64(e.num_vertices))
+               .field("edges", i64(e.num_edges))
+               .str()
+        << '\n';
+}
+
+void JsonlWriter::on_level(const LevelEvent& e) {
+  out() << JsonObject()
+               .field("schema", kTraceSchema)
+               .field("event", to_string(e.kind))
+               .field("run", run_index())
+               .field("level", e.level)
+               .field("direction", bfs::to_string(e.direction))
+               .field("device", e.device)
+               .field("frontier_vertices", i64(e.frontier_vertices))
+               .field("frontier_edges", i64(e.frontier_edges))
+               .field("bu_edges_hit", i64(e.bu_edges_hit))
+               .field("bu_edges_miss", i64(e.bu_edges_miss))
+               .field("next_vertices", i64(e.next_vertices))
+               .field("compute_seconds", e.compute_seconds)
+               .field("comm_seconds", e.comm_seconds)
+               .field("balance", e.balance)
+               .str()
+        << '\n';
+}
+
+void JsonlWriter::on_run_end(const RunEvent& e) {
+  out() << JsonObject()
+               .field("schema", kTraceSchema)
+               .field("event", "run_end")
+               .field("run", run_index())
+               .field("engine", e.engine)
+               .field("root", i64(e.root))
+               .field("vertices", i64(e.num_vertices))
+               .field("edges", i64(e.num_edges))
+               .field("seconds", e.seconds)
+               .field("compute_seconds", e.compute_seconds)
+               .field("comm_seconds", e.comm_seconds)
+               .field("depth", e.depth)
+               .field("reached", i64(e.reached))
+               .field("edges_in_component", i64(e.edges_in_component))
+               .field("direction_switches",
+                      static_cast<std::int64_t>(e.direction_switches))
+               .str()
+        << '\n';
+  out().flush();
+}
+
+CsvWriter::CsvWriter(const std::string& path) : StreamSink(path) {
+  write_header();
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : StreamSink(out) { write_header(); }
+
+void CsvWriter::write_header() {
+  out() << "schema,event,run,engine,root,vertices,edges,level,direction,"
+           "device,frontier_vertices,frontier_edges,bu_edges_hit,"
+           "bu_edges_miss,next_vertices,compute_seconds,comm_seconds,"
+           "balance,seconds,depth,reached,edges_in_component,"
+           "direction_switches\n";
+}
+
+void CsvWriter::on_run_begin(const RunEvent& e) {
+  begin_run();
+  out() << kTraceSchema << ",run_begin," << run_index() << ','
+        << csv_cell(e.engine) << ',' << i64(e.root) << ','
+        << i64(e.num_vertices) << ',' << i64(e.num_edges)
+        << ",,,,,,,,,,,,,,,,\n";
+}
+
+void CsvWriter::on_level(const LevelEvent& e) {
+  out() << kTraceSchema << ',' << to_string(e.kind) << ',' << run_index()
+        << ",,,,"  // engine, root, vertices, edges
+        << ',' << e.level << ',' << bfs::to_string(e.direction) << ','
+        << csv_cell(e.device) << ',' << i64(e.frontier_vertices) << ','
+        << i64(e.frontier_edges) << ',' << i64(e.bu_edges_hit) << ','
+        << i64(e.bu_edges_miss) << ',' << i64(e.next_vertices) << ','
+        << json_double(e.compute_seconds) << ','
+        << json_double(e.comm_seconds) << ',' << json_double(e.balance)
+        << ",,,,,\n";
+}
+
+void CsvWriter::on_run_end(const RunEvent& e) {
+  out() << kTraceSchema << ",run_end," << run_index() << ','
+        << csv_cell(e.engine) << ',' << i64(e.root) << ','
+        << i64(e.num_vertices) << ',' << i64(e.num_edges)
+        << ",,,,,,,,"  // level..next_vertices
+        << ',' << json_double(e.compute_seconds) << ','
+        << json_double(e.comm_seconds) << ','
+        << ','  // balance
+        << json_double(e.seconds) << ',' << e.depth << ',' << i64(e.reached)
+        << ',' << i64(e.edges_in_component) << ',' << e.direction_switches
+        << '\n';
+  out().flush();
+}
+
+}  // namespace bfsx::obs

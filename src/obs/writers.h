@@ -1,0 +1,66 @@
+// File-format trace sinks: JSONL (one JSON object per event line) and
+// CSV (one row per event, fixed column set). Both stamp every record
+// with the versioned schema tag so downstream tooling can reject
+// traces it does not understand.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "obs/sink.h"
+
+namespace bfsx::obs {
+
+/// Base for the two file writers: owns the optional ofstream, tracks
+/// the running run index (0-based, incremented per on_run_begin).
+class StreamSink : public TraceSink {
+ public:
+  /// Writes to `path`; throws std::runtime_error if it cannot open.
+  explicit StreamSink(const std::string& path);
+  /// Writes to a caller-owned stream (tests, stdout piping).
+  explicit StreamSink(std::ostream& out);
+
+ protected:
+  [[nodiscard]] std::ostream& out() noexcept { return *out_; }
+  /// The 0-based index of the run currently being emitted; -1 before
+  /// the first on_run_begin.
+  [[nodiscard]] std::int64_t run_index() const noexcept { return run_; }
+  void begin_run() noexcept { ++run_; }
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+  std::int64_t run_ = -1;
+};
+
+/// JSON Lines trace: every line is a self-describing flat object with
+/// "schema", "event" (run_begin | level | handoff | run_end) and "run"
+/// fields, so files from multi-root benchmarks split cleanly.
+class JsonlWriter final : public StreamSink {
+ public:
+  using StreamSink::StreamSink;
+
+  void on_run_begin(const RunEvent& e) override;
+  void on_level(const LevelEvent& e) override;
+  void on_run_end(const RunEvent& e) override;
+};
+
+/// CSV trace: a header row, then one row per event over the union of
+/// fields (run_begin/run_end rows leave level columns empty and vice
+/// versa). Spreadsheet-friendly flavour of the same schema.
+class CsvWriter final : public StreamSink {
+ public:
+  explicit CsvWriter(const std::string& path);
+  explicit CsvWriter(std::ostream& out);
+
+  void on_run_begin(const RunEvent& e) override;
+  void on_level(const LevelEvent& e) override;
+  void on_run_end(const RunEvent& e) override;
+
+ private:
+  void write_header();
+};
+
+}  // namespace bfsx::obs

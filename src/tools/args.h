@@ -1,15 +1,27 @@
-// Minimal command-line option parser for the bfsx tool.
+// Strict command-line option parser for the bfsx tool.
 //
-// Accepts both spellings for every option — `--key value` and
-// `--key=value` — and rejects a repeated option outright: silently
-// letting the last occurrence win hides typos in long benchmark
-// invocations.
+// Accepts three spellings — `--key value`, `--key=value`, and bare
+// boolean `--flag` (a `--key` followed by another option or the end of
+// the line) — and fails loudly on everything that used to slip
+// through: repeated options, misspelled option names (check_known),
+// and trailing garbage in numeric values ("12abc" is an error, not 12).
+// Silently absorbing a typo in a long benchmark invocation costs hours
+// of wrong measurements; every error here names the offending option
+// and value.
 #pragma once
 
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstddef>
+#include <cstdlib>
 #include <map>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace bfsx::tools {
 
@@ -18,8 +30,9 @@ class Args {
   Args() = default;
 
   /// Parses argv[first..argc). Throws std::invalid_argument on a
-  /// non-`--` token, a missing value, an empty option name, or a
-  /// duplicated option.
+  /// non-`--` token, an empty option name, or a duplicated option.
+  /// A `--key` directly followed by another `--option` (or by the end
+  /// of the line) is recorded as a bare boolean flag.
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string token = argv[i];
@@ -34,10 +47,14 @@ class Args {
         value = token.substr(eq + 1);
       } else {
         key = token;
-        if (i + 1 >= argc) {
-          throw std::invalid_argument("missing value for --" + key);
+        if (i + 1 >= argc ||
+            std::string_view(argv[i + 1]).rfind("--", 0) == 0) {
+          // Bare flag: only get_bool may read it.
+          value = "true";
+          bare_.insert(key);
+        } else {
+          value = argv[++i];
         }
-        value = argv[++i];
       }
       if (key.empty()) {
         throw std::invalid_argument("empty option name in '--" + token + "'");
@@ -48,26 +65,127 @@ class Args {
     }
   }
 
+  /// Throws std::invalid_argument if any parsed option is not in
+  /// `known`, naming the unknown key (and the closest known one).
+  /// Every subcommand calls this so `--scael 20` fails instead of
+  /// silently running with the default scale.
+  void check_known(const std::vector<std::string_view>& known) const {
+    for (const auto& [key, value] : values_) {
+      bool ok = false;
+      for (const std::string_view k : known) {
+        if (key == k) {
+          ok = true;
+          break;
+        }
+      }
+      if (ok) continue;
+      std::string message = "unknown option --" + key;
+      std::string_view closest;
+      std::size_t best = key.size();
+      for (const std::string_view k : known) {
+        const std::size_t d = edit_distance(key, k);
+        if (d < best) {
+          best = d;
+          closest = k;
+        }
+      }
+      if (!closest.empty() && best <= 2) {
+        message += " (did you mean --" + std::string(closest) + "?)";
+      }
+      throw std::invalid_argument(message);
+    }
+  }
+
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? std::nullopt
-                               : std::optional<std::string>(it->second);
+    if (it == values_.end()) return std::nullopt;
+    require_value(key);
+    return it->second;
   }
   [[nodiscard]] std::string get_or(const std::string& key,
                                    const std::string& dflt) const {
     return get(key).value_or(dflt);
   }
+
+  /// Whole-token integer parse: "--scale 12abc" names the option and
+  /// value instead of yielding 12.
   [[nodiscard]] int get_int(const std::string& key, int dflt) const {
     const auto v = get(key);
-    return v ? std::stoi(*v) : dflt;
+    if (!v) return dflt;
+    const char* text = v->c_str();
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        parsed < INT_MIN || parsed > INT_MAX) {
+      throw std::invalid_argument("option --" + key +
+                                  ": expected an integer, got '" + *v + "'");
+    }
+    return static_cast<int>(parsed);
   }
+
+  /// Whole-token floating-point parse, same strictness.
   [[nodiscard]] double get_double(const std::string& key, double dflt) const {
     const auto v = get(key);
-    return v ? std::stod(*v) : dflt;
+    if (!v) return dflt;
+    const char* text = v->c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE) {
+      throw std::invalid_argument("option --" + key +
+                                  ": expected a number, got '" + *v + "'");
+    }
+    return parsed;
+  }
+
+  /// Boolean option: bare `--flag` is true; otherwise the value must be
+  /// one of true/false/1/0/yes/no/on/off.
+  [[nodiscard]] bool get_bool(const std::string& key, bool dflt) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    if (bare_.count(key) != 0) return true;
+    const std::string& v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+    throw std::invalid_argument("option --" + key +
+                                ": expected a boolean, got '" + v + "'");
+  }
+
+  /// True when the option appeared at all (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
   }
 
  private:
+  /// A bare flag has no value to hand out; only get_bool accepts it.
+  void require_value(const std::string& key) const {
+    if (bare_.count(key) != 0) {
+      throw std::invalid_argument("option --" + key +
+                                  " needs a value (it was given as a bare "
+                                  "flag)");
+    }
+  }
+
+  /// Classic O(a*b) edit distance for the did-you-mean hints.
+  static std::size_t edit_distance(std::string_view a, std::string_view b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      std::size_t diag = row[0];
+      row[0] = i;
+      for (std::size_t j = 1; j <= b.size(); ++j) {
+        const std::size_t next_diag = row[j];
+        const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+        row[j] = std::min(std::min(row[j] + 1, row[j - 1] + 1), subst);
+        diag = next_diag;
+      }
+    }
+    return row[b.size()];
+  }
+
   std::map<std::string, std::string> values_;
+  std::set<std::string> bare_;
 };
 
 }  // namespace bfsx::tools

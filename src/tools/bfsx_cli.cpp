@@ -11,6 +11,7 @@
 // Run `bfsx help` or any subcommand with no arguments for usage.
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,14 +19,14 @@
 #include "core/level_trace.h"
 #include "core/online_tuner.h"
 #include "core/tuner.h"
-#include "dist/dist_bfs.h"
 #include "graph/builder.h"
 #include "graph/graph_stats.h"
 #include "graph/io.h"
 #include "graph/partition.h"
-#include "graph500/native_engine.h"
-#include "graph500/reference_bfs.h"
+#include "graph500/engine_registry.h"
 #include "graph500/runner.h"
+#include "obs/registry.h"
+#include "obs/writers.h"
 #include "sim/arch_config.h"
 #include "sim/cluster.h"
 #include "tools/args.h"
@@ -34,6 +35,17 @@ namespace {
 
 using namespace bfsx;
 using tools::Args;
+
+/// Option names shared by every graph-consuming subcommand (--graph
+/// FILE or R-MAT parameters).
+const std::vector<std::string_view> kGraphKeys = {
+    "graph", "scale", "edgefactor", "seed", "a", "b", "c", "d"};
+
+std::vector<std::string_view> with_graph_keys(
+    std::vector<std::string_view> extra) {
+  extra.insert(extra.end(), kGraphKeys.begin(), kGraphKeys.end());
+  return extra;
+}
 
 graph::RmatParams rmat_from_args(const Args& args) {
   graph::RmatParams p;
@@ -105,7 +117,25 @@ sim::Cluster cluster_from_args(const Args& args) {
   return sim::Cluster{std::move(devices), std::move(fabric)};
 }
 
+/// --trace-out FILE [--trace-format jsonl|csv] -> a writer sink, or
+/// null when tracing is off.
+std::unique_ptr<obs::TraceSink> sink_from_args(const Args& args) {
+  const auto out = args.get("trace-out");
+  if (!out) {
+    if (args.has("trace-format")) {
+      throw std::invalid_argument("--trace-format requires --trace-out");
+    }
+    return nullptr;
+  }
+  const std::string format = args.get_or("trace-format", "jsonl");
+  if (format == "jsonl") return std::make_unique<obs::JsonlWriter>(*out);
+  if (format == "csv") return std::make_unique<obs::CsvWriter>(*out);
+  throw std::invalid_argument("--trace-format: expected jsonl or csv, got '" +
+                              format + "'");
+}
+
 int cmd_generate(const Args& args) {
+  args.check_known(with_graph_keys({"out"}));
   const graph::RmatParams p = rmat_from_args(args);
   const std::string out = args.get_or("out", "graph.bel");
   const graph::EdgeList el = graph::generate_rmat(p);
@@ -117,86 +147,74 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_bfs(const Args& args) {
+  args.check_known(with_graph_keys(
+      {"engine", "device", "host", "m", "n", "m2", "n2", "roots", "native",
+       "devices", "partition", "cluster", "link-latency-us", "link-gbps",
+       "trace-out", "trace-format", "metrics"}));
+
   graph::RmatParams params;
   const graph::CsrGraph g = load_graph(args, &params);
   std::printf("graph: %s\n", graph::summarize(g).c_str());
 
-  const std::string engine_name = args.get_or("engine", "hybrid");
-  const core::HybridPolicy policy{args.get_double("m", 14.0),
-                                  args.get_double("n", 24.0)};
-  const bool native = args.get_or("native", "0") == "1";
-
-  graph500::BfsEngine engine;
-  const sim::Device device = device_from_args(args);
-  if (native) {
-    if (engine_name == "td") {
-      engine = graph500::make_native_top_down_engine();
-    } else if (engine_name == "bu") {
-      engine = graph500::make_native_bottom_up_engine();
-    } else {
-      engine = graph500::make_native_hybrid_engine(policy);
-    }
-    std::printf("engine: native(%s) — wall-clock on this host\n",
-                engine_name.c_str());
-  } else {
-    if (engine_name == "td") {
-      engine = graph500::make_top_down_engine(device);
-    } else if (engine_name == "bu") {
-      engine = graph500::make_bottom_up_engine(device);
-    } else if (engine_name == "ref") {
-      engine = graph500::make_reference_engine(device);
-    } else if (engine_name == "dist") {
-      dist::DistBfsOptions dopts;
-      dopts.policy = policy;
-      dopts.strategy =
-          graph::parse_partition_strategy(args.get_or("partition", "block"));
-      const sim::Cluster cluster = cluster_from_args(args);
-      std::printf("engine: dist over %zu device(s), %s partition, link "
-                  "%.1fus/%.0fGB/s (modelled time)\n",
-                  cluster.num_devices(), graph::to_string(dopts.strategy),
-                  cluster.interconnect().latency_us,
-                  cluster.interconnect().bandwidth_gbps);
-      engine = [cluster, dopts](const graph::CsrGraph& gg,
-                                graph::vid_t root) {
-        dist::DistBfsRun run = dist::run_dist_bfs(gg, root, cluster, dopts);
-        return graph500::TimedBfs{std::move(run.result), run.seconds};
-      };
-    } else if (engine_name == "cross") {
-      // Captured by value: the engine outlives this block.
-      const sim::Device host = device_from_args(args, "host");
-      engine = [&args, &device, host, policy](const graph::CsrGraph& gg,
-                                              graph::vid_t root) {
-        core::CombinationRun run = core::run_cross_arch(
-            gg, root, host, device, sim::InterconnectSpec{}, policy,
-            core::HybridPolicy{args.get_double("m2", 14.0),
-                               args.get_double("n2", 24.0)});
-        return graph500::TimedBfs{std::move(run.result), run.seconds};
-      };
-    } else {
-      engine = [&device, policy](const graph::CsrGraph& gg,
-                                 graph::vid_t root) {
-        core::CombinationRun run =
-            core::run_combination(gg, root, device, policy);
-        return graph500::TimedBfs{std::move(run.result), run.seconds};
-      };
-    }
-    if (engine_name != "dist") {
-      std::printf("engine: %s on %s (modelled time)\n", engine_name.c_str(),
-                  std::string(device.name()).c_str());
-    }
+  std::string engine_name = args.get_or("engine", "hybrid");
+  // Compatibility spelling: `--native --engine td` == `--engine native-td`.
+  if (args.get_bool("native", false) &&
+      engine_name.rfind("native-", 0) != 0) {
+    engine_name = "native-" + engine_name;
   }
 
+  const std::unique_ptr<obs::TraceSink> sink = sink_from_args(args);
+
+  graph500::EngineConfig cfg;
+  cfg.device = device_from_args(args);
+  cfg.host = device_from_args(args, "host");
+  cfg.policy = {args.get_double("m", 14.0), args.get_double("n", 24.0)};
+  cfg.accel_policy = {args.get_double("m2", 14.0),
+                      args.get_double("n2", 24.0)};
+  cfg.strategy =
+      graph::parse_partition_strategy(args.get_or("partition", "block"));
+  cfg.sink = sink.get();
+  if (engine_name == "dist") {
+    cfg.cluster = std::make_shared<const sim::Cluster>(cluster_from_args(args));
+  }
+
+  const graph500::EngineRegistry registry =
+      graph500::EngineRegistry::with_builtin_engines();
+  const graph500::BfsEngine engine = registry.make_engine(engine_name, cfg);
+  if (const auto* entry = registry.find(engine_name)) {
+    std::printf("engine: %s — %s\n", entry->name.c_str(),
+                entry->description.c_str());
+  }
+  if (engine_name == "dist") {
+    std::printf("        %zu device(s), %s partition, link %.1fus/%.0fGB/s\n",
+                cfg.cluster->num_devices(), graph::to_string(cfg.strategy),
+                cfg.cluster->interconnect().latency_us,
+                cfg.cluster->interconnect().bandwidth_gbps);
+  }
+
+  obs::Registry metrics;
   graph500::RunnerOptions opts;
   opts.num_roots = args.get_int("roots", 8);
+  if (args.get_bool("metrics", false)) opts.metrics = &metrics;
+
   const graph500::BenchmarkResult res =
       graph500::run_benchmark(g, engine, opts);
   std::printf("%s", graph500::format_teps_stats(res.stats).c_str());
   std::printf("validation failures: %d / %zu\n", res.validation_failures,
               res.runs.size());
+  if (opts.metrics != nullptr) {
+    std::printf("metrics:\n%s", metrics.format().c_str());
+  }
+  if (const auto out = args.get("trace-out")) {
+    std::printf("trace (%s, schema %s) written to %s\n",
+                args.get_or("trace-format", "jsonl").c_str(),
+                obs::kTraceSchema, out->c_str());
+  }
   return res.validation_failures == 0 ? 0 : 1;
 }
 
 int cmd_tune(const Args& args) {
+  args.check_known(with_graph_keys({"device"}));
   const graph::CsrGraph g = load_graph(args, nullptr);
   const sim::Device device = device_from_args(args);
   const graph::vid_t root = graph::sample_roots(g, 1, 7)[0];
@@ -224,6 +242,7 @@ int cmd_tune(const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
+  args.check_known(with_graph_keys({}));
   const graph::CsrGraph g = load_graph(args, nullptr);
   std::printf("%s\n", graph::summarize(g).c_str());
 
@@ -247,6 +266,7 @@ int cmd_analyze(const Args& args) {
 }
 
 int cmd_trace(const Args& args) {
+  args.check_known(with_graph_keys({"root"}));
   const graph::CsrGraph g = load_graph(args, nullptr);
   const graph::vid_t root = static_cast<graph::vid_t>(
       args.get_int("root", graph::sample_roots(g, 1, 7)[0]));
@@ -267,6 +287,7 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
+  args.check_known({"out"});
   const std::string out = args.get_or("out", "bfsx_switch_model.txt");
   core::TrainerConfig cfg = core::default_trainer_config();
   std::printf("labelling %zu configurations by exhaustive search...\n",
@@ -279,6 +300,7 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_predict(const Args& args) {
+  args.check_known(with_graph_keys({"model", "td-arch", "bu-arch"}));
   const auto model = args.get("model");
   if (!model) {
     std::fprintf(stderr, "predict: --model FILE is required\n");
@@ -304,9 +326,10 @@ int usage() {
       "usage: bfsx <command> [--option value ...]\n\n"
       "commands:\n"
       "  generate  --scale N --edgefactor E [--seed S --a --b --c --d] --out FILE\n"
-      "  bfs       [--graph FILE | --scale N ...] --engine td|bu|hybrid|ref|cross|dist\n"
+      "  bfs       [--graph FILE | --scale N ...] --engine NAME\n"
       "            [--device cpu|gpu|mic|KEY=VAL,...] [--host cpu] [--m M --n N]\n"
-      "            [--m2 M --n2 N] [--roots K] [--native 1]\n"
+      "            [--m2 M --n2 N] [--roots K] [--metrics]\n"
+      "            [--trace-out FILE [--trace-format jsonl|csv]]\n"
       "            dist: [--devices N] [--partition block|balanced]\n"
       "                  [--cluster cpu+cpu+gpu] [--link-latency-us L --link-gbps B]\n"
       "  analyze   [--graph FILE | --scale N ...]   degree/component report\n"
@@ -314,8 +337,10 @@ int usage() {
       "  tune      [--graph FILE | --scale N ...] [--device ...]\n"
       "  train     [--out FILE]\n"
       "  predict   --model FILE [--scale N ...] [--td-arch cpu] [--bu-arch gpu]\n"
-      "\noptions accept both '--key value' and '--key=value'; repeating an "
-      "option is an error\n");
+      "\nengines (--engine NAME):\n%s"
+      "\noptions accept '--key value', '--key=value', and bare boolean "
+      "'--flag';\nrepeating or misspelling an option is an error\n",
+      graph500::EngineRegistry::with_builtin_engines().describe().c_str());
   return 2;
 }
 

@@ -57,7 +57,6 @@ TEST(CliArgs, RejectsDuplicateOptions) {
 
 TEST(CliArgs, RejectsMalformedTokens) {
   EXPECT_THROW(parse({"scale", "16"}), std::invalid_argument);
-  EXPECT_THROW(parse({"--scale"}), std::invalid_argument);
   EXPECT_THROW(parse({"--=16"}), std::invalid_argument);
 }
 
@@ -66,6 +65,99 @@ TEST(CliArgs, DefaultsApplyWhenAbsent) {
   EXPECT_EQ(args.get_int("scale", 16), 16);
   EXPECT_DOUBLE_EQ(args.get_double("m", 14.0), 14.0);
   EXPECT_EQ(args.get_or("engine", "hybrid"), "hybrid");
+}
+
+TEST(CliArgs, BareFlagIsTrueOnlyThroughGetBool) {
+  // `--metrics` at end of line and `--native` before another option are
+  // both bare boolean flags now, not parse errors.
+  const Args args = parse({"--native", "--scale", "12", "--metrics"});
+  EXPECT_TRUE(args.get_bool("native", false));
+  EXPECT_TRUE(args.get_bool("metrics", false));
+  EXPECT_TRUE(args.has("metrics"));
+  EXPECT_EQ(args.get_int("scale", 0), 12);
+  // A bare flag has no value: every non-bool accessor must refuse it.
+  EXPECT_THROW((void)args.get("metrics"), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("metrics", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, GetBoolSpellings) {
+  const Args args = parse({"--a=true", "--b=false", "--c", "1", "--d", "off",
+                           "--e", "yes"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+  EXPECT_TRUE(args.get_bool("e", false));
+  EXPECT_TRUE(args.get_bool("absent", true));
+  EXPECT_FALSE(args.get_bool("absent", false));
+}
+
+TEST(CliArgs, GetBoolRejectsNonBooleanValue) {
+  const Args args = parse({"--native", "maybe"});
+  try {
+    (void)args.get_bool("native", false);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--native"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("maybe"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, StrictIntegerParsing) {
+  const Args args = parse({"--scale", "12abc", "--neg", "-3", "--big",
+                           "99999999999999999999"});
+  EXPECT_EQ(args.get_int("neg", 0), -3);
+  try {
+    (void)args.get_int("scale", 0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error names the option and the offending value.
+    EXPECT_NE(std::string(e.what()).find("--scale"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12abc"), std::string::npos);
+  }
+  EXPECT_THROW((void)args.get_int("big", 0), std::invalid_argument);
+}
+
+TEST(CliArgs, StrictDoubleParsing) {
+  const Args args = parse({"--m", "14.5x", "--n", "2e1", "--o", ".5"});
+  EXPECT_DOUBLE_EQ(args.get_double("n", 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(args.get_double("o", 0.0), 0.5);
+  try {
+    (void)args.get_double("m", 0.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--m"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("14.5x"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, CheckKnownAcceptsRegisteredOptions) {
+  const Args args = parse({"--scale", "20", "--engine", "dist"});
+  EXPECT_NO_THROW(args.check_known({"scale", "engine", "roots"}));
+}
+
+TEST(CliArgs, CheckKnownNamesUnknownOptionWithSuggestion) {
+  const Args args = parse({"--scael", "20"});
+  try {
+    args.check_known({"scale", "engine", "roots"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--scael"), std::string::npos);
+    EXPECT_NE(what.find("--scale"), std::string::npos) << what;
+  }
+}
+
+TEST(CliArgs, CheckKnownWithoutCloseMatchStillNamesKey) {
+  const Args args = parse({"--zzzzzz", "1"});
+  try {
+    args.check_known({"scale", "engine"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--zzzzzz"), std::string::npos);
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,69 @@
+// Unit tests for the metrics registry (obs/registry.h).
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace bfsx::obs {
+namespace {
+
+TEST(ObsRegistry, CountersAccumulate) {
+  Registry r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.counter("levels"), 0);
+  r.add("levels");
+  r.add("levels", 4);
+  r.add("handoffs", 0);
+  EXPECT_EQ(r.counter("levels"), 5);
+  EXPECT_EQ(r.counter("handoffs"), 0);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.counters().size(), 2u);
+}
+
+TEST(ObsRegistry, TimersAccumulateSecondsAndScopeCount) {
+  Registry r;
+  r.record_seconds("bfs", 0.25);
+  r.record_seconds("bfs", 0.5);
+  const Registry::Timer t = r.timer("bfs");
+  EXPECT_DOUBLE_EQ(t.seconds, 0.75);
+  EXPECT_EQ(t.count, 2);
+  EXPECT_EQ(r.timer("never").count, 0);
+}
+
+TEST(ObsRegistry, ScopedTimerRecordsElapsedWallTime) {
+  Registry r;
+  {
+    ScopedTimer scope(r, "sleep");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const Registry::Timer t = r.timer("sleep");
+  EXPECT_EQ(t.count, 1);
+  EXPECT_GE(t.seconds, 0.004);
+  EXPECT_LT(t.seconds, 5.0);  // sanity: not absurdly large
+}
+
+TEST(ObsRegistry, FormatListsEveryEntry) {
+  Registry r;
+  r.add("runner.roots", 8);
+  r.record_seconds("runner.engine_seconds", 0.125);
+  const std::string text = r.format();
+  EXPECT_NE(text.find("runner.roots"), std::string::npos);
+  EXPECT_NE(text.find("8"), std::string::npos);
+  EXPECT_NE(text.find("runner.engine_seconds"), std::string::npos);
+}
+
+TEST(ObsRegistry, ToJsonShape) {
+  Registry r;
+  r.add("a", 2);
+  r.record_seconds("t", 1.5);
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfsx::obs
