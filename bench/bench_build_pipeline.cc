@@ -1,0 +1,164 @@
+// Ingestion-pipeline scaling bench: times generate / validate / build /
+// traverse separately across OpenMP thread counts.
+//
+// The traversal kernels were the hot path in the paper's experiments,
+// but at Graph 500 scales a *serial* kernel-1 pipeline (R-MAT draws,
+// endpoint validation, counting-sort CSR construction) dominates
+// end-to-end wall time. This bench tracks how every stage scales with
+// cores and doubles as a runtime determinism check: the edge list and
+// the CSR arrays must hash identically for every thread count.
+//
+// Emits BENCH_build.json (schema bfsx.bench.v1).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bench_common.h"
+#include "graph500/native_engine.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start) {
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// FNV-1a over a byte span; used to assert thread-count invariance.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t h = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_edges(const bfsx::graph::EdgeList& el) {
+  return fnv1a(el.edges.data(), el.edges.size() * sizeof(bfsx::graph::Edge));
+}
+
+std::uint64_t hash_csr(const bfsx::graph::CsrGraph& g) {
+  std::uint64_t h = fnv1a(g.out_offsets().data(),
+                          g.out_offsets().size() * sizeof(bfsx::graph::eid_t));
+  return fnv1a(g.out_targets().data(),
+               g.out_targets().size() * sizeof(bfsx::graph::vid_t), h);
+}
+
+struct StageTimes {
+  int threads = 1;
+  double generate = 0;
+  double validate = 0;
+  double build = 0;
+  double traverse = 0;
+  std::uint64_t edge_hash = 0;
+  std::uint64_t csr_hash = 0;
+
+  [[nodiscard]] double ingest() const { return generate + validate + build; }
+};
+
+StageTimes run_at(int threads, const bfsx::graph::RmatParams& params) {
+  namespace graph = bfsx::graph;
+  StageTimes st;
+  st.threads = threads;
+#ifdef _OPENMP
+  omp_set_num_threads(threads);
+#endif
+
+  auto t0 = clock_type::now();
+  graph::EdgeList el = graph::generate_rmat(params);
+  st.generate = seconds_since(t0);
+  st.edge_hash = hash_edges(el);
+
+  t0 = clock_type::now();
+  graph::validate_edge_list(el);
+  st.validate = seconds_since(t0);
+
+  t0 = clock_type::now();
+  const graph::CsrGraph g = graph::build_csr(std::move(el));
+  st.build = seconds_since(t0);
+  st.csr_hash = hash_csr(g);
+
+  const graph::vid_t root = graph::sample_roots(g, 1, params.seed + 1)[0];
+  const auto hybrid =
+      bfsx::graph500::make_native_hybrid_engine(bfsx::core::HybridPolicy{});
+  t0 = clock_type::now();
+  const auto timed = hybrid(g, root);
+  st.traverse = seconds_since(t0);
+  std::printf(
+      "  threads=%d  generate %.3fs  validate %.3fs  build %.3fs  "
+      "traverse %.3fs  (reached %d vertices)\n",
+      threads, st.generate, st.validate, st.build, st.traverse,
+      timed.result.reached);
+  return st;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bfsx::bench;
+  print_header("build-pipeline",
+               "ingestion scaling: generate / validate / build / traverse "
+               "per thread count");
+
+  bfsx::graph::RmatParams params;
+  params.scale = pick_scale(16, 20);
+  params.edgefactor = 16;
+  std::printf("graph: R-MAT scale %d (%s vertices), edgefactor %d\n",
+              params.scale, scale_label(params.scale).c_str(),
+              params.edgefactor);
+
+  std::vector<int> thread_counts{1};
+#ifdef _OPENMP
+  thread_counts = {1, 2, 4};
+  const int hw = omp_get_max_threads();
+  if (hw > 4) thread_counts.push_back(hw);
+#endif
+
+  std::vector<StageTimes> rows;
+  rows.reserve(thread_counts.size());
+  for (int t : thread_counts) rows.push_back(run_at(t, params));
+
+  // Determinism gate: same bits out of every thread count, or the run
+  // is worthless as a benchmark of *this* pipeline.
+  bool deterministic = true;
+  for (const StageTimes& st : rows) {
+    deterministic = deterministic && st.edge_hash == rows.front().edge_hash &&
+                    st.csr_hash == rows.front().csr_hash;
+  }
+  std::printf("determinism across thread counts: %s\n",
+              deterministic ? "OK (edge + CSR hashes identical)" : "BROKEN");
+
+  const double base_ingest = rows.front().ingest();
+  std::printf("\n%8s %10s %10s %10s %10s %10s %8s\n", "threads", "generate",
+              "validate", "build", "traverse", "ingest", "speedup");
+  JsonReport report("build");
+  for (const StageTimes& st : rows) {
+    const double speedup = base_ingest / st.ingest();
+    std::printf("%8d %9.3fs %9.3fs %9.3fs %9.3fs %9.3fs %7.2fx\n", st.threads,
+                st.generate, st.validate, st.build, st.traverse, st.ingest(),
+                speedup);
+    report.row();
+    report.cell("threads", st.threads);
+    report.cell("scale", params.scale);
+    report.cell("edgefactor", params.edgefactor);
+    report.cell("generate_seconds", st.generate);
+    report.cell("validate_seconds", st.validate);
+    report.cell("build_seconds", st.build);
+    report.cell("traverse_seconds", st.traverse);
+    report.cell("ingest_seconds", st.ingest());
+    report.cell("ingest_speedup", speedup);
+    report.cell("deterministic", deterministic ? 1 : 0);
+  }
+  report.write();
+  return deterministic ? 0 : 1;
+}

@@ -1,18 +1,100 @@
 #include "bfs/bottomup.h"
 
+#include <algorithm>
 #include <cstddef>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "bfs/frontier.h"
 
 namespace bfsx::bfs {
+namespace {
+
+/// Fills state.unvisited with every not-yet-visited vertex in ascending
+/// order. Runs once, on the first bottom-up level of a traversal; after
+/// that the list is compacted incrementally and 0..n is never rescanned.
+/// Parallelised over contiguous vertex chunks whose local buffers are
+/// concatenated in chunk order, so the list is ascending for any thread
+/// count.
+void prime_unvisited(const CsrGraph& g, BfsState& state) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+#ifdef _OPENMP
+  const int workers =
+      n >= (std::size_t{1} << 15) ? std::max(1, omp_get_max_threads()) : 1;
+#else
+  const int workers = 1;
+#endif
+  auto& list = state.unvisited;
+  list.clear();
+  if (workers == 1) {
+    list.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!state.visited.test(v)) list.push_back(static_cast<vid_t>(v));
+    }
+  } else {
+    std::vector<std::vector<vid_t>> local(static_cast<std::size_t>(workers));
+    std::vector<std::size_t> start(static_cast<std::size_t>(workers) + 1, 0);
+#ifdef _OPENMP
+#pragma omp parallel num_threads(workers)
+#endif
+    {
+#ifdef _OPENMP
+      const int t = omp_get_thread_num();
+#else
+      const int t = 0;
+#endif
+      auto& mine = local[static_cast<std::size_t>(t)];
+      const std::size_t lo =
+          n * static_cast<std::size_t>(t) / static_cast<std::size_t>(workers);
+      const std::size_t hi = n * (static_cast<std::size_t>(t) + 1) /
+                             static_cast<std::size_t>(workers);
+      mine.reserve(hi - lo);
+      for (std::size_t v = lo; v < hi; ++v) {
+        if (!state.visited.test(v)) mine.push_back(static_cast<vid_t>(v));
+      }
+    }
+    for (int t = 0; t < workers; ++t) {
+      start[static_cast<std::size_t>(t) + 1] =
+          start[static_cast<std::size_t>(t)] +
+          local[static_cast<std::size_t>(t)].size();
+    }
+    list.resize(start[static_cast<std::size_t>(workers)]);
+#ifdef _OPENMP
+#pragma omp parallel num_threads(workers)
+#endif
+    {
+#ifdef _OPENMP
+      const int t = omp_get_thread_num();
+#else
+      const int t = 0;
+#endif
+      const auto& mine = local[static_cast<std::size_t>(t)];
+      std::copy(mine.begin(), mine.end(),
+                list.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        start[static_cast<std::size_t>(t)]));
+    }
+  }
+  state.unvisited_primed = true;
+}
+
+}  // namespace
 
 BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
   BottomUpStats stats;
   stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
 
-  const vid_t n = g.num_vertices();
   const std::int32_t next_level = state.current_level + 1;
-  Bitmap next(static_cast<std::size_t>(n));
+  if (!state.unvisited_primed) prime_unvisited(g, state);
+  // Reused scratch; all-zero on entry (constructor + the dirty-word
+  // wipe at the end of every step maintain the invariant).
+  Bitmap& next = state.bu_scratch;
+
+  const auto& cand = state.unvisited;
+  const std::size_t ncand = cand.size();
+  stats.candidates = static_cast<vid_t>(ncand);
 
   vid_t unvisited = 0;
   eid_t scanned_hit = 0;
@@ -23,7 +105,11 @@ BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
 #pragma omp parallel for schedule(dynamic, 1024) \
     reduction(+ : unvisited, scanned_hit, scanned_miss, found)
 #endif
-  for (vid_t v = 0; v < n; ++v) {
+  for (std::size_t i = 0; i < ncand; ++i) {
+    const vid_t v = cand[i];
+    // Stragglers an interleaved top-down step visited since the list
+    // was last compacted; skipping them here keeps every counter equal
+    // to the full 0..n scan's.
     if (state.visited.test(static_cast<std::size_t>(v))) continue;
     ++unvisited;
     // Algorithm 2 lines 9-12: scan predecessors, adopt the first one
@@ -55,6 +141,13 @@ BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
     state.visited.set(static_cast<std::size_t>(v));
   });
 
+  // Compact the candidate list in place: drop this level's discoveries
+  // and any stragglers. O(|list|), order-preserving, so the next level
+  // iterates exactly the still-unvisited vertices.
+  std::erase_if(state.unvisited, [&state](vid_t v) {
+    return state.visited.test(static_cast<std::size_t>(v));
+  });
+
   stats.unvisited_vertices = unvisited;
   stats.edges_scanned_hit = scanned_hit;
   stats.edges_scanned_miss = scanned_miss;
@@ -62,6 +155,13 @@ BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
   state.reached += found;
   state.current_level = next_level;
   state.frontier_bitmap.swap(next);
+  // `next` (the scratch) now holds the *previous* frontier's bits; the
+  // outgoing queue still lists exactly those vertices, so zeroing their
+  // words restores the all-clear invariant in O(|frontier|) stores
+  // instead of an O(n/64) memset.
+  for (vid_t v : state.frontier_queue) {
+    next.clear_word(static_cast<std::size_t>(v));
+  }
   bitmap_to_queue(state.frontier_bitmap, state.frontier_queue);
   return stats;
 }
@@ -76,27 +176,64 @@ BottomUpStats bottom_up_probe(const CsrGraph& g, const BfsState& state) {
   eid_t scanned_miss = 0;
   vid_t found = 0;
 
+  // Probe one candidate without mutating anything; reads only shared
+  // immutable state, so the counter updates below stay inside the
+  // OpenMP reduction scope. walked == -1 flags an already-visited
+  // straggler.
+  struct Probe {
+    eid_t walked;
+    bool hit;
+  };
+  const auto probe_one = [&g, &state](vid_t v) -> Probe {
+    if (state.visited.test(static_cast<std::size_t>(v))) return {-1, false};
+    eid_t walked = 0;
+    for (vid_t u : g.in_neighbors(v)) {
+      ++walked;
+      if (state.frontier_bitmap.test(static_cast<std::size_t>(u))) {
+        return {walked, true};
+      }
+    }
+    return {walked, false};
+  };
+
+  if (state.unvisited_primed) {
+    // A bottom-up step already primed the candidate list; probing it
+    // (stragglers skip via the visited test) yields the exact counters
+    // of a full scan at a fraction of the iterations.
+    const auto& cand = state.unvisited;
+    const std::size_t ncand = cand.size();
+    stats.candidates = static_cast<vid_t>(ncand);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic, 1024) \
     reduction(+ : unvisited, scanned_hit, scanned_miss, found)
 #endif
-  for (vid_t v = 0; v < n; ++v) {
-    if (state.visited.test(static_cast<std::size_t>(v))) continue;
-    ++unvisited;
-    eid_t walked = 0;
-    bool hit = false;
-    for (vid_t u : g.in_neighbors(v)) {
-      ++walked;
-      if (state.frontier_bitmap.test(static_cast<std::size_t>(u))) {
+    for (std::size_t i = 0; i < ncand; ++i) {
+      const Probe p = probe_one(cand[i]);
+      if (p.walked < 0) continue;
+      ++unvisited;
+      if (p.hit) {
         ++found;
-        hit = true;
-        break;
+        scanned_hit += p.walked;
+      } else {
+        scanned_miss += p.walked;
       }
     }
-    if (hit) {
-      scanned_hit += walked;
-    } else {
-      scanned_miss += walked;
+  } else {
+    stats.candidates = n;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 1024) \
+    reduction(+ : unvisited, scanned_hit, scanned_miss, found)
+#endif
+    for (vid_t v = 0; v < n; ++v) {
+      const Probe p = probe_one(v);
+      if (p.walked < 0) continue;
+      ++unvisited;
+      if (p.hit) {
+        ++found;
+        scanned_hit += p.walked;
+      } else {
+        scanned_miss += p.walked;
+      }
     }
   }
 

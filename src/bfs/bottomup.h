@@ -9,6 +9,11 @@ namespace bfsx::bfs {
 struct BottomUpStats {
   vid_t frontier_vertices = 0;  // |V|cq entering the level
   vid_t unvisited_vertices = 0; // candidates that scanned for a parent
+  /// Loop trip count of the candidate scan: the length of the compacted
+  /// unvisited list (or n for an unprimed probe's full scan). Strictly
+  /// shrinks level over level; the gap to n is exactly the rescan work
+  /// the compacted list avoids. Diagnostic only — not a paper counter.
+  vid_t candidates = 0;
   /// In-edges examined by vertices that *found* a parent (each scan
   /// breaks at its first frontier hit, Algorithm 2 line 12 — a short,
   /// cache-friendly prefix walk).
@@ -30,6 +35,14 @@ struct BottomUpStats {
 /// current frontier and adopts it as parent (Algorithm 2 lines 7-12).
 /// Parallelised over vertices; no atomics are needed because each
 /// candidate vertex is written by exactly one owner thread.
+///
+/// Zero-rescan: instead of sweeping 0..n every level, the kernel
+/// iterates state.unvisited — primed with one full scan on the first
+/// bottom-up level, then compacted in place as vertices are discovered —
+/// and reuses state.bu_scratch for the next frontier, so steady-state
+/// levels neither rescan visited vertices nor allocate. All counters
+/// (|V|cq, unvisited, edges-scanned hit/miss, next) are bit-equal to the
+/// full-scan kernel's.
 BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state);
 
 /// Counting-only variant: computes exactly the statistics a bottom-up

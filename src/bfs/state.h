@@ -43,7 +43,8 @@ struct BfsState {
   explicit BfsState(const CsrGraph& g, vid_t root)
       : parent(static_cast<std::size_t>(g.num_vertices()), kNoVertex),
         level(static_cast<std::size_t>(g.num_vertices()), -1),
-        visited(static_cast<std::size_t>(g.num_vertices())) {
+        visited(static_cast<std::size_t>(g.num_vertices())),
+        bu_scratch(static_cast<std::size_t>(g.num_vertices())) {
     parent[static_cast<std::size_t>(root)] = root;
     level[static_cast<std::size_t>(root)] = 0;
     visited.set(static_cast<std::size_t>(root));
@@ -63,6 +64,21 @@ struct BfsState {
   /// the real heterogeneous system performs at each handoff.
   std::vector<vid_t> frontier_queue;
   Bitmap frontier_bitmap;
+
+  /// Bottom-up candidate list: once primed (first bottom-up level) it
+  /// holds, in ascending order, a superset of the unvisited vertices —
+  /// exact right after a bottom-up step, possibly carrying stragglers
+  /// that interleaved top-down steps visited since. bottom_up_step
+  /// iterates it instead of rescanning 0..n and compacts it in place
+  /// each level; stale entries are skipped via the visited test, so the
+  /// kernel counters are identical to a full scan's.
+  std::vector<vid_t> unvisited;
+  bool unvisited_primed = false;
+
+  /// Scratch next-frontier bitmap reused by bottom_up_step so no level
+  /// allocates. Invariant: all-zero between steps (the kernel clears
+  /// only the words the previous frontier dirtied).
+  Bitmap bu_scratch;
 
   std::int32_t current_level = 0;
   vid_t reached = 1;

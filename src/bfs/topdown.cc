@@ -13,10 +13,13 @@ namespace bfsx::bfs {
 TopDownStats top_down_step(const CsrGraph& g, BfsState& state) {
   TopDownStats stats;
   stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
-  stats.frontier_edges = frontier_out_edges(g, state.frontier_queue);
 
   const auto& queue = state.frontier_queue;
   const std::int32_t next_level = state.current_level + 1;
+  // |E|cq is accumulated inside the traversal loop (one queue walk)
+  // rather than by a frontier_out_edges pre-pass (two queue walks); the
+  // reduction makes it exact under any schedule.
+  eid_t frontier_edges = 0;
 
   std::vector<vid_t> next;
 #ifdef _OPENMP
@@ -28,7 +31,7 @@ TopDownStats top_down_step(const CsrGraph& g, BfsState& state) {
       static_cast<std::size_t>(num_threads));
 
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel reduction(+ : frontier_edges)
 #endif
   {
 #ifdef _OPENMP
@@ -42,6 +45,7 @@ TopDownStats top_down_step(const CsrGraph& g, BfsState& state) {
 #endif
     for (std::size_t i = 0; i < queue.size(); ++i) {
       const vid_t u = queue[i];
+      frontier_edges += g.out_degree(u);
       for (vid_t v : g.out_neighbors(u)) {
         // Algorithm 1 line 9: visited check, fused with the claim so two
         // frontier vertices cannot both adopt v.
@@ -53,6 +57,8 @@ TopDownStats top_down_step(const CsrGraph& g, BfsState& state) {
       }
     }
   }
+
+  stats.frontier_edges = frontier_edges;
 
   std::size_t total = 0;
   for (const auto& part : local_next) total += part.size();

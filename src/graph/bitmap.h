@@ -42,6 +42,12 @@ class Bitmap {
     words_[pos >> 6] &= ~(1ULL << (pos & 63));
   }
 
+  /// Zeroes the whole 64-bit word containing bit `pos`. The bottom-up
+  /// kernel uses this to wipe only the dirty words of its scratch
+  /// bitmap (one store per frontier vertex instead of an O(n/64) full
+  /// reset); callers must own every bit of the word.
+  void clear_word(std::size_t pos) noexcept { words_[pos >> 6] = 0; }
+
   /// Atomically sets bit `pos`; safe under concurrent writers.
   void set_atomic(std::size_t pos) noexcept;
 

@@ -24,9 +24,19 @@ struct BuildOptions {
   bool sort_neighbors = true;
 };
 
+/// Checks every endpoint lies in [0, num_vertices). Parallelised over
+/// the edge list; throws std::out_of_range on the first violation and
+/// std::invalid_argument on a negative vertex count. build_csr and
+/// build_directed_csr call this themselves — it is exposed so the
+/// ingestion bench can time validation apart from construction.
+void validate_edge_list(const EdgeList& el);
+
 /// Builds a CSR graph from an edge list. The input list is taken by
 /// value because construction permutes it in place (counting sort into
 /// buckets); pass std::move when the caller no longer needs it.
+/// Construction is parallel (per-thread degree histograms, blocked
+/// scatter, per-row sort/dedup) and deterministic: offsets and targets
+/// are bit-identical for every OMP_NUM_THREADS, including serial builds.
 [[nodiscard]] CsrGraph build_csr(EdgeList edges, const BuildOptions& opts = {});
 
 /// Builds a *directed* CSR (no symmetrisation) with separate in/out

@@ -1,5 +1,6 @@
 #include "graph/rmat.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -89,21 +90,52 @@ std::vector<vid_t> random_permutation(vid_t n, Xoshiro256ss& rng) {
 
 EdgeList generate_rmat(const RmatParams& params) {
   params.validate();
-  Xoshiro256ss rng(params.seed);
 
   EdgeList el;
   el.num_vertices = params.num_vertices();
   const auto m = static_cast<std::size_t>(params.num_edges());
-  el.edges.reserve(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    el.edges.push_back(draw_edge(params, rng));
+  el.edges.resize(m);
+
+  // Jump-ahead stream table: block k is drawn from the seed stream
+  // advanced by k jumps. The table is built serially (a jump costs ~256
+  // state transitions, negligible next to kRmatBlockEdges draws), after
+  // which every block is independent of every other — the draw order
+  // within the list is fixed by the block layout, not by which worker
+  // ran which block, so the result is bit-identical for any thread
+  // count, including the serial fallback.
+  const std::size_t num_blocks = (m + kRmatBlockEdges - 1) / kRmatBlockEdges;
+  std::vector<Xoshiro256ss> streams;
+  streams.reserve(num_blocks);
+  Xoshiro256ss rng(params.seed);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    streams.push_back(rng);
+    rng.jump();
+  }
+  // One more jump reserves a dedicated permutation stream, positioned
+  // the same way no matter how many blocks drew edges.
+  Xoshiro256ss perm_rng = rng;
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    Xoshiro256ss local = streams[b];
+    const std::size_t begin = b * kRmatBlockEdges;
+    const std::size_t end = std::min(begin + kRmatBlockEdges, m);
+    for (std::size_t i = begin; i < end; ++i) {
+      el.edges[i] = draw_edge(params, local);
+    }
   }
 
   if (params.permute_vertices) {
-    const std::vector<vid_t> perm = random_permutation(el.num_vertices, rng);
-    for (Edge& e : el.edges) {
-      e.src = perm[static_cast<std::size_t>(e.src)];
-      e.dst = perm[static_cast<std::size_t>(e.dst)];
+    const std::vector<vid_t> perm = random_permutation(el.num_vertices, perm_rng);
+    Edge* edges = el.edges.data();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (std::size_t i = 0; i < m; ++i) {
+      edges[i].src = perm[static_cast<std::size_t>(edges[i].src)];
+      edges[i].dst = perm[static_cast<std::size_t>(edges[i].dst)];
     }
   }
   return el;

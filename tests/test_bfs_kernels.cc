@@ -125,6 +125,81 @@ TEST(MixedSteps, DirectionsInterleaveCleanly) {
   }
 }
 
+TEST(BottomUpStep, CandidateListShrinksBelowNAfterFirstLevel) {
+  // Zero-rescan acceptance: after the first bottom-up level the scan
+  // trip count must be the compacted unvisited list, strictly below n,
+  // and it must shrink by exactly the discoveries of each level.
+  const CsrGraph g = build_csr(make_binary_tree(127));
+  const vid_t n = g.num_vertices();
+  BfsState state(g, 0);
+
+  const BottomUpStats first = bottom_up_step(g, state);
+  // Priming happens after the root is visited, so even the first level
+  // iterates n-1 candidates, and the list is exact afterwards.
+  EXPECT_EQ(first.candidates, n - 1);
+  EXPECT_EQ(static_cast<vid_t>(state.unvisited.size()),
+            n - 1 - first.next_vertices);
+
+  vid_t expected = n - 1 - first.next_vertices;
+  while (!state.frontier_empty()) {
+    const BottomUpStats s = bottom_up_step(g, state);
+    EXPECT_EQ(s.candidates, expected);
+    EXPECT_LT(s.candidates, n);
+    EXPECT_EQ(s.unvisited_vertices, s.candidates);  // list is exact
+    expected -= s.next_vertices;
+  }
+  EXPECT_EQ(state.reached, n);
+}
+
+TEST(BottomUpStep, ScratchBitmapStaysClearBetweenLevels) {
+  // The reused next-frontier bitmap must return to all-zero after every
+  // step (dirty-word wipe), or a later level would inherit phantom
+  // frontier bits.
+  const CsrGraph g = build_csr(graph::make_cycle(64));
+  BfsState state(g, 0);
+  EXPECT_EQ(state.bu_scratch.count(), 0u);
+  while (!state.frontier_empty()) {
+    bottom_up_step(g, state);
+    EXPECT_EQ(state.bu_scratch.count(), 0u);
+  }
+  EXPECT_EQ(state.reached, 64);
+}
+
+TEST(BottomUpStep, CandidateListSurvivesTopDownInterleaving) {
+  // A top-down step visits vertices behind the candidate list's back;
+  // the next bottom-up step must skip those stragglers (keeping every
+  // counter exact) and compact them away.
+  const CsrGraph g = build_csr(make_binary_tree(255));
+  BfsState state(g, 0);
+  bottom_up_step(g, state);  // primes the list
+  const std::size_t before = state.unvisited.size();
+  top_down_step(g, state);   // visits level-2 vertices, list now stale
+  const BottomUpStats s = bottom_up_step(g, state);
+  EXPECT_EQ(static_cast<std::size_t>(s.candidates), before);
+  EXPECT_LT(s.unvisited_vertices, s.candidates);  // stragglers skipped
+  EXPECT_EQ(static_cast<vid_t>(state.unvisited.size()),
+            static_cast<vid_t>(255) - state.reached);
+  while (!state.frontier_empty()) bottom_up_step(g, state);
+  for (vid_t v = 1; v < 255; ++v) {
+    EXPECT_EQ(state.parent[static_cast<std::size_t>(v)], (v - 1) / 2);
+  }
+}
+
+TEST(FrontierHelpers, ParallelBitmapToQueueMatchesSerialDecode) {
+  // Big enough (> 4096 words) to take the popcount-prefix parallel
+  // path; the result must be the exact ascending order of for_each_set.
+  const std::size_t n = 300000;
+  graph::Bitmap bm(n);
+  std::vector<vid_t> expect;
+  for (std::size_t v = 0; v < n; v += 1 + (v % 97)) {
+    bm.set(v);
+    expect.push_back(static_cast<vid_t>(v));
+  }
+  std::vector<vid_t> queue{1, 2, 3};  // stale contents must be replaced
+  bitmap_to_queue(bm, queue);
+  EXPECT_EQ(queue, expect);
+}
+
 TEST(FrontierHelpers, QueueBitmapRoundTrip) {
   graph::Bitmap bm(100);
   const std::vector<vid_t> q = {3, 17, 64, 99};

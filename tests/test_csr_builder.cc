@@ -6,7 +6,12 @@
 #include <stdexcept>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "graph/csr.h"
+#include "graph/prng.h"
 
 namespace bfsx::graph {
 namespace {
@@ -137,6 +142,95 @@ TEST(Builder, InDegreeSumEqualsOutDegreeSumDirected) {
   EXPECT_EQ(in_sum, out_sum);
   EXPECT_EQ(out_sum, 4);
 }
+
+TEST(Builder, ValidatesLargeListsPastTheParallelThreshold) {
+  // One bad endpoint buried in a list big enough to take the parallel
+  // validation path must still throw.
+  EdgeList el;
+  el.num_vertices = 64;
+  for (int i = 0; i < 100000; ++i) el.add(i % 64, (i + 1) % 64);
+  el.edges[73111] = {3, 64};  // out of range
+  EXPECT_THROW(validate_edge_list(el), std::out_of_range);
+  el.edges[73111] = {3, 63};
+  EXPECT_NO_THROW(validate_edge_list(el));
+}
+
+#ifdef _OPENMP
+void expect_same_csr(const CsrGraph& a, const CsrGraph& b) {
+  EXPECT_EQ(a.is_symmetric(), b.is_symmetric());
+  EXPECT_EQ(a.out_offsets(), b.out_offsets());
+  EXPECT_EQ(a.out_targets(), b.out_targets());
+  EXPECT_EQ(a.in_offsets(), b.in_offsets());
+  EXPECT_EQ(a.in_targets(), b.in_targets());
+}
+
+/// Adversarial edge lists: big enough to cross the parallel threshold,
+/// shaped to stress one scatter pathology each.
+std::vector<EdgeList> adversarial_lists() {
+  std::vector<EdgeList> lists;
+  {
+    // Skewed degree: one hub owns nearly every edge, so a single
+    // adjacency row spans many scatter chunks.
+    EdgeList el;
+    el.num_vertices = 1000;
+    for (int i = 0; i < 60000; ++i) el.add(0, 1 + i % 999);
+    lists.push_back(std::move(el));
+  }
+  {
+    // Self-loop heavy: half the list must vanish before packing.
+    EdgeList el;
+    el.num_vertices = 500;
+    for (int i = 0; i < 50000; ++i) {
+      el.add(i % 500, (i % 2 == 0) ? i % 500 : (i * 7 + 1) % 500);
+    }
+    lists.push_back(std::move(el));
+  }
+  {
+    // Duplicate heavy: dedup compacts rows to a fraction of their
+    // scattered size.
+    EdgeList el;
+    el.num_vertices = 64;
+    for (int i = 0; i < 80000; ++i) el.add(i % 64, (i * 3) % 64);
+    lists.push_back(std::move(el));
+  }
+  {
+    // Uniform random.
+    EdgeList el;
+    el.num_vertices = 4096;
+    Xoshiro256ss rng(99);
+    for (int i = 0; i < 70000; ++i) {
+      el.add(static_cast<vid_t>(rng.next_bounded(4096)),
+             static_cast<vid_t>(rng.next_bounded(4096)));
+    }
+    lists.push_back(std::move(el));
+  }
+  return lists;
+}
+
+class BuilderThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuilderThreads, ParallelBuildEqualsSerialBuild) {
+  const int threads = GetParam();
+  const int saved = omp_get_max_threads();
+  BuildOptions keep_order;  // order-sensitive: no sort, no dedup
+  keep_order.sort_neighbors = false;
+  keep_order.deduplicate = false;
+  for (const EdgeList& el : adversarial_lists()) {
+    for (const BuildOptions& opts : {BuildOptions{}, keep_order}) {
+      omp_set_num_threads(1);
+      const CsrGraph serial_sym = build_csr(el, opts);
+      const CsrGraph serial_dir = build_directed_csr(el, opts);
+      omp_set_num_threads(threads);
+      expect_same_csr(serial_sym, build_csr(el, opts));
+      expect_same_csr(serial_dir, build_directed_csr(el, opts));
+      omp_set_num_threads(saved);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, BuilderThreads,
+                         ::testing::Values(2, 3, 4, 8));
+#endif  // _OPENMP
 
 TEST(Csr, MemoryFootprintIsPositiveAndScales) {
   const CsrGraph small = build_csr(triangle_plus_tail());

@@ -5,6 +5,10 @@
 #include <map>
 #include <set>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "bfs/boolmap.h"
 #include "bfs/drivers.h"
 #include "bfs/spmv.h"
@@ -114,6 +118,80 @@ TEST_P(FuzzSeed, FiveEnginesAgreeOnRandomGraphs) {
   EXPECT_TRUE(bfs::same_levels(serial, bfs::run_bottom_up_boolmap(g, root)));
   EXPECT_TRUE(bfs::same_levels(serial, bfs::run_spmv_bfs(g, root)));
 }
+
+// The unvisited-list bottom-up must reproduce, level by level, the
+// counters and the parent map the top-down expansion of the same graph
+// yields: |V|cq, |E|cq, and discoveries per level are direction-
+// independent facts about the BFS tree.
+TEST_P(FuzzSeed, BottomUpCountersAndParentsMatchTopDown) {
+  graph::Xoshiro256ss rng(GetParam() * 131 + 5);
+  const vid_t n = 10 + static_cast<vid_t>(rng.next_bounded(400));
+  const auto m = static_cast<graph::eid_t>(rng.next_bounded(2500));
+  const CsrGraph g =
+      build_csr(graph::make_erdos_renyi(n, m, GetParam() + 4000));
+  vid_t root = graph::kNoVertex;
+  for (vid_t v = 0; v < n; ++v) {
+    if (g.out_degree(v) > 0) {
+      root = v;
+      break;
+    }
+  }
+  if (root == graph::kNoVertex) GTEST_SKIP() << "all-isolated graph";
+
+  bfs::TraversalLog td_log;
+  bfs::TraversalLog bu_log;
+  const bfs::BfsResult td = bfs::run_top_down(g, root, &td_log);
+  const bfs::BfsResult bu = bfs::run_bottom_up(g, root, &bu_log);
+
+  EXPECT_TRUE(bfs::same_levels(td, bu));
+  EXPECT_EQ(td.reached, bu.reached);
+  EXPECT_EQ(td.edges_in_component, bu.edges_in_component);
+  // Bottom-up may walk one empty trailing level before noticing the
+  // frontier died; every level top-down saw must agree exactly.
+  ASSERT_GE(bu_log.levels.size(), td_log.levels.size());
+  for (std::size_t i = 0; i < td_log.levels.size(); ++i) {
+    EXPECT_EQ(td_log.levels[i].frontier_vertices,
+              bu_log.levels[i].frontier_vertices) << "level " << i;
+    EXPECT_EQ(td_log.levels[i].frontier_edges,
+              bu_log.levels[i].frontier_edges) << "level " << i;
+    EXPECT_EQ(td_log.levels[i].next_vertices,
+              bu_log.levels[i].next_vertices) << "level " << i;
+  }
+  // Both parent maps must be valid BFS trees: parent one level up.
+  for (const bfs::BfsResult* r : {&td, &bu}) {
+    for (vid_t v = 0; v < n; ++v) {
+      const vid_t p = r->parent[static_cast<std::size_t>(v)];
+      if (v == root || p == graph::kNoVertex) continue;
+      EXPECT_EQ(r->level[static_cast<std::size_t>(v)],
+                r->level[static_cast<std::size_t>(p)] + 1);
+      EXPECT_TRUE(g.has_edge(p, v));
+    }
+  }
+}
+
+#ifdef _OPENMP
+// The parallel CSR builder must be a pure function of the edge list —
+// same arrays out of 1 and 4 workers on random inputs.
+TEST_P(FuzzSeed, BuilderIsThreadCountInvariant) {
+  graph::Xoshiro256ss rng(GetParam() * 257 + 11);
+  const vid_t n = 2 + static_cast<vid_t>(rng.next_bounded(2000));
+  EdgeList el;
+  el.num_vertices = n;
+  // Past the parallel threshold, with duplicates and self loops mixed in.
+  for (int i = 0; i < 40000; ++i) {
+    el.add(static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n))),
+           static_cast<vid_t>(rng.next_bounded(static_cast<std::uint64_t>(n))));
+  }
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const CsrGraph serial = build_csr(el);
+  omp_set_num_threads(4);
+  const CsrGraph parallel = build_csr(std::move(el));
+  omp_set_num_threads(saved);
+  EXPECT_EQ(serial.out_offsets(), parallel.out_offsets());
+  EXPECT_EQ(serial.out_targets(), parallel.out_targets());
+}
+#endif  // _OPENMP
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));

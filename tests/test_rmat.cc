@@ -6,6 +6,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "graph/builder.h"
 #include "graph/graph_stats.h"
 
@@ -105,6 +109,62 @@ TEST(Rmat, WithoutPermutationHubsHaveSmallIds) {
     (v < n / 2 ? low_half : high_half) += g.out_degree(v);
   }
   EXPECT_GT(low_half, 2 * high_half);
+}
+
+#ifdef _OPENMP
+/// Runs `fn` with the OpenMP worker pool clamped to `threads`, restoring
+/// the previous setting afterwards.
+template <typename Fn>
+auto with_threads(int threads, Fn&& fn) {
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(threads);
+  auto result = fn();
+  omp_set_num_threads(saved);
+  return result;
+}
+
+TEST(Rmat, BitIdenticalAcrossThreadCounts) {
+  // Eight generation blocks (2^13 * 16 / kRmatBlockEdges), so the block
+  // partition is genuinely exercised. Permutation and noise on: both
+  // draw from streams whose position is independent of the worker count.
+  RmatParams p;
+  p.scale = 13;
+  p.edgefactor = 16;
+  ASSERT_GT(static_cast<std::size_t>(p.num_edges()), kRmatBlockEdges);
+  const EdgeList serial = with_threads(1, [&] { return generate_rmat(p); });
+  for (int threads : {2, 3, 4}) {
+    const EdgeList parallel =
+        with_threads(threads, [&] { return generate_rmat(p); });
+    EXPECT_EQ(serial.edges, parallel.edges) << "threads=" << threads;
+  }
+}
+
+TEST(Rmat, BitIdenticalAcrossThreadCountsNoNoiseNoPermute) {
+  // The noise-free draw consumes a different number of PRNG values per
+  // edge; the block scheme must be invariant for that shape too.
+  RmatParams p;
+  p.scale = 13;
+  p.edgefactor = 16;
+  p.noise = 0.0;
+  p.permute_vertices = false;
+  const EdgeList serial = with_threads(1, [&] { return generate_rmat(p); });
+  const EdgeList parallel = with_threads(4, [&] { return generate_rmat(p); });
+  EXPECT_EQ(serial.edges, parallel.edges);
+}
+#endif  // _OPENMP
+
+TEST(Rmat, SingleBlockAndMultiBlockListsAreBothDeterministic) {
+  // Below one block the generator degenerates to a single stream; above
+  // it the jump table kicks in. Same-seed determinism must hold in both
+  // regimes (the cross-regime layout is pinned by kRmatBlockEdges, not
+  // by the machine).
+  for (int scale : {9, 13}) {
+    RmatParams p;
+    p.scale = scale;
+    const EdgeList a = generate_rmat(p);
+    const EdgeList b = generate_rmat(p);
+    EXPECT_EQ(a.edges, b.edges) << "scale=" << scale;
+  }
 }
 
 TEST(RmatValidate, RejectsBadParameters) {
