@@ -19,6 +19,7 @@
 #endif
 
 #include "bench_common.h"
+#include "check/contract.h"
 #include "graph500/native_engine.h"
 #include "graph/builder.h"
 #include "graph/graph_stats.h"
@@ -102,6 +103,55 @@ StageTimes run_at(int threads, const bfsx::graph::RmatParams& params) {
   return st;
 }
 
+/// One timed ingest+traverse pass at scale 14, used for the
+/// checks-on/off A/B below. Returns wall seconds.
+double ingest_traverse_once(const bfsx::graph::RmatParams& params) {
+  namespace graph = bfsx::graph;
+  const auto t0 = clock_type::now();
+  graph::EdgeList el = graph::generate_rmat(params);
+  graph::validate_edge_list(el);
+  const graph::CsrGraph g = graph::build_csr(std::move(el));
+  const graph::vid_t root = graph::sample_roots(g, 1, params.seed + 1)[0];
+  const auto hybrid =
+      bfsx::graph500::make_native_hybrid_engine(bfsx::core::HybridPolicy{});
+  const auto timed = hybrid(g, root);
+  (void)timed;
+  return seconds_since(t0);
+}
+
+struct CheckOverhead {
+  double on_seconds = 0;
+  double off_seconds = 0;
+  double pct = 0;
+};
+
+/// Measures the cost of the always-on BFSX_CHECK tier by running the
+/// scale-14 ingest+traverse path with checks enabled vs. disabled via
+/// the kill switch (the switch's only sanctioned use). Best-of-N so a
+/// single scheduler hiccup cannot fake an overhead. The contract in
+/// src/check/contract.h budgets this tier at < 2%.
+CheckOverhead measure_check_overhead() {
+  bfsx::graph::RmatParams params;
+  params.scale = 14;
+  params.edgefactor = 16;
+  constexpr int kReps = 7;
+  CheckOverhead m;
+  (void)ingest_traverse_once(params);  // warm-up, discarded
+  m.on_seconds = 1e30;
+  m.off_seconds = 1e30;
+  // Interleave on/off samples so slow drift (frequency scaling, page
+  // cache) hits both sides equally; best-of-N absorbs hiccups.
+  for (int r = 0; r < kReps; ++r) {
+    m.on_seconds = std::min(m.on_seconds, ingest_traverse_once(params));
+    {
+      bfsx::check::ScopedDisableChecks off;
+      m.off_seconds = std::min(m.off_seconds, ingest_traverse_once(params));
+    }
+  }
+  m.pct = (m.on_seconds / m.off_seconds - 1.0) * 100.0;
+  return m;
+}
+
 }  // namespace
 
 int main() {
@@ -159,6 +209,20 @@ int main() {
     report.cell("ingest_speedup", speedup);
     report.cell("deterministic", deterministic ? 1 : 0);
   }
+
+  // Contract-check overhead A/B (BFSX_CHECK tier, budget < 2%).
+  const CheckOverhead overhead = measure_check_overhead();
+  std::printf(
+      "\ncheck overhead (scale-14 ingest+traverse): checks-on %.3fs, "
+      "checks-off %.3fs, overhead %+.2f%% (budget < 2%%)\n",
+      overhead.on_seconds, overhead.off_seconds, overhead.pct);
+  report.row();
+  report.cell("kind", "check_overhead");
+  report.cell("scale", 14);
+  report.cell("checks_on_seconds", overhead.on_seconds);
+  report.cell("checks_off_seconds", overhead.off_seconds);
+  report.cell("check_overhead_pct", overhead.pct);
+
   report.write();
   return deterministic ? 0 : 1;
 }

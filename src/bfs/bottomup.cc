@@ -8,6 +8,7 @@
 #endif
 
 #include "bfs/frontier.h"
+#include "check/contract.h"
 
 namespace bfsx::bfs {
 namespace {
@@ -89,7 +90,14 @@ BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
   const std::int32_t next_level = state.current_level + 1;
   if (!state.unvisited_primed) prime_unvisited(g, state);
   // Reused scratch; all-zero on entry (constructor + the dirty-word
-  // wipe at the end of every step maintain the invariant).
+  // wipe at the end of every step maintain the invariant). A dirty
+  // scratch silently resurrects a previous frontier into this level's
+  // discoveries, so paranoid builds verify the wipe every step.
+  BFSX_PARANOID(BFSX_CHECK(state.bu_scratch.none())
+                << "bu_scratch dirty on bottom_up_step entry (first set bit "
+                << state.bu_scratch.find_first() << ")");
+  BFSX_CHECK_EQ(state.bu_scratch.size(),
+                static_cast<std::size_t>(g.num_vertices()));
   Bitmap& next = state.bu_scratch;
 
   const auto& cand = state.unvisited;
@@ -163,6 +171,11 @@ BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
     next.clear_word(static_cast<std::size_t>(v));
   }
   bitmap_to_queue(state.frontier_bitmap, state.frontier_queue);
+  // The wipe above and the compaction must restore every inter-step
+  // invariant (scratch all-clear, unvisited exact); state-level
+  // validation at each step makes a broken wipe fail here, at its
+  // source, instead of levels later.
+  BFSX_PARANOID(state.assert_invariants(g));
   return stats;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "bfs/state.h"
+#include "check/agreement.h"
 
 namespace bfsx::bfs {
 
@@ -21,6 +22,21 @@ struct LevelRecord {
 struct TraversalLog {
   std::vector<LevelRecord> levels;
 };
+
+/// Adapts a traversal log into the engine-agnostic counter rows the
+/// cross-engine agreement checker (check/agreement.h) compares. The
+/// bottom_up_scanned column is direction-specific by design and is
+/// deliberately not part of the agreement contract.
+[[nodiscard]] inline std::vector<check::LevelCounters> to_level_counters(
+    const TraversalLog& log) {
+  std::vector<check::LevelCounters> out;
+  out.reserve(log.levels.size());
+  for (const LevelRecord& r : log.levels) {
+    out.push_back({r.level, r.frontier_vertices, r.frontier_edges,
+                   r.next_vertices});
+  }
+  return out;
+}
 
 /// Pure top-down traversal (paper Algorithm 1).
 BfsResult run_top_down(const CsrGraph& g, vid_t root,

@@ -1,5 +1,9 @@
 #include "bfs/state.h"
 
+#include <algorithm>
+
+#include "check/contract.h"
+
 namespace bfsx::bfs {
 
 BfsResult BfsState::take_result(const CsrGraph& g) && {
@@ -17,6 +21,132 @@ BfsResult BfsState::take_result(const CsrGraph& g) && {
   r.parent = std::move(parent);
   r.level = std::move(level);
   return r;
+}
+
+void BfsState::check_invariants(const CsrGraph& g,
+                                check::CheckReport& report) const {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  if (parent.size() != n || level.size() != n || visited.size() != n) {
+    report.failf() << "map sizes (parent " << parent.size() << ", level "
+                   << level.size() << ", visited " << visited.size()
+                   << ") do not match |V| = " << n;
+    return;  // nothing below can index safely
+  }
+
+  // Per-vertex agreement of the three reachability encodings.
+  vid_t at_current = 0;
+  for (std::size_t v = 0; v < n && report.wants_more(); ++v) {
+    const vid_t p = parent[v];
+    const std::int32_t lv = level[v];
+    if ((p == kNoVertex) != (lv < 0)) {
+      report.failf() << "vertex " << v << ": parent (" << p << ") and level ("
+                     << lv << ") disagree about reachability";
+      continue;
+    }
+    if (visited.test(v) != (lv >= 0)) {
+      report.failf() << "vertex " << v << ": visited bit is "
+                     << visited.test(v) << " but level is " << lv;
+      continue;
+    }
+    if (lv < 0) continue;
+    if (lv > current_level) {
+      report.failf() << "vertex " << v << ": level " << lv
+                     << " exceeds current_level " << current_level;
+    }
+    if (lv == current_level) ++at_current;
+    if (p < 0 || static_cast<std::size_t>(p) >= n) {
+      report.failf() << "vertex " << v << ": parent " << p
+                     << " out of range [0, " << n << ")";
+      continue;
+    }
+    if (static_cast<std::size_t>(p) == v) {
+      if (lv != 0) {
+        report.failf() << "vertex " << v << ": self-parented at level " << lv
+                       << " (only the root, at level 0, may self-parent)";
+      }
+    } else if (level[static_cast<std::size_t>(p)] != lv - 1) {
+      report.failf() << "vertex " << v << ": level " << lv
+                     << " is not parent " << p << "'s level "
+                     << level[static_cast<std::size_t>(p)] << " + 1";
+    }
+  }
+
+  const auto visited_count = static_cast<vid_t>(visited.count());
+  if (reached != visited_count) {
+    report.failf() << "reached = " << reached
+                   << " does not match visited population " << visited_count;
+  }
+
+  // Frontier: both representations hold exactly the current level set.
+  if (frontier_bitmap.size() != n) {
+    report.failf() << "frontier bitmap sized " << frontier_bitmap.size()
+                   << ", expected " << n;
+  } else {
+    if (frontier_bitmap.count() != frontier_queue.size()) {
+      report.failf() << "frontier queue (" << frontier_queue.size()
+                     << " vertices) and bitmap (" << frontier_bitmap.count()
+                     << " bits) disagree";
+    }
+    for (vid_t v : frontier_queue) {
+      if (!report.wants_more()) break;
+      if (v < 0 || static_cast<std::size_t>(v) >= n) {
+        report.failf() << "frontier queue entry " << v << " out of range";
+        continue;
+      }
+      if (!frontier_bitmap.test(static_cast<std::size_t>(v))) {
+        report.failf() << "frontier vertex " << v << " missing from bitmap";
+      }
+      if (level[static_cast<std::size_t>(v)] != current_level) {
+        report.failf() << "frontier vertex " << v << " is at level "
+                       << level[static_cast<std::size_t>(v)]
+                       << ", not current_level " << current_level;
+      }
+    }
+    if (static_cast<vid_t>(frontier_queue.size()) != at_current &&
+        report.wants_more()) {
+      report.failf() << "frontier holds " << frontier_queue.size()
+                     << " vertices but " << at_current << " are at level "
+                     << current_level;
+    }
+  }
+
+  // Zero-rescan invariants from the compacted bottom-up kernel.
+  if (!bu_scratch.none()) {
+    report.failf() << "bu_scratch dirty between steps (first set bit "
+                   << bu_scratch.find_first() << " of "
+                   << bu_scratch.count() << ")";
+  }
+  if (unvisited_primed) {
+    for (std::size_t i = 1; i < unvisited.size() && report.wants_more(); ++i) {
+      if (unvisited[i - 1] >= unvisited[i]) {
+        report.failf() << "unvisited list not strictly ascending at index "
+                       << i << " (" << unvisited[i - 1]
+                       << " >= " << unvisited[i] << ")";
+      }
+    }
+    // Superset walk: every not-yet-visited vertex must appear. The list
+    // is ascending, so one merge pass suffices.
+    std::size_t cursor = 0;
+    for (std::size_t v = 0; v < n && report.wants_more(); ++v) {
+      if (visited.test(v)) continue;
+      while (cursor < unvisited.size() &&
+             static_cast<std::size_t>(unvisited[cursor]) < v) {
+        ++cursor;  // stragglers (already visited) are legal
+      }
+      if (cursor >= unvisited.size() ||
+          static_cast<std::size_t>(unvisited[cursor]) != v) {
+        report.failf() << "unvisited vertex " << v
+                       << " missing from the candidate list (superset "
+                          "invariant broken)";
+      }
+    }
+  }
+}
+
+void BfsState::assert_invariants(const CsrGraph& g) const {
+  check::CheckReport report;
+  check_invariants(g, report);
+  report.throw_if_failed("BfsState::check_invariants");
 }
 
 }  // namespace bfsx::bfs

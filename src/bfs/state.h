@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/contract.h"
+#include "check/report.h"
 #include "graph/bitmap.h"
 #include "graph/csr.h"
 #include "graph/types.h"
@@ -45,6 +47,9 @@ struct BfsState {
         level(static_cast<std::size_t>(g.num_vertices()), -1),
         visited(static_cast<std::size_t>(g.num_vertices())),
         bu_scratch(static_cast<std::size_t>(g.num_vertices())) {
+    BFSX_CHECK(root >= 0 && root < g.num_vertices())
+        << "BFS root " << root << " out of range [0, " << g.num_vertices()
+        << ")";
     parent[static_cast<std::size_t>(root)] = root;
     level[static_cast<std::size_t>(root)] = 0;
     visited.set(static_cast<std::size_t>(root));
@@ -86,6 +91,24 @@ struct BfsState {
   [[nodiscard]] bool frontier_empty() const noexcept {
     return frontier_queue.empty();
   }
+
+  /// Paranoid structural validator (BFSX_PARANOID tier; O(V)). Valid
+  /// *between* level steps — kernels may transiently break these mid
+  /// step. Appends numbered failures to `report`:
+  ///   * parent/level/visited agree per vertex (set together, parent in
+  ///     range, level <= current_level, tree edges span one level);
+  ///   * `reached` equals the visited population count;
+  ///   * frontier queue and bitmap hold the same vertex set, all at
+  ///     current_level;
+  ///   * `bu_scratch` is all-clear (the zero-rescan wipe invariant);
+  ///   * once primed, `unvisited` is strictly ascending and a superset
+  ///     of the not-yet-visited vertices (stragglers visited by
+  ///     interleaved top-down steps are legal leftovers).
+  void check_invariants(const CsrGraph& g, check::CheckReport& report) const;
+
+  /// Convenience wrapper: throws check::ContractViolation listing every
+  /// retained failure.
+  void assert_invariants(const CsrGraph& g) const;
 
   /// Extracts the final result (parent/level maps are moved out).
   [[nodiscard]] BfsResult take_result(const CsrGraph& g) &&;

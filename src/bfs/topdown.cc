@@ -7,6 +7,7 @@
 #endif
 
 #include "bfs/frontier.h"
+#include "check/contract.h"
 
 namespace bfsx::bfs {
 
@@ -72,6 +73,10 @@ TopDownStats top_down_step(const CsrGraph& g, BfsState& state) {
   state.current_level = next_level;
   state.frontier_queue = std::move(next);
   queue_to_bitmap(state.frontier_queue, state.frontier_bitmap);
+  // Catches a lost atomic claim (parent written without the level, a
+  // double discovery) at the level it happened, including the straggler
+  // bookkeeping this step leaves in a primed bottom-up candidate list.
+  BFSX_PARANOID(state.assert_invariants(g));
   return stats;
 }
 

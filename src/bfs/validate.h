@@ -15,20 +15,36 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "bfs/state.h"
 
 namespace bfsx::bfs {
 
+/// Validation outcome. Collects up to `kMaxFailures` numbered failures
+/// (vertex/edge context per entry) instead of stopping at the first, so
+/// fuzz-test diagnostics show the whole corruption pattern — one
+/// flipped bitmap word corrupts 64 consecutive vertices, which is
+/// unrecognisable from a single-line error.
 struct ValidationReport {
+  /// Failure cap; past it failures are counted but not retained.
+  static constexpr std::size_t kMaxFailures = 16;
+
   bool ok = true;
-  std::string error;  // first failure, empty when ok
+  std::string error;                  // first failure, empty when ok
+  std::vector<std::string> failures;  // numbered via format()
+  std::size_t total_failures = 0;     // including any past the cap
 
   explicit operator bool() const noexcept { return ok; }
+
+  /// All retained failures as one numbered, line-per-failure string.
+  [[nodiscard]] std::string format() const;
 };
 
 /// Validates `result` as a BFS tree of `g` rooted at `root`.
-/// Runs in O(V + E); safe to call on every test traversal.
+/// Runs in O(V + E); safe to call on every test traversal. Structural
+/// preconditions (root range, map sizes) abort immediately; per-vertex
+/// and per-edge checks continue to the failure cap.
 [[nodiscard]] ValidationReport validate_bfs(const CsrGraph& g, vid_t root,
                                             const BfsResult& result);
 

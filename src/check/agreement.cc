@@ -1,0 +1,50 @@
+#include "check/agreement.h"
+
+#include <algorithm>
+
+namespace bfsx::check {
+namespace {
+
+void diff_field(const std::string& name_a, const std::string& name_b,
+                std::int64_t level, const char* field, std::int64_t va,
+                std::int64_t vb, CheckReport& report) {
+  if (va == vb || !report.wants_more()) return;
+  report.failf() << "level " << level << ": " << field << " disagrees ("
+                 << name_a << "=" << va << ", " << name_b << "=" << vb << ")";
+}
+
+}  // namespace
+
+bool compare_level_counters(const std::vector<LevelCounters>& a,
+                            const std::vector<LevelCounters>& b,
+                            const std::string& name_a,
+                            const std::string& name_b, CheckReport& report) {
+  const std::size_t before = report.total_failures();
+  if (a.size() != b.size()) {
+    report.failf() << "depth disagrees (" << name_a << "=" << a.size()
+                   << " levels, " << name_b << "=" << b.size() << " levels)";
+  }
+  const std::size_t depth = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < depth && report.wants_more(); ++i) {
+    diff_field(name_a, name_b, a[i].level, "level id", a[i].level, b[i].level,
+               report);
+    diff_field(name_a, name_b, a[i].level, "|V|cq", a[i].frontier_vertices,
+               b[i].frontier_vertices, report);
+    diff_field(name_a, name_b, a[i].level, "|E|cq", a[i].frontier_edges,
+               b[i].frontier_edges, report);
+    diff_field(name_a, name_b, a[i].level, "next_vertices", a[i].next_vertices,
+               b[i].next_vertices, report);
+  }
+  return report.total_failures() == before;
+}
+
+void require_counter_agreement(const std::vector<LevelCounters>& a,
+                               const std::vector<LevelCounters>& b,
+                               const std::string& name_a,
+                               const std::string& name_b) {
+  CheckReport report;
+  compare_level_counters(a, b, name_a, name_b, report);
+  report.throw_if_failed("counter agreement " + name_a + " vs " + name_b);
+}
+
+}  // namespace bfsx::check

@@ -1,0 +1,48 @@
+// Cross-engine counter agreement.
+//
+// The paper's headline correctness claim (Fig. 4, Table IV) is that
+// |V|cq and |E|cq per level are properties of the graph and root alone:
+// every engine — top-down, bottom-up, hybrid, reference, distributed —
+// must report bit-equal counters at every level, for every thread
+// count. This checker makes the claim mechanical. It is deliberately
+// independent of any engine type: callers adapt their per-level logs
+// into LevelCounters rows (bfs::to_level_counters for TraversalLog),
+// so tests, the CLI's --paranoid mode, and future engines can all
+// reuse it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/report.h"
+
+namespace bfsx::check {
+
+/// One level's paper counters, engine-agnostic. 64-bit signed so any
+/// engine's native counter types widen losslessly.
+struct LevelCounters {
+  std::int64_t level = 0;
+  std::int64_t frontier_vertices = 0;  // |V|cq
+  std::int64_t frontier_edges = 0;     // |E|cq
+  std::int64_t next_vertices = 0;      // |V| discovered into level+1
+
+  friend bool operator==(const LevelCounters&, const LevelCounters&) = default;
+};
+
+/// Appends a numbered failure for every level where `a` and `b`
+/// disagree (depth mismatch, then per-level field mismatches), naming
+/// the engines. Returns true when the traces agree.
+bool compare_level_counters(const std::vector<LevelCounters>& a,
+                            const std::vector<LevelCounters>& b,
+                            const std::string& name_a,
+                            const std::string& name_b, CheckReport& report);
+
+/// Convenience wrapper: collects a fresh report and throws
+/// ContractViolation on disagreement.
+void require_counter_agreement(const std::vector<LevelCounters>& a,
+                               const std::vector<LevelCounters>& b,
+                               const std::string& name_a,
+                               const std::string& name_b);
+
+}  // namespace bfsx::check

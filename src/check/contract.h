@@ -1,0 +1,175 @@
+// Contract-check tiers for the whole library.
+//
+// Three tiers, from cheapest to most thorough:
+//
+//   BFSX_CHECK(cond)       always on, every build type. For O(1)
+//                          preconditions on API boundaries (sizes,
+//                          ranges, structural sentinels). Budget: the
+//                          sum of all BFSX_CHECK sites must stay under
+//                          2% of the scale-14 ingest+traverse path
+//                          (bench_build_pipeline emits the measured
+//                          overhead as `check_overhead_pct`).
+//   BFSX_DCHECK(cond)      debug builds only (also on under paranoid).
+//                          For checks too hot for release but cheap
+//                          enough for development loops.
+//   BFSX_PARANOID(stmt;)   compiled only with -DBFSX_PARANOID=ON. For
+//                          O(V+E) structural validators wired into the
+//                          code they guard (CSR symmetry, BFS state
+//                          invariants between level steps).
+//
+// Failures throw check::ContractViolation carrying the failed
+// expression, file:line, and any streamed context:
+//
+//   BFSX_CHECK(!offsets.empty()) << "CSR needs at least one offset";
+//   BFSX_CHECK_EQ(offsets.back(), targets.size());
+//
+// The comparison forms (BFSX_CHECK_EQ/NE/LT/LE/GT/GE) print both
+// operand values. Operands may be re-evaluated on the failure path, so
+// keep side effects out of check arguments.
+//
+// check::checks_enabled() is a process-wide kill switch whose only
+// sanctioned user is bench_build_pipeline's checks-on/checks-off A/B
+// measurement; production code must never toggle it.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bfsx::check {
+
+/// Thrown by every failing contract macro. logic_error: a contract
+/// violation is a bug in the caller or in this library, never an
+/// environmental condition worth retrying.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+
+inline std::atomic<bool> g_checks_enabled{true};
+
+class Failer {
+ public:
+  Failer(const char* kind, const char* expr, const char* file, int line) {
+    stream_ << kind << " failed: " << expr << " [" << file << ":" << line
+            << "]";
+  }
+  Failer(const Failer&) = delete;
+  Failer& operator=(const Failer&) = delete;
+
+  /// Throws at the end of the full check expression, after the caller
+  /// streamed its context. Only ever constructed on a failed check, so
+  /// the throwing destructor cannot fire during unwinding.
+  ~Failer() noexcept(false) { throw ContractViolation(stream_.str()); }
+
+  std::ostringstream& stream() noexcept { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets a streaming expression terminate a void ternary branch
+/// (operator& binds looser than operator<<).
+struct Voidify {
+  void operator&(std::ostream&) const noexcept {}
+};
+
+}  // namespace detail
+
+/// Whether BFSX_CHECK / BFSX_DCHECK / BFSX_PARANOID sites evaluate.
+/// Defaults to true for the process lifetime.
+inline bool checks_enabled() noexcept {
+  return detail::g_checks_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII off-switch for overhead measurement (bench_build_pipeline).
+/// Not thread-safe against concurrent scopes; never nest across
+/// threads.
+class ScopedDisableChecks {
+ public:
+  ScopedDisableChecks() noexcept
+      : previous_(detail::g_checks_enabled.exchange(false)) {}
+  ~ScopedDisableChecks() { detail::g_checks_enabled.store(previous_); }
+  ScopedDisableChecks(const ScopedDisableChecks&) = delete;
+  ScopedDisableChecks& operator=(const ScopedDisableChecks&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace bfsx::check
+
+#define BFSX_CHECK_LIKELY_(x) __builtin_expect(!!(x), 1)
+
+#define BFSX_CHECK_IMPL_(kind, cond)                                     \
+  (!::bfsx::check::checks_enabled() || BFSX_CHECK_LIKELY_(cond))         \
+      ? (void)0                                                          \
+      : ::bfsx::check::detail::Voidify() &                               \
+            ::bfsx::check::detail::Failer(kind, #cond, __FILE__,         \
+                                          __LINE__)                      \
+                .stream()
+
+#define BFSX_CHECK_OP_IMPL_(kind, a, b, op)                              \
+  (!::bfsx::check::checks_enabled() || BFSX_CHECK_LIKELY_((a)op(b)))     \
+      ? (void)0                                                          \
+      : ::bfsx::check::detail::Voidify() &                               \
+            ::bfsx::check::detail::Failer(kind, #a " " #op " " #b,       \
+                                          __FILE__, __LINE__)            \
+                    .stream()                                            \
+                << " (" << (a) << " vs " << (b) << ")"
+
+// ---- Tier 1: always on -------------------------------------------------
+#define BFSX_CHECK(cond) BFSX_CHECK_IMPL_("BFSX_CHECK", cond)
+#define BFSX_CHECK_EQ(a, b) BFSX_CHECK_OP_IMPL_("BFSX_CHECK_EQ", a, b, ==)
+#define BFSX_CHECK_NE(a, b) BFSX_CHECK_OP_IMPL_("BFSX_CHECK_NE", a, b, !=)
+#define BFSX_CHECK_LT(a, b) BFSX_CHECK_OP_IMPL_("BFSX_CHECK_LT", a, b, <)
+#define BFSX_CHECK_LE(a, b) BFSX_CHECK_OP_IMPL_("BFSX_CHECK_LE", a, b, <=)
+#define BFSX_CHECK_GT(a, b) BFSX_CHECK_OP_IMPL_("BFSX_CHECK_GT", a, b, >)
+#define BFSX_CHECK_GE(a, b) BFSX_CHECK_OP_IMPL_("BFSX_CHECK_GE", a, b, >=)
+
+// ---- Tier 2: debug builds (and paranoid builds) ------------------------
+#if !defined(NDEBUG) || defined(BFSX_PARANOID_ENABLED)
+#define BFSX_DCHECK_ACTIVE 1
+#define BFSX_DCHECK(cond) BFSX_CHECK_IMPL_("BFSX_DCHECK", cond)
+#define BFSX_DCHECK_EQ(a, b) BFSX_CHECK_OP_IMPL_("BFSX_DCHECK_EQ", a, b, ==)
+#define BFSX_DCHECK_NE(a, b) BFSX_CHECK_OP_IMPL_("BFSX_DCHECK_NE", a, b, !=)
+#define BFSX_DCHECK_LT(a, b) BFSX_CHECK_OP_IMPL_("BFSX_DCHECK_LT", a, b, <)
+#define BFSX_DCHECK_LE(a, b) BFSX_CHECK_OP_IMPL_("BFSX_DCHECK_LE", a, b, <=)
+#define BFSX_DCHECK_GT(a, b) BFSX_CHECK_OP_IMPL_("BFSX_DCHECK_GT", a, b, >)
+#define BFSX_DCHECK_GE(a, b) BFSX_CHECK_OP_IMPL_("BFSX_DCHECK_GE", a, b, >=)
+#else
+#define BFSX_DCHECK_ACTIVE 0
+#define BFSX_DCHECK_NOOP_(...) \
+  do {                         \
+  } while (false)
+#define BFSX_DCHECK(cond) BFSX_DCHECK_NOOP_()
+#define BFSX_DCHECK_EQ(a, b) BFSX_DCHECK_NOOP_()
+#define BFSX_DCHECK_NE(a, b) BFSX_DCHECK_NOOP_()
+#define BFSX_DCHECK_LT(a, b) BFSX_DCHECK_NOOP_()
+#define BFSX_DCHECK_LE(a, b) BFSX_DCHECK_NOOP_()
+#define BFSX_DCHECK_GT(a, b) BFSX_DCHECK_NOOP_()
+#define BFSX_DCHECK_GE(a, b) BFSX_DCHECK_NOOP_()
+#endif
+
+// ---- Tier 3: paranoid structural validators ----------------------------
+// Executes `stmt` (typically a call into a check/*.h validator) only in
+// -DBFSX_PARANOID=ON builds. The statement must be side-effect free
+// with respect to the guarded algorithm.
+#if defined(BFSX_PARANOID_ENABLED)
+#define BFSX_PARANOID_ACTIVE 1
+#define BFSX_PARANOID(...)                       \
+  do {                                           \
+    if (::bfsx::check::checks_enabled()) {       \
+      __VA_ARGS__;                               \
+    }                                            \
+  } while (false)
+#else
+#define BFSX_PARANOID_ACTIVE 0
+#define BFSX_PARANOID(...) \
+  do {                     \
+  } while (false)
+#endif

@@ -1,0 +1,34 @@
+#include "check/report.h"
+
+#include "check/contract.h"
+
+namespace bfsx::check {
+
+void CheckReport::fail(std::string message) {
+  ++total_failures_;
+  if (failures_.size() < max_failures_) {
+    failures_.push_back(std::move(message));
+  }
+}
+
+std::string CheckReport::to_string() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  os << total_failures_ << " failure(s):";
+  for (std::size_t i = 0; i < failures_.size(); ++i) {
+    os << "\n  [" << (i + 1) << "] " << failures_[i];
+  }
+  if (total_failures_ > failures_.size()) {
+    os << "\n  (" << (total_failures_ - failures_.size())
+       << " more dropped past the cap of " << max_failures_ << ")";
+  }
+  return os.str();
+}
+
+void CheckReport::throw_if_failed(const std::string& context) const {
+  if (!ok()) {
+    throw ContractViolation(context + ": " + to_string());
+  }
+}
+
+}  // namespace bfsx::check

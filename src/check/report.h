@@ -1,0 +1,87 @@
+// CheckReport: multi-failure collector for structural validators.
+//
+// Validators used to stop at the first inconsistency, which hides the
+// shape of a corruption (one flipped word in a bitmap corrupts many
+// vertices in a recognisable pattern; a truncated scatter corrupts a
+// contiguous offset range). Every validator in this library therefore
+// appends *numbered* failures to a CheckReport, capped at a fixed K so
+// a totally corrupt structure cannot produce gigabytes of diagnostics;
+// failures past the cap are still counted.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bfsx::check {
+
+class CheckReport {
+ public:
+  /// Default failure cap; enough to show a corruption pattern without
+  /// flooding fuzz-test logs.
+  static constexpr std::size_t kDefaultMaxFailures = 16;
+
+  explicit CheckReport(std::size_t max_failures = kDefaultMaxFailures)
+      : max_failures_(max_failures) {}
+
+  [[nodiscard]] bool ok() const noexcept { return total_failures_ == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Failures recorded (including any dropped past the cap).
+  [[nodiscard]] std::size_t total_failures() const noexcept {
+    return total_failures_;
+  }
+
+  /// The retained failure messages, at most `max_failures()` of them.
+  [[nodiscard]] const std::vector<std::string>& failures() const noexcept {
+    return failures_;
+  }
+
+  [[nodiscard]] std::size_t max_failures() const noexcept {
+    return max_failures_;
+  }
+
+  /// True while the report can still retain messages; validators use
+  /// this to stop scanning once further failures would be dropped.
+  [[nodiscard]] bool wants_more() const noexcept {
+    return failures_.size() < max_failures_;
+  }
+
+  /// Records one failure (kept only if under the cap).
+  void fail(std::string message);
+
+  /// Stream-style failure entry: report.failf() << "vertex " << v;
+  /// The message is recorded when the returned proxy is destroyed.
+  class Failf {
+   public:
+    explicit Failf(CheckReport& report) : report_(report) {}
+    Failf(const Failf&) = delete;
+    Failf& operator=(const Failf&) = delete;
+    ~Failf() { report_.fail(stream_.str()); }
+    template <typename T>
+    Failf& operator<<(const T& value) {
+      stream_ << value;
+      return *this;
+    }
+
+   private:
+    CheckReport& report_;
+    std::ostringstream stream_;
+  };
+  [[nodiscard]] Failf failf() { return Failf(*this); }
+
+  /// "ok" or "N failure(s):\n  [1] ...\n  [2] ... (M more dropped)".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Throws check::ContractViolation("<context>: " + to_string()) when
+  /// any failure was recorded.
+  void throw_if_failed(const std::string& context) const;
+
+ private:
+  std::size_t max_failures_;
+  std::size_t total_failures_ = 0;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace bfsx::check

@@ -26,6 +26,21 @@ bool Bitmap::test_and_set_atomic(std::size_t pos) noexcept {
   return (word.fetch_or(mask, std::memory_order_relaxed) & mask) == 0;
 }
 
+bool Bitmap::none() const noexcept {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w == 0; });
+}
+
+std::size_t Bitmap::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return (w << 6) +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
 std::size_t Bitmap::count() const noexcept {
   std::size_t total = 0;
   for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));

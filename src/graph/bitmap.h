@@ -59,6 +59,14 @@ class Bitmap {
   /// Population count over all bits.
   [[nodiscard]] std::size_t count() const noexcept;
 
+  /// True iff no bit is set. O(words); the paranoid validators use it
+  /// to assert the bottom-up scratch bitmap's all-clear invariant.
+  [[nodiscard]] bool none() const noexcept;
+
+  /// Position of the lowest set bit, or `size()` when none is set.
+  /// Lets invariant failures name the offending bit.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
   /// Calls `fn(vid_t)` for every set bit in ascending order.
   template <typename Fn>
   void for_each_set(Fn&& fn) const {

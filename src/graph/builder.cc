@@ -1,7 +1,6 @@
 #include "graph/builder.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +8,9 @@
 #ifdef _OPENMP
 #include <omp.h>
 #endif
+
+#include "check/contract.h"
+#include "check/report.h"
 
 namespace bfsx::graph {
 namespace {
@@ -207,8 +209,10 @@ std::vector<Edge> preprocess(EdgeList&& el, bool symmetrize,
     const std::size_t orig = edges.size();
     edges.resize(orig * 2);
     Edge* e = edges.data();
+    const int workers = worker_count(orig);
+    // det: mirror i lands at orig + i for any schedule or worker count.
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) num_threads(workers)
 #endif
     for (std::size_t i = 0; i < orig; ++i) {
       e[orig + i] = {e[i].dst, e[i].src};
@@ -234,9 +238,20 @@ void validate_edge_list(const EdgeList& el) {
   for (std::size_t i = 0; i < m; ++i) {
     bad = bad || e[i].src < 0 || e[i].src >= n || e[i].dst < 0 || e[i].dst >= n;
   }
-  if (bad) {
-    throw std::out_of_range("EdgeList: edge endpoint out of range");
+  if (!bad) return;
+  // Error path: rescan serially and collect up to K numbered offenders
+  // so fuzz diagnostics show the corruption pattern (a single bad edge
+  // reads very differently from a whole corrupt block). The rescan
+  // costs one extra pass but only when the input is already rejected.
+  check::CheckReport report;
+  for (std::size_t i = 0; i < m && report.wants_more(); ++i) {
+    if (e[i].src < 0 || e[i].src >= n || e[i].dst < 0 || e[i].dst >= n) {
+      report.failf() << "edge[" << i << "] = (" << e[i].src << ", " << e[i].dst
+                     << "): endpoint out of range [0, " << n << ")";
+    }
   }
+  throw std::out_of_range("EdgeList: edge endpoint out of range; " +
+                          report.to_string());
 }
 
 CsrGraph build_csr(EdgeList el, const BuildOptions& opts) {
@@ -250,11 +265,15 @@ CsrGraph build_csr(EdgeList el, const BuildOptions& opts) {
     // directions instead.
     auto out = pack(n, edges, /*by_src=*/true, opts);
     auto in = pack(n, edges, /*by_src=*/false, opts);
-    return CsrGraph(std::move(out.offsets), std::move(out.targets),
-                    std::move(in.offsets), std::move(in.targets));
+    CsrGraph g(std::move(out.offsets), std::move(out.targets),
+               std::move(in.offsets), std::move(in.targets));
+    BFSX_PARANOID(g.assert_invariants(opts.sort_neighbors));
+    return g;
   }
   auto arrays = pack(n, edges, /*by_src=*/true, opts);
-  return CsrGraph(std::move(arrays.offsets), std::move(arrays.targets));
+  CsrGraph g(std::move(arrays.offsets), std::move(arrays.targets));
+  BFSX_PARANOID(g.assert_invariants(opts.sort_neighbors));
+  return g;
 }
 
 CsrGraph build_directed_csr(EdgeList el, const BuildOptions& opts) {
@@ -263,8 +282,10 @@ CsrGraph build_directed_csr(EdgeList el, const BuildOptions& opts) {
   std::vector<Edge> edges = preprocess(std::move(el), /*symmetrize=*/false, opts);
   auto out = pack(n, edges, /*by_src=*/true, opts);
   auto in = pack(n, edges, /*by_src=*/false, opts);
-  return CsrGraph(std::move(out.offsets), std::move(out.targets),
-                  std::move(in.offsets), std::move(in.targets));
+  CsrGraph g(std::move(out.offsets), std::move(out.targets),
+             std::move(in.offsets), std::move(in.targets));
+  BFSX_PARANOID(g.assert_invariants(opts.sort_neighbors));
+  return g;
 }
 
 }  // namespace bfsx::graph

@@ -25,10 +25,13 @@ struct BuildOptions {
 };
 
 /// Checks every endpoint lies in [0, num_vertices). Parallelised over
-/// the edge list; throws std::out_of_range on the first violation and
-/// std::invalid_argument on a negative vertex count. build_csr and
-/// build_directed_csr call this themselves — it is exposed so the
-/// ingestion bench can time validation apart from construction.
+/// the edge list; throws std::invalid_argument on a negative vertex
+/// count and std::out_of_range naming up to
+/// check::CheckReport::kDefaultMaxFailures offending edges (index and
+/// endpoints) so diagnostics show the corruption pattern, not just its
+/// first symptom. build_csr and build_directed_csr call this
+/// themselves — it is exposed so the ingestion bench can time
+/// validation apart from construction.
 void validate_edge_list(const EdgeList& el);
 
 /// Builds a CSR graph from an edge list. The input list is taken by

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "check/report.h"
 #include "graph/types.h"
 
 namespace bfsx::graph {
@@ -84,6 +85,20 @@ class CsrGraph {
 
   /// Approximate resident bytes (used by the cost model for cache terms).
   [[nodiscard]] std::size_t memory_footprint_bytes() const noexcept;
+
+  /// Paranoid structural validator (BFSX_PARANOID tier; O(V + E log d)).
+  /// Appends numbered failures to `report`: offset monotonicity and
+  /// bounds, target range, per-row sort order (when `expect_sorted`),
+  /// out/in mirror-edge symmetry for the shared-adjacency
+  /// representation, and out/in transpose consistency for directed
+  /// graphs. build_csr wires this behind BFSX_PARANOID; tests and the
+  /// CLI's --paranoid flag call it directly.
+  void check_invariants(check::CheckReport& report,
+                        bool expect_sorted = true) const;
+
+  /// Convenience wrapper: throws check::ContractViolation listing every
+  /// retained failure.
+  void assert_invariants(bool expect_sorted = true) const;
 
  private:
   std::vector<eid_t> out_offsets_;

@@ -15,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "bfs/drivers.h"
+#include "check/agreement.h"
+#include "check/report.h"
 #include "core/api.h"
 #include "core/level_trace.h"
 #include "core/online_tuner.h"
@@ -150,11 +153,32 @@ int cmd_bfs(const Args& args) {
   args.check_known(with_graph_keys(
       {"engine", "device", "host", "m", "n", "m2", "n2", "roots", "native",
        "devices", "partition", "cluster", "link-latency-us", "link-gbps",
-       "trace-out", "trace-format", "metrics"}));
+       "trace-out", "trace-format", "metrics", "paranoid"}));
 
   graph::RmatParams params;
   const graph::CsrGraph g = load_graph(args, &params);
   std::printf("graph: %s\n", graph::summarize(g).c_str());
+
+  if (args.get_bool("paranoid", false)) {
+    // Runtime tier of the paranoid validators (available even when the
+    // library was compiled without -DBFSX_PARANOID=ON): full CSR
+    // structural validation, then the paper's cross-engine counter
+    // contract — top-down and bottom-up must report bit-equal |V|cq /
+    // |E|cq / next at every level (Fig. 4, Table IV).
+    g.assert_invariants();
+    const graph::vid_t root = graph::sample_roots(g, 1, 7)[0];
+    bfs::TraversalLog td_log;
+    bfs::TraversalLog bu_log;
+    (void)bfs::run_top_down(g, root, &td_log);
+    (void)bfs::run_bottom_up(g, root, &bu_log);
+    check::require_counter_agreement(bfs::to_level_counters(td_log),
+                                     bfs::to_level_counters(bu_log),
+                                     "top-down", "bottom-up");
+    std::printf(
+        "paranoid: CSR invariants ok; TD/BU counters agree over %zu levels "
+        "(root %d)\n",
+        td_log.levels.size(), root);
+  }
 
   std::string engine_name = args.get_or("engine", "hybrid");
   // Compatibility spelling: `--native --engine td` == `--engine native-td`.
@@ -328,7 +352,7 @@ int usage() {
       "  generate  --scale N --edgefactor E [--seed S --a --b --c --d] --out FILE\n"
       "  bfs       [--graph FILE | --scale N ...] --engine NAME\n"
       "            [--device cpu|gpu|mic|KEY=VAL,...] [--host cpu] [--m M --n N]\n"
-      "            [--m2 M --n2 N] [--roots K] [--metrics]\n"
+      "            [--m2 M --n2 N] [--roots K] [--metrics] [--paranoid]\n"
       "            [--trace-out FILE [--trace-format jsonl|csv]]\n"
       "            dist: [--devices N] [--partition block|balanced]\n"
       "                  [--cluster cpu+cpu+gpu] [--link-latency-us L --link-gbps B]\n"

@@ -1,0 +1,197 @@
+// Unit tests for the contract-check tiers (check/contract.h), the
+// multi-failure CheckReport collector, and the cross-engine counter
+// agreement checker.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/agreement.h"
+#include "check/contract.h"
+#include "check/report.h"
+
+namespace bfsx::check {
+namespace {
+
+// ---- BFSX_CHECK ---------------------------------------------------------
+
+TEST(Contract, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(BFSX_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(BFSX_CHECK_EQ(4, 4) << "unused context");
+}
+
+TEST(Contract, FailingCheckThrowsContractViolation) {
+  EXPECT_THROW(BFSX_CHECK(false), ContractViolation);
+}
+
+TEST(Contract, FailureMessageCarriesExpressionAndLocation) {
+  try {
+    BFSX_CHECK(2 < 1) << "streamed context " << 42;
+    FAIL() << "BFSX_CHECK did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("BFSX_CHECK failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check_contract.cc"), std::string::npos) << what;
+    EXPECT_NE(what.find("streamed context 42"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, ComparisonFormsPrintBothOperands) {
+  const int lhs = 3;
+  const int rhs = 7;
+  try {
+    BFSX_CHECK_EQ(lhs, rhs);
+    FAIL() << "BFSX_CHECK_EQ did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lhs == rhs"), std::string::npos) << what;
+    EXPECT_NE(what.find("(3 vs 7)"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, AllComparisonFormsEnforceTheirOperator) {
+  EXPECT_NO_THROW(BFSX_CHECK_NE(1, 2));
+  EXPECT_THROW(BFSX_CHECK_NE(2, 2), ContractViolation);
+  EXPECT_NO_THROW(BFSX_CHECK_LT(1, 2));
+  EXPECT_THROW(BFSX_CHECK_LT(2, 2), ContractViolation);
+  EXPECT_NO_THROW(BFSX_CHECK_LE(2, 2));
+  EXPECT_THROW(BFSX_CHECK_LE(3, 2), ContractViolation);
+  EXPECT_NO_THROW(BFSX_CHECK_GT(2, 1));
+  EXPECT_THROW(BFSX_CHECK_GT(2, 2), ContractViolation);
+  EXPECT_NO_THROW(BFSX_CHECK_GE(2, 2));
+  EXPECT_THROW(BFSX_CHECK_GE(1, 2), ContractViolation);
+}
+
+TEST(Contract, ContextStreamOnlyEvaluatedOnFailure) {
+  int calls = 0;
+  auto expensive = [&calls]() {
+    ++calls;
+    return std::string("ctx");
+  };
+  BFSX_CHECK(true) << expensive();
+  EXPECT_EQ(calls, 0);
+  EXPECT_THROW(BFSX_CHECK(false) << expensive(), ContractViolation);
+  EXPECT_EQ(calls, 1);
+}
+
+// ---- BFSX_DCHECK --------------------------------------------------------
+
+TEST(Contract, DcheckMatchesItsCompileTimeActivation) {
+#if BFSX_DCHECK_ACTIVE
+  EXPECT_THROW(BFSX_DCHECK(false), ContractViolation);
+  EXPECT_THROW(BFSX_DCHECK_EQ(1, 2), ContractViolation);
+#else
+  EXPECT_NO_THROW(BFSX_DCHECK(false));
+  EXPECT_NO_THROW(BFSX_DCHECK_EQ(1, 2));
+#endif
+  EXPECT_NO_THROW(BFSX_DCHECK(true));
+}
+
+// ---- kill switch --------------------------------------------------------
+
+TEST(Contract, ScopedDisableChecksSuppressesAndRestores) {
+  EXPECT_TRUE(checks_enabled());
+  {
+    ScopedDisableChecks off;
+    EXPECT_FALSE(checks_enabled());
+    EXPECT_NO_THROW(BFSX_CHECK(false) << "suppressed");
+    EXPECT_NO_THROW(BFSX_CHECK_EQ(1, 2));
+  }
+  EXPECT_TRUE(checks_enabled());
+  EXPECT_THROW(BFSX_CHECK(false), ContractViolation);
+}
+
+// ---- CheckReport --------------------------------------------------------
+
+TEST(Report, StartsOk) {
+  CheckReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(static_cast<bool>(report));
+  EXPECT_EQ(report.total_failures(), 0u);
+  EXPECT_EQ(report.to_string(), "ok");
+  EXPECT_NO_THROW(report.throw_if_failed("context"));
+}
+
+TEST(Report, CollectsNumberedFailuresUpToCap) {
+  CheckReport report(3);
+  for (int i = 0; i < 5; ++i) {
+    report.failf() << "failure number " << i;
+  }
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.total_failures(), 5u);
+  EXPECT_EQ(report.failures().size(), 3u);
+  EXPECT_FALSE(report.wants_more());
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("5 failure(s)"), std::string::npos) << s;
+  EXPECT_NE(s.find("[1] failure number 0"), std::string::npos) << s;
+  EXPECT_NE(s.find("[3] failure number 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("2 more dropped"), std::string::npos) << s;
+}
+
+TEST(Report, ThrowIfFailedNamesTheContext) {
+  CheckReport report;
+  report.fail("broken row 7");
+  try {
+    report.throw_if_failed("CSR invariants");
+    FAIL() << "throw_if_failed did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("CSR invariants"), std::string::npos) << what;
+    EXPECT_NE(what.find("broken row 7"), std::string::npos) << what;
+  }
+}
+
+// ---- counter agreement --------------------------------------------------
+
+std::vector<LevelCounters> sample_trace() {
+  return {{0, 1, 3, 2}, {1, 2, 10, 4}, {2, 4, 6, 0}};
+}
+
+TEST(Agreement, IdenticalTracesAgree) {
+  CheckReport report;
+  EXPECT_TRUE(compare_level_counters(sample_trace(), sample_trace(), "a", "b",
+                                     report));
+  EXPECT_TRUE(report.ok());
+  EXPECT_NO_THROW(
+      require_counter_agreement(sample_trace(), sample_trace(), "a", "b"));
+}
+
+TEST(Agreement, DepthMismatchReported) {
+  auto longer = sample_trace();
+  longer.push_back({3, 1, 1, 0});
+  CheckReport report;
+  EXPECT_FALSE(compare_level_counters(sample_trace(), longer, "td", "bu",
+                                      report));
+  EXPECT_FALSE(report.ok());
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("td"), std::string::npos) << s;
+  EXPECT_NE(s.find("bu"), std::string::npos) << s;
+}
+
+TEST(Agreement, PerFieldMismatchNamesLevelAndField) {
+  auto corrupt = sample_trace();
+  corrupt[1].frontier_edges = 11;
+  CheckReport report;
+  EXPECT_FALSE(compare_level_counters(sample_trace(), corrupt, "td", "bu",
+                                      report));
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("|E|cq"), std::string::npos) << s;
+  EXPECT_NE(s.find("10"), std::string::npos) << s;
+  EXPECT_NE(s.find("11"), std::string::npos) << s;
+  EXPECT_THROW(require_counter_agreement(sample_trace(), corrupt, "td", "bu"),
+               ContractViolation);
+}
+
+TEST(Agreement, EveryMismatchedLevelReported) {
+  auto corrupt = sample_trace();
+  corrupt[0].next_vertices += 1;
+  corrupt[2].frontier_vertices += 1;
+  CheckReport report;
+  EXPECT_FALSE(compare_level_counters(sample_trace(), corrupt, "td", "bu",
+                                      report));
+  EXPECT_GE(report.total_failures(), 2u);
+}
+
+}  // namespace
+}  // namespace bfsx::check

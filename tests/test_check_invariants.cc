@@ -1,0 +1,300 @@
+// Corruption tests for the paranoid structural validators: every
+// fixture here is a deliberately broken CSR or BFS state, and each one
+// must be caught with a failure message naming the corrupted element.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bfs/bottomup.h"
+#include "bfs/state.h"
+#include "bfs/topdown.h"
+#include "check/contract.h"
+#include "check/report.h"
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx {
+namespace {
+
+using bfs::BfsState;
+using check::CheckReport;
+using check::ContractViolation;
+using graph::CsrGraph;
+using graph::eid_t;
+using graph::vid_t;
+
+/// Triangle 0-1-2, symmetric, rows sorted: the smallest graph where
+/// every invariant is non-trivial.
+CsrGraph triangle() {
+  return CsrGraph({0, 2, 4, 6}, {1, 2, 0, 2, 0, 1});
+}
+
+std::string flat(const CheckReport& report) { return report.to_string(); }
+
+// ---- CSR constructor contracts (promoted from assert) -------------------
+
+TEST(CsrContracts, EmptyOffsetsRejectedInAllBuildTypes) {
+  EXPECT_THROW(CsrGraph({}, {}), ContractViolation);
+}
+
+TEST(CsrContracts, NonZeroFirstOffsetRejected) {
+  EXPECT_THROW(CsrGraph({1, 2}, {0, 0}), ContractViolation);
+}
+
+TEST(CsrContracts, DanglingBackOffsetRejected) {
+  // Claims 4 targets, provides 2.
+  EXPECT_THROW(CsrGraph({0, 4}, {0, 0}), ContractViolation);
+}
+
+TEST(CsrContracts, DirectedSizeMismatchRejected) {
+  EXPECT_THROW(CsrGraph({0, 1, 1}, {1}, {0, 1}, {0}), ContractViolation);
+}
+
+// ---- CSR structural validator -------------------------------------------
+
+TEST(CsrInvariants, CleanGraphPasses) {
+  CheckReport report;
+  triangle().check_invariants(report);
+  EXPECT_TRUE(report.ok()) << flat(report);
+  EXPECT_NO_THROW(triangle().assert_invariants());
+}
+
+TEST(CsrInvariants, BuiltGraphsPass) {
+  graph::RmatParams p;
+  p.scale = 8;
+  const CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  CheckReport report;
+  g.check_invariants(report);
+  EXPECT_TRUE(report.ok()) << flat(report);
+}
+
+TEST(CsrInvariants, UnsortedRowCaught) {
+  // Row 0 holds {2, 1} instead of {1, 2}.
+  const CsrGraph g({0, 2, 4, 6}, {2, 1, 0, 2, 0, 1});
+  CheckReport report;
+  g.check_invariants(report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("not sorted"), std::string::npos) << flat(report);
+  EXPECT_NE(flat(report).find("vertex 0"), std::string::npos) << flat(report);
+}
+
+TEST(CsrInvariants, NonMonotoneOffsetCaught) {
+  // offsets[2] < offsets[1]: vertex 1's row has negative length.
+  const CsrGraph g({0, 4, 2, 6}, {1, 2, 0, 2, 0, 1});
+  CheckReport report;
+  g.check_invariants(report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("not monotone"), std::string::npos)
+      << flat(report);
+}
+
+TEST(CsrInvariants, DanglingTargetCaught) {
+  // Target 5 with only 3 vertices.
+  const CsrGraph g({0, 2, 4, 6}, {1, 5, 0, 2, 0, 1});
+  CheckReport report;
+  g.check_invariants(report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("out of range"), std::string::npos)
+      << flat(report);
+}
+
+TEST(CsrInvariants, AsymmetricUndirectedEdgeCaught) {
+  // (0,1) present, mirror (1,0) missing: vertex 1's row is only {2}.
+  const CsrGraph g({0, 2, 3, 5}, {1, 2, 2, 0, 1});
+  CheckReport report;
+  g.check_invariants(report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("no mirror"), std::string::npos) << flat(report);
+  EXPECT_NE(flat(report).find("(0,1)"), std::string::npos) << flat(report);
+  EXPECT_THROW(g.assert_invariants(), ContractViolation);
+}
+
+TEST(CsrInvariants, DirectedTransposeMismatchCaught) {
+  // Out says 0->1; the in-adjacency instead records an in-edge 0<-1.
+  const CsrGraph g({0, 1, 1}, {1}, {0, 1, 1}, {1});
+  CheckReport report;
+  g.check_invariants(report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("in-adjacency"), std::string::npos)
+      << flat(report);
+}
+
+TEST(CsrInvariants, MultipleFailuresNumbered) {
+  // Two independent corruptions: an unsorted row and a missing mirror.
+  const CsrGraph g({0, 2, 4, 6}, {2, 1, 0, 2, 2, 1});
+  CheckReport report;
+  g.check_invariants(report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.total_failures(), 2u) << flat(report);
+}
+
+// ---- BFS state validator ------------------------------------------------
+
+TEST(BfsStateInvariants, FreshStatePasses) {
+  const CsrGraph g = triangle();
+  const BfsState state(g, 0);
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_TRUE(report.ok()) << flat(report);
+}
+
+TEST(BfsStateInvariants, RootRangeCheckedAtConstruction) {
+  const CsrGraph g = triangle();
+  EXPECT_THROW(BfsState(g, -1), ContractViolation);
+  EXPECT_THROW(BfsState(g, 3), ContractViolation);
+}
+
+TEST(BfsStateInvariants, StateValidBetweenKernelSteps) {
+  graph::RmatParams p;
+  p.scale = 8;
+  const CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  const vid_t root = graph::sample_roots(g, 1, 3)[0];
+  BfsState state(g, root);
+  int guard = 0;
+  while (!state.frontier_empty()) {
+    // Alternate directions so the unvisited-superset straggler case
+    // (top-down visiting vertices the bottom-up candidate list still
+    // holds) is exercised, not just the pure-direction paths.
+    if (state.current_level % 2 == 0) {
+      (void)bfs::top_down_step(g, state);
+    } else {
+      (void)bfs::bottom_up_step(g, state);
+    }
+    CheckReport report;
+    state.check_invariants(g, report);
+    ASSERT_TRUE(report.ok()) << "after level " << state.current_level << ": "
+                             << flat(report);
+    ASSERT_LT(++guard, 64) << "traversal did not terminate";
+  }
+}
+
+TEST(BfsStateInvariants, BrokenParentCaught) {
+  const CsrGraph g = triangle();
+  BfsState state(g, 0);
+  // Claims vertex 1 has a parent while level/visited say unreached.
+  state.parent[1] = 0;
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("vertex 1"), std::string::npos) << flat(report);
+  EXPECT_THROW(state.assert_invariants(g), ContractViolation);
+}
+
+TEST(BfsStateInvariants, ParentOutOfRangeCaught) {
+  const CsrGraph g = triangle();
+  BfsState state(g, 0);
+  state.parent[1] = 17;
+  state.level[1] = 1;
+  state.visited.set(1);
+  state.reached = 2;
+  // 1 must also be in the frontier story? No: level 1 > current_level 0
+  // is the first thing the validator should see.
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_FALSE(report.ok()) << flat(report);
+}
+
+TEST(BfsStateInvariants, ReachedCountMismatchCaught) {
+  const CsrGraph g = triangle();
+  BfsState state(g, 0);
+  state.reached = 2;  // visited bitmap still holds only the root
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("reached"), std::string::npos) << flat(report);
+}
+
+TEST(BfsStateInvariants, FrontierQueueBitmapDivergenceCaught) {
+  const CsrGraph g = triangle();
+  BfsState state(g, 0);
+  state.frontier_bitmap.set(2);  // bitmap claims 2 is frontier, queue not
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_FALSE(report.ok()) << flat(report);
+}
+
+TEST(BfsStateInvariants, DirtyScratchBitmapCaught) {
+  const CsrGraph g = triangle();
+  BfsState state(g, 0);
+  state.bu_scratch.set(1);  // violates the zero-rescan wipe invariant
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("bu_scratch"), std::string::npos)
+      << flat(report);
+}
+
+TEST(BfsStateInvariants, DirtyScratchAbortsBottomUpStep) {
+  // The kernel's always-paranoid entry check: a dirty scratch bitmap
+  // would silently corrupt the next frontier, so the step must refuse.
+  graph::RmatParams p;
+  p.scale = 6;
+  const CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  const vid_t root = graph::sample_roots(g, 1, 3)[0];
+  BfsState state(g, root);
+#if BFSX_PARANOID_ACTIVE
+  state.bu_scratch.set(static_cast<std::size_t>(root));
+  EXPECT_THROW((void)bfs::bottom_up_step(g, state), ContractViolation);
+#else
+  GTEST_SKIP() << "entry check compiled out without -DBFSX_PARANOID=ON";
+#endif
+}
+
+TEST(BfsStateInvariants, UnvisitedListCorruptionCaught) {
+  const CsrGraph g = triangle();
+  BfsState state(g, 0);
+  state.unvisited_primed = true;
+  state.unvisited = {2, 1};  // not ascending
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(flat(report).find("unvisited"), std::string::npos) << flat(report);
+}
+
+TEST(BfsStateInvariants, UnvisitedMissingVertexCaught) {
+  const CsrGraph g = triangle();
+  BfsState state(g, 0);
+  state.unvisited_primed = true;
+  state.unvisited = {1};  // vertex 2 is unvisited but missing from the list
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_FALSE(report.ok()) << flat(report);
+}
+
+TEST(BfsStateInvariants, StragglersAreLegal) {
+  const CsrGraph g = triangle();
+  BfsState state(g, 0);
+  state.unvisited_primed = true;
+  // 0 is visited but still listed: a legal straggler (superset allowed).
+  state.unvisited = {0, 1, 2};
+  CheckReport report;
+  state.check_invariants(g, report);
+  EXPECT_TRUE(report.ok()) << flat(report);
+}
+
+// ---- multi-failure edge-list validation (satellite) ---------------------
+
+TEST(EdgeListValidation, CollectsNumberedFailuresWithContext) {
+  graph::EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{0, 1}, {0, 9}, {-3, 2}, {5, 5}};
+  try {
+    graph::validate_edge_list(el);
+    FAIL() << "validate_edge_list did not throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("edge[1]"), std::string::npos) << what;
+    EXPECT_NE(what.find("edge[2]"), std::string::npos) << what;
+    EXPECT_NE(what.find("edge[3]"), std::string::npos) << what;
+    EXPECT_NE(what.find("(0, 9)"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 failure(s)"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace bfsx

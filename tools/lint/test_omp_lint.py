@@ -1,0 +1,400 @@
+#!/usr/bin/env python3
+"""Unit tests for omp_lint.py: every rule must fire on a seeded
+violation and stay quiet on the equivalent clean code, and the
+allow() annotation grammar must suppress (with a reason) or be
+reported as malformed (without one)."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import omp_lint  # noqa: E402
+
+
+def rules_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+def lint(snippet):
+    return omp_lint.lint_text(snippet, "test.cc")
+
+
+class SharedWriteTest(unittest.TestCase):
+    def test_bare_shared_write_flagged(self):
+        out = lint("""
+void f(std::vector<int>& x, long total) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    total += x[i];
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["shared-write"])
+        self.assertIn("total", out[0].message)
+        self.assertEqual(out[0].line, 3)
+
+    def test_reduction_clause_is_clean(self):
+        out = lint("""
+void f(std::vector<int>& x, long total) {
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    total += x[i];
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_enclosing_parallel_reduction_merged(self):
+        # A bare `omp for` inherits reduction clauses from the parallel
+        # region it binds to (the topdown.cc pattern).
+        out = lint("""
+void f(std::vector<int>& x, long total) {
+#pragma omp parallel reduction(+ : total)
+  {
+#pragma omp for schedule(dynamic, 64) nowait
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      total += x[i];
+    }
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_increment_of_shared_counter_flagged(self):
+        out = lint("""
+void f(int n, int hits) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    ++hits;
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["shared-write"])
+        self.assertIn("hits", out[0].message)
+
+    def test_body_local_write_is_clean(self):
+        out = lint("""
+void f(int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    int acc = 0;
+    acc += i;
+    std::size_t row = hist[i];
+    row += 1;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_index_deterministic_store_is_clean(self):
+        out = lint("""
+void f(std::vector<int>& y, int n) {
+#pragma omp parallel for schedule(static)
+  for (int v = 0; v < n; ++v) {
+    y[static_cast<std::size_t>(v)] = v * 2;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_loop_independent_store_flagged(self):
+        out = lint("""
+void f(std::vector<int>& y, int n, int k) {
+#pragma omp parallel for
+  for (int v = 0; v < n; ++v) {
+    y[k] = v;
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["shared-write"])
+        self.assertIn("y[k]", out[0].message)
+
+    def test_store_via_body_local_index_is_clean(self):
+        # The builder.cc scatter pattern: index comes from a per-thread
+        # cursor computed in the body.
+        out = lint("""
+void f(std::vector<int>& y, int n) {
+#pragma omp parallel for
+  for (int v = 0; v < n; ++v) {
+    const std::size_t slot = cursor[v];
+    y[slot] = v;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_atomic_covered_write_is_clean(self):
+        out = lint("""
+void f(int n, int hits) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+#pragma omp atomic
+    ++hits;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_plain_parallel_block_not_scanned(self):
+        # shared-write only reasons about worksharing loops; parallel
+        # blocks manage their own disjointness (builder.cc scatter).
+        out = lint("""
+void f(std::vector<int>& y) {
+  const int workers = 4;
+#pragma omp parallel num_threads(workers)
+  {
+    y[omp_get_thread_num()] = 1;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+
+class DetDynamicTest(unittest.TestCase):
+    def test_det_with_dynamic_flagged(self):
+        out = lint("""
+void f(int n) {
+  // det: results must be bit-identical across runs.
+#pragma omp parallel for schedule(dynamic, 16)
+  for (int i = 0; i < n; ++i) {
+    g(i);
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["det-dynamic"])
+
+    def test_det_with_static_is_clean(self):
+        out = lint("""
+void f(int n) {
+  // det: results must be bit-identical across runs.
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    g(i);
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_dynamic_without_det_is_clean(self):
+        # Index-deterministic bodies may use dynamic freely (rmat.cc).
+        out = lint("""
+void f(std::vector<int>& y, int n) {
+#pragma omp parallel for schedule(dynamic)
+  for (int i = 0; i < n; ++i) {
+    y[i] = g(i);
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+
+class MissingWorkersTest(unittest.TestCase):
+    def test_missing_num_threads_flagged(self):
+        out = lint("""
+void f(int n) {
+  const int workers = worker_count(n);
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    y[i] = i;
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["missing-workers"])
+
+    def test_num_threads_present_is_clean(self):
+        out = lint("""
+void f(int n) {
+  const int workers = worker_count(n);
+#pragma omp parallel for schedule(static) num_threads(workers)
+  for (int i = 0; i < n; ++i) {
+    y[i] = i;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_no_workers_variable_is_clean(self):
+        out = lint("""
+void f(int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    y[i] = i;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_workers_in_previous_function_not_inherited(self):
+        out = lint("""
+void g(int n) {
+  const int workers = worker_count(n);
+  use(workers);
+}
+
+void f(int n) {
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) {
+    y[i] = i;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+
+class NowaitReadTest(unittest.TestCase):
+    def test_read_after_nowait_flagged(self):
+        out = lint("""
+void f(int n, long total) {
+#pragma omp parallel reduction(+ : total)
+  {
+#pragma omp for nowait
+    for (int i = 0; i < n; ++i) {
+      total += i;
+    }
+    use(total);
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["nowait-read"])
+        self.assertIn("total", out[0].message)
+
+    def test_no_read_after_nowait_is_clean(self):
+        out = lint("""
+void f(int n, long total) {
+#pragma omp parallel reduction(+ : total)
+  {
+#pragma omp for nowait
+    for (int i = 0; i < n; ++i) {
+      total += i;
+    }
+  }
+  use(total);
+}
+""")
+        self.assertEqual(out, [])
+
+
+class AllowAnnotationTest(unittest.TestCase):
+    def test_allow_with_reason_suppresses(self):
+        out = lint("""
+void f(std::vector<int>& x, long total) {
+  // omp-lint: allow(shared-write) totals are per-thread slices merged
+  // after the region; the lint cannot see the slicing.
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    total += x[i];
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_allow_without_reason_reported(self):
+        out = lint("""
+void f(std::vector<int>& x, long total) {
+  // omp-lint: allow(shared-write)
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    total += x[i];
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["bad-annotation"])
+
+    def test_allow_unknown_rule_reported(self):
+        out = lint("""
+void f(int n) {
+  // omp-lint: allow(made-up-rule) because reasons.
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    y[i] = i;
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["bad-annotation"])
+
+    def test_allow_only_suppresses_named_rule(self):
+        out = lint("""
+void f(int n, int hits) {
+  const int workers = worker_count(n);
+  // omp-lint: allow(missing-workers) thread count is pinned by caller.
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    ++hits;
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["shared-write"])
+
+
+class HarnessTest(unittest.TestCase):
+    def test_pragma_continuation_lines_joined(self):
+        out = lint("""
+void f(int n, long total) {
+#pragma omp parallel for schedule(static) \\
+    reduction(+ : total)
+  for (int i = 0; i < n; ++i) {
+    total += i;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_preprocessor_between_pragma_and_loop_skipped(self):
+        out = lint("""
+void f(int n, int hits) {
+#pragma omp parallel for
+#ifdef NEVER
+#endif
+  for (int i = 0; i < n; ++i) {
+    ++hits;
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["shared-write"])
+
+    def test_strings_and_comments_not_scanned(self):
+        out = lint("""
+void f(int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    log("total += broken");  // total += also broken here
+    y[i] = i;
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_comparison_operators_not_writes(self):
+        out = lint("""
+void f(int n, int bound) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    if (i <= bound || i >= bound || i == bound || i != bound) {
+      y[i] = i;
+    }
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_violation_reports_pragma_location(self):
+        out = lint("""
+void f(int n, int hits) {
+
+
+
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    ++hits;
+  }
+}
+""")
+        self.assertEqual(len(out), 1)
+        self.assertEqual(out[0].line, 6)
+        self.assertEqual(out[0].path, "test.cc")
+
+
+if __name__ == "__main__":
+    unittest.main()
