@@ -22,8 +22,12 @@ namespace {
 void prime_unvisited(const CsrGraph& g, BfsState& state) {
   const auto n = static_cast<std::size_t>(g.num_vertices());
 #ifdef _OPENMP
-  const int workers =
-      n >= (std::size_t{1} << 15) ? std::max(1, omp_get_max_threads()) : 1;
+  // Chunking by thread id assumes the team has exactly `workers`
+  // threads; a nested region runs with 1, so fall back to serial there
+  // (see graph/builder.cc's worker_count for the full story).
+  const int workers = n >= (std::size_t{1} << 15) && !omp_in_parallel()
+                          ? std::max(1, omp_get_max_threads())
+                          : 1;
 #else
   const int workers = 1;
 #endif

@@ -22,9 +22,12 @@ void bitmap_to_queue(const graph::Bitmap& bitmap,
   // Each worker decodes a contiguous word range into its own slice of
   // the output (slice starts come from a popcount prefix sum), so the
   // queue is ascending — and bit-identical to the serial decode — for
-  // any thread count.
-  const int workers =
-      nwords >= 4096 ? std::max(1, omp_get_max_threads()) : 1;
+  // any thread count. The chunking assumes the team really has
+  // `workers` threads, which a nested region does not deliver (it runs
+  // with 1) — decode serially there.
+  const int workers = nwords >= 4096 && !omp_in_parallel()
+                          ? std::max(1, omp_get_max_threads())
+                          : 1;
   if (workers > 1) {
     const std::uint64_t* words = bitmap.words();
     std::vector<std::size_t> start(static_cast<std::size_t>(workers) + 1, 0);

@@ -1,0 +1,90 @@
+// Bit-parallel multi-source BFS (MS-BFS).
+//
+// The Graph 500 protocol (kernel 2) and the offline trainer both run
+// *many* BFS roots over one graph. Traversing them one at a time walks
+// the whole edge set once per root; MS-BFS walks it once per *level*
+// for up to 64 roots at a time by packing one traversal lane per bit of
+// a std::uint64_t. Per vertex the kernel keeps a 64-lane visited mask
+// and frontier mask; a single AND/ANDN word op advances all lanes of an
+// edge at once ("The More the Merrier: Efficient Multi-Source Graph
+// Traversal", Then et al., VLDB 2015 — referenced via PAPERS.md's
+// frontier-reuse line of work).
+//
+// Lane semantics are exactly 64 independent level-synchronous BFSs:
+// per-lane distances are bit-equal to reference_bfs, and the per-lane
+// |V|cq / |E|cq counters match the single-source LevelTrace, so the
+// paper's M/N switching rule stays exact per root. Parents are valid
+// BFS parents; like the single-source parallel kernels they are
+// tie-broken nondeterministically under top-down races (levels never
+// are).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bfs/state.h"
+
+namespace bfsx::bfs {
+
+/// Lane capacity of one MS-BFS pass: one traversal per bit of the
+/// per-vertex std::uint64_t masks.
+inline constexpr int kMsBfsMaxLanes = 64;
+
+struct MsBfsOptions {
+  enum class Mode {
+    kAuto,      ///< M/N rule on the aggregate (union) frontier per level
+    kTopDown,   ///< force top-down every level
+    kBottomUp,  ///< force bottom-up every level
+  };
+  Mode mode = Mode::kAuto;
+  /// The paper's switching knobs, applied to the union frontier: run
+  /// top-down while |E|cq < |E|/M and |V|cq < |V|/N. The union is the
+  /// work a level actually does (each active vertex is expanded once
+  /// regardless of how many lanes it carries).
+  double m = 14.0;
+  double n = 24.0;
+};
+
+/// Per-lane per-level work counters — the same quantities LevelTrace
+/// records for a single-source traversal, extracted from the lane masks.
+struct MsLaneLevel {
+  std::int32_t level = 0;
+  graph::vid_t frontier_vertices = 0;  // |V|cq for this lane
+  graph::eid_t frontier_edges = 0;     // |E|cq for this lane
+  graph::vid_t next_vertices = 0;
+};
+
+/// Union-frontier record of one executed level: the counters the
+/// direction decision saw and the direction it chose.
+struct MsUnionLevel {
+  std::int32_t level = 0;
+  Direction direction = Direction::kTopDown;
+  graph::vid_t frontier_vertices = 0;  // distinct active vertices
+  graph::eid_t frontier_edges = 0;     // out-edges of the union frontier
+  graph::vid_t next_vertices = 0;      // distinct vertices discovered
+};
+
+struct MsBfsResult {
+  /// One full BfsResult per requested root, in request order. Duplicate
+  /// roots yield independent (identical-level) lanes.
+  std::vector<BfsResult> per_root;
+  /// lane_levels[i] holds root i's per-level counters; a lane stops
+  /// contributing entries once its own frontier empties, exactly like a
+  /// single-source traversal's level log.
+  std::vector<std::vector<MsLaneLevel>> lane_levels;
+  /// Union-frontier summary of every executed level.
+  std::vector<MsUnionLevel> levels;
+  std::int32_t depth = 0;  // union depth: levels executed by the batch
+  int direction_switches = 0;
+};
+
+/// Traverses up to kMsBfsMaxLanes roots simultaneously. Throws
+/// std::invalid_argument on an empty or oversized batch or an
+/// out-of-range root. Levels, counters, and reached/edge totals are
+/// bit-identical for every OMP_NUM_THREADS.
+[[nodiscard]] MsBfsResult ms_bfs(const graph::CsrGraph& g,
+                                 std::span<const graph::vid_t> roots,
+                                 const MsBfsOptions& opts = {});
+
+}  // namespace bfsx::bfs

@@ -6,6 +6,28 @@
 
 namespace bfsx::bfs {
 
+void BfsState::reset(const CsrGraph& g, vid_t root) {
+  BFSX_CHECK(root >= 0 && root < g.num_vertices())
+      << "BFS root " << root << " out of range [0, " << g.num_vertices()
+      << ")";
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  parent.assign(n, kNoVertex);
+  level.assign(n, -1);
+  visited.resize_and_reset(n);
+  frontier_queue.clear();
+  frontier_bitmap.resize_and_reset(n);
+  unvisited.clear();
+  unvisited_primed = false;
+  bu_scratch.resize_and_reset(n);
+  current_level = 0;
+  parent[static_cast<std::size_t>(root)] = root;
+  level[static_cast<std::size_t>(root)] = 0;
+  visited.set(static_cast<std::size_t>(root));
+  frontier_queue.push_back(root);
+  frontier_bitmap.set(static_cast<std::size_t>(root));
+  reached = 1;
+}
+
 BfsResult BfsState::take_result(const CsrGraph& g) && {
   BfsResult r;
   r.reached = reached;

@@ -42,22 +42,16 @@ struct BfsResult {
 /// which is exactly the granularity at which the paper's combination
 /// techniques switch direction (and switch devices).
 struct BfsState {
-  explicit BfsState(const CsrGraph& g, vid_t root)
-      : parent(static_cast<std::size_t>(g.num_vertices()), kNoVertex),
-        level(static_cast<std::size_t>(g.num_vertices()), -1),
-        visited(static_cast<std::size_t>(g.num_vertices())),
-        bu_scratch(static_cast<std::size_t>(g.num_vertices())) {
-    BFSX_CHECK(root >= 0 && root < g.num_vertices())
-        << "BFS root " << root << " out of range [0, " << g.num_vertices()
-        << ")";
-    parent[static_cast<std::size_t>(root)] = root;
-    level[static_cast<std::size_t>(root)] = 0;
-    visited.set(static_cast<std::size_t>(root));
-    frontier_queue.push_back(root);
-    frontier_bitmap.resize_and_reset(static_cast<std::size_t>(g.num_vertices()));
-    frontier_bitmap.set(static_cast<std::size_t>(root));
-    reached = 1;
-  }
+  explicit BfsState(const CsrGraph& g, vid_t root) { reset(g, root); }
+
+  /// Re-arms the state for a fresh traversal of `g` from `root`,
+  /// reusing every allocation the previous run left behind (vector and
+  /// bitmap capacities, the compacted `unvisited` list's storage). A
+  /// reset state is indistinguishable from a freshly constructed one —
+  /// this is what lets `StatePool` hand the same object to run after
+  /// run. Also valid on a moved-from state (take_result empties
+  /// parent/level; assign refills them).
+  void reset(const CsrGraph& g, vid_t root);
 
   std::vector<vid_t> parent;
   std::vector<std::int32_t> level;

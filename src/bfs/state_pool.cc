@@ -1,0 +1,44 @@
+#include "bfs/state_pool.h"
+
+namespace bfsx::bfs {
+
+void StatePool::Lease::release() noexcept {
+  if (pool_ != nullptr && state_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(pool_->mu_);
+    pool_->free_.push_back(std::move(state_));
+  }
+  pool_ = nullptr;
+  state_ = nullptr;
+}
+
+StatePool::Lease StatePool::acquire(const graph::CsrGraph& g,
+                                    graph::vid_t root) {
+  std::unique_ptr<BfsState> state;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      state = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (state != nullptr) {
+    state->reset(g, root);
+  } else {
+    state = std::make_unique<BfsState>(g, root);
+  }
+  return {this, std::move(state)};
+}
+
+std::size_t StatePool::created() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::size_t StatePool::idle() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+}  // namespace bfsx::bfs

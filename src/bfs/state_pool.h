@@ -1,0 +1,84 @@
+// Reusable BfsState pool for multi-root benchmark runs.
+//
+// graph500::run_benchmark traverses dozens of roots over one graph;
+// constructing a BfsState per root reallocates the parent/level maps,
+// three bitmaps, and the bottom-up candidate list every time. The pool
+// keeps retired states on a freelist and re-arms them with
+// BfsState::reset, so steady-state runs allocate nothing per root and
+// the peak live-state count equals the number of concurrent workers.
+//
+// Ownership rules (see DESIGN.md §9):
+//   * acquire() transfers exclusive ownership to the returned Lease;
+//     the pool never touches a checked-out state.
+//   * The Lease returns the state on destruction — including a state
+//     whose parent/level vectors were moved out by take_result; reset
+//     re-fills them on the next checkout.
+//   * acquire()/release are mutex-guarded and safe from concurrent
+//     OpenMP workers; the state itself is single-owner, never shared.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bfs/state.h"
+
+namespace bfsx::bfs {
+
+class StatePool {
+ public:
+  /// Exclusive handle on a pooled state. Movable; returns the state to
+  /// the pool when destroyed.
+  class Lease {
+   public:
+    Lease(StatePool* pool, std::unique_ptr<BfsState> state) noexcept
+        : pool_(pool), state_(std::move(state)) {}
+    Lease(Lease&& other) noexcept = default;
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        state_ = std::move(other.state_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] BfsState& operator*() const noexcept { return *state_; }
+    [[nodiscard]] BfsState* operator->() const noexcept {
+      return state_.get();
+    }
+
+   private:
+    void release() noexcept;
+
+    StatePool* pool_ = nullptr;
+    std::unique_ptr<BfsState> state_;
+  };
+
+  StatePool() = default;
+  StatePool(const StatePool&) = delete;
+  StatePool& operator=(const StatePool&) = delete;
+
+  /// Checks out a state armed for a traversal of `g` from `root`:
+  /// either a recycled one (reset, allocations reused) or — when the
+  /// freelist is empty — a freshly constructed one.
+  [[nodiscard]] Lease acquire(const graph::CsrGraph& g, graph::vid_t root);
+
+  /// States constructed over the pool's lifetime. With W concurrent
+  /// workers this settles at <= W however many roots run.
+  [[nodiscard]] std::size_t created() const;
+
+  /// States currently parked on the freelist.
+  [[nodiscard]] std::size_t idle() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<BfsState>> free_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace bfsx::bfs

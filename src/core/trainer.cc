@@ -1,6 +1,8 @@
 #include "core/trainer.h"
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 #include "graph/builder.h"
 #include "graph/graph_stats.h"
@@ -67,22 +69,77 @@ TunedPolicy label_configuration(const LevelTrace& trace, const ArchPair& pair,
       candidates);
 }
 
-TrainingData generate_training_data(const TrainerConfig& cfg) {
-  TrainingData data;
-  for (const graph::RmatParams& params : cfg.graphs) {
-    const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(params));
-    const std::vector<graph::vid_t> roots =
-        graph::sample_roots(g, 1, cfg.root_seed);
-    const LevelTrace trace = build_level_trace(g, roots.front());
-    const GraphFeatures gf = features_from_rmat(params);
+namespace {
 
-    for (const ArchPair& pair : cfg.arch_pairs) {
-      const TunedPolicy best =
-          label_configuration(trace, pair, cfg.link, cfg.candidates);
-      const std::vector<double> sample = build_sample(gf, pair.td, pair.bu);
-      data.m_data.add(sample, best.policy.m);
-      data.n_data.add(sample, best.policy.n);
-      data.t_data.add(sample, std::log10(best.seconds));
+/// One labelled (graph, arch-pair) sample before dataset insertion.
+struct LabelledRow {
+  std::vector<double> sample;
+  double m = 0.0;
+  double n = 0.0;
+  double log_seconds = 0.0;
+};
+
+/// The per-graph unit of work: generate, build, trace once, then label
+/// every architecture pair against that trace. Self-contained, so
+/// graphs can be processed in any order (or concurrently) and the rows
+/// reassembled deterministically by graph index.
+std::vector<LabelledRow> label_graph(const graph::RmatParams& params,
+                                     const TrainerConfig& cfg) {
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(params));
+  const std::vector<graph::vid_t> roots =
+      graph::sample_roots(g, 1, cfg.root_seed);
+  const LevelTrace trace = build_level_trace(g, roots.front());
+  const GraphFeatures gf = features_from_rmat(params);
+
+  std::vector<LabelledRow> rows;
+  rows.reserve(cfg.arch_pairs.size());
+  for (const ArchPair& pair : cfg.arch_pairs) {
+    const TunedPolicy best =
+        label_configuration(trace, pair, cfg.link, cfg.candidates);
+    LabelledRow row;
+    row.sample = build_sample(gf, pair.td, pair.bu);
+    row.m = best.policy.m;
+    row.n = best.policy.n;
+    row.log_seconds = std::log10(best.seconds);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+TrainingData generate_training_data(const TrainerConfig& cfg) {
+  const auto num_graphs = static_cast<std::int64_t>(cfg.graphs.size());
+  std::vector<std::vector<LabelledRow>> per_graph(
+      static_cast<std::size_t>(num_graphs));
+
+  if (cfg.parallel_labeling) {
+    // Each iteration writes only its own slot; the graph build and the
+    // kernels it calls parallelise internally, but nested regions
+    // serialise under an active outer team, so the per-graph results —
+    // deterministic by design at any thread count — are unchanged.
+    // omp-lint: allow(shared-write) per_graph slots are disjoint per
+    //           iteration (indexed by the loop variable)
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::int64_t gi = 0; gi < num_graphs; ++gi) {
+      per_graph[static_cast<std::size_t>(gi)] =
+          label_graph(cfg.graphs[static_cast<std::size_t>(gi)], cfg);
+    }
+  } else {
+    for (std::int64_t gi = 0; gi < num_graphs; ++gi) {
+      per_graph[static_cast<std::size_t>(gi)] =
+          label_graph(cfg.graphs[static_cast<std::size_t>(gi)], cfg);
+    }
+  }
+
+  // Fold in (graph, arch-pair) order: the datasets are row-for-row
+  // identical to the serial pass regardless of completion order.
+  TrainingData data;
+  for (std::vector<LabelledRow>& rows : per_graph) {
+    for (LabelledRow& row : rows) {
+      data.m_data.add(row.sample, row.m);
+      data.n_data.add(row.sample, row.n);
+      data.t_data.add(std::move(row.sample), row.log_seconds);
     }
   }
   return data;

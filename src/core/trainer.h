@@ -35,6 +35,12 @@ struct TrainerConfig {
   SwitchCandidates candidates = SwitchCandidates::paper_grid();
   /// Root used for the per-configuration instrumented traversal.
   std::uint64_t root_seed = 42;
+  /// Label graphs across OpenMP workers (`trainer --batch=parallel`).
+  /// Each graph's generate/build/trace/label chain is independent;
+  /// per-graph samples are collected into indexed slots and folded in
+  /// graph order, so the produced datasets are bit-identical to the
+  /// serial pass for every OMP_NUM_THREADS.
+  bool parallel_labeling = false;
   ml::SvrParams svr;
 };
 

@@ -22,6 +22,11 @@ constexpr std::size_t kParallelEdgeThreshold = std::size_t{1} << 14;
 int worker_count(std::size_t edges) {
 #ifdef _OPENMP
   if (edges < kParallelEdgeThreshold) return 1;
+  // The fan-out below chunks work by thread id and assumes the team
+  // really has `workers` threads. Inside an enclosing parallel region
+  // a nested team gets 1 thread (nesting is off), so chunks past the
+  // first would be silently skipped — run serial there instead.
+  if (omp_in_parallel()) return 1;
   return std::max(1, omp_get_max_threads());
 #else
   (void)edges;

@@ -34,6 +34,27 @@ sim::Device cpu_preset() {
   return sim::Device{sim::parse_arch_spec("base=cpu,name=cpu")};
 }
 
+[[noreturn]] void throw_unknown(
+    const std::vector<EngineRegistry::Entry>& entries,
+    const std::string& name) {
+  std::string message = "unknown engine '" + name + "'";
+  const EngineRegistry::Entry* closest = nullptr;
+  std::size_t best = name.size();  // suggestions must beat "retype it all"
+  for (const EngineRegistry::Entry& e : entries) {
+    const std::size_t d = edit_distance(name, e.name);
+    if (d < best || (closest == nullptr && d <= best)) {
+      closest = &e;
+      best = d;
+    }
+  }
+  if (closest != nullptr && best <= std::max<std::size_t>(2, name.size() / 3)) {
+    message += " (did you mean '" + closest->name + "'?)";
+  }
+  message += "; valid engines:";
+  for (const EngineRegistry::Entry& e : entries) message += " " + e.name;
+  throw UnknownEngineError(message);
+}
+
 }  // namespace
 
 EngineConfig::EngineConfig() : device(cpu_preset()), host(cpu_preset()) {}
@@ -64,23 +85,22 @@ const EngineRegistry::Entry* EngineRegistry::find(
 BfsEngine EngineRegistry::make_engine(const std::string& name,
                                       const EngineConfig& config) const {
   if (const Entry* entry = find(name)) return entry->factory(config);
+  throw_unknown(entries_, name);
+}
 
-  std::string message = "unknown engine '" + name + "'";
-  const Entry* closest = nullptr;
-  std::size_t best = name.size();  // suggestions must beat "retype it all"
-  for (const Entry& e : entries_) {
-    const std::size_t d = edit_distance(name, e.name);
-    if (d < best || (closest == nullptr && d <= best)) {
-      closest = &e;
-      best = d;
-    }
-  }
-  if (closest != nullptr && best <= std::max<std::size_t>(2, name.size() / 3)) {
-    message += " (did you mean '" + closest->name + "'?)";
-  }
-  message += "; valid engines:";
-  for (const Entry& e : entries_) message += " " + e.name;
-  throw UnknownEngineError(message);
+BatchBfsEngine EngineRegistry::make_batch_engine(
+    const std::string& name, const EngineConfig& config) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) throw_unknown(entries_, name);
+  if (entry->batch_factory) return entry->batch_factory(config);
+  return [engine = entry->factory(config)](
+             const graph::CsrGraph& g,
+             const std::vector<graph::vid_t>& batch) {
+    std::vector<TimedBfs> timed;
+    timed.reserve(batch.size());
+    for (const graph::vid_t root : batch) timed.push_back(engine(g, root));
+    return timed;
+  };
 }
 
 std::vector<std::string> EngineRegistry::names() const {
@@ -180,17 +200,32 @@ EngineRegistry EngineRegistry::with_builtin_engines() {
   r.register_engine(
       {"native-td", "pure top-down on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
-         return make_native_top_down_engine(cfg.sink);
+         return make_native_top_down_engine(cfg.sink, cfg.pool);
        }});
   r.register_engine(
       {"native-bu", "pure bottom-up on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
-         return make_native_bottom_up_engine(cfg.sink);
+         return make_native_bottom_up_engine(cfg.sink, cfg.pool);
        }});
   r.register_engine(
       {"native-hybrid", "M/N combination on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
-         return make_native_hybrid_engine(cfg.policy, cfg.sink);
+         return make_native_hybrid_engine(cfg.policy, cfg.sink, cfg.pool);
+       }});
+  // The per-root factory serves callers that treat msbfs like any other
+  // engine (batches of one); --batch=msbfs goes through the
+  // batch_factory and amortises one kernel pass over up to 64 roots.
+  r.register_engine(
+      {"msbfs", "bit-parallel multi-source BFS, up to 64 roots per pass",
+       [](const EngineConfig& cfg) -> BfsEngine {
+         return [batch_engine = make_msbfs_batch_engine(cfg.policy,
+                                                        cfg.sink)](
+                    const graph::CsrGraph& g, graph::vid_t root) {
+           return std::move(batch_engine(g, {root}).front());
+         };
+       },
+       [](const EngineConfig& cfg) {
+         return make_msbfs_batch_engine(cfg.policy, cfg.sink);
        }});
   return r;
 }

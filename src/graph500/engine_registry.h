@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bfs/state_pool.h"
 #include "core/hybrid_policy.h"
 #include "graph/partition.h"
 #include "graph500/runner.h"
@@ -48,6 +49,12 @@ struct EngineConfig {
   /// into the engine closure — this is the single attach point for
   /// per-level tracing across all engine families.
   obs::TraceSink* sink = nullptr;
+  /// Optional, non-owning; must outlive the constructed engine. The
+  /// native engines draw reusable BfsStates from it — under
+  /// batch_mode=parallel_roots this is what keeps per-root allocation
+  /// off the hot path. Simulated engines ignore it (their state is
+  /// modelled, not real).
+  bfs::StatePool* pool = nullptr;
 
   EngineConfig();
 };
@@ -67,6 +74,10 @@ class EngineRegistry {
     /// the CLI usage text.
     std::string description;
     std::function<BfsEngine(const EngineConfig&)> factory;
+    /// Optional batched construction (engines that amortise one kernel
+    /// pass over many roots, e.g. msbfs). Entries without one still
+    /// work with make_batch_engine via a one-root-at-a-time wrapper.
+    std::function<BatchBfsEngine(const EngineConfig&)> batch_factory;
   };
 
   /// Registers an engine; throws std::invalid_argument on a duplicate
@@ -81,6 +92,13 @@ class EngineRegistry {
   [[nodiscard]] BfsEngine make_engine(const std::string& name,
                                       const EngineConfig& config) const;
 
+  /// Constructs the named engine in batched form: the entry's
+  /// batch_factory when it has one, otherwise the per-root engine
+  /// wrapped to serve each batch one root at a time. Throws
+  /// UnknownEngineError for unknown names.
+  [[nodiscard]] BatchBfsEngine make_batch_engine(
+      const std::string& name, const EngineConfig& config) const;
+
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
     return entries_;
@@ -91,7 +109,7 @@ class EngineRegistry {
   [[nodiscard]] std::string describe() const;
 
   /// A registry holding every built-in engine family: td, bu, ref,
-  /// hybrid, cross, dist, native-td, native-bu, native-hybrid.
+  /// hybrid, cross, dist, native-td, native-bu, native-hybrid, msbfs.
   /// Returned by value so embedders can extend their copy.
   [[nodiscard]] static EngineRegistry with_builtin_engines();
 

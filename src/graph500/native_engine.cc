@@ -1,9 +1,14 @@
 #include "graph500/native_engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
+#include <span>
+#include <utility>
 
 #include "bfs/bottomup.h"
 #include "bfs/frontier.h"
+#include "bfs/msbfs.h"
 #include "bfs/topdown.h"
 #include "core/trace_emit.h"
 
@@ -21,12 +26,18 @@ double seconds_since(clock::time_point start) {
 /// traversal, no per-level work. With a sink, each level is wall-timed
 /// and emitted (the counter collection adds a frontier scan on
 /// bottom-up levels, so traced native runs pay a small, explicit
-/// observation cost).
+/// observation cost). With a pool, the state is a recycled lease
+/// instead of a fresh allocation; take_result still moves the maps out,
+/// and the next checkout's reset refills them.
 template <typename Step>
 TimedBfs traced_traversal(const graph::CsrGraph& g, graph::vid_t root,
                           const char* engine, obs::TraceSink* sink,
-                          Step&& step) {
-  bfs::BfsState state(g, root);
+                          bfs::StatePool* pool, Step&& step) {
+  std::optional<bfs::StatePool::Lease> lease;
+  std::optional<bfs::BfsState> local;
+  bfs::BfsState& state = pool != nullptr
+                             ? *lease.emplace(pool->acquire(g, root))
+                             : local.emplace(g, root);
   if (sink == nullptr) {
     const auto start = clock::now();
     while (!state.frontier_empty()) step(state, nullptr);
@@ -91,18 +102,20 @@ void step_bottom_up(const graph::CsrGraph& g, bfs::BfsState& s,
 
 }  // namespace
 
-BfsEngine make_native_top_down_engine(obs::TraceSink* sink) {
-  return [sink](const graph::CsrGraph& g, graph::vid_t root) {
-    return traced_traversal(g, root, "native-td", sink,
+BfsEngine make_native_top_down_engine(obs::TraceSink* sink,
+                                      bfs::StatePool* pool) {
+  return [sink, pool](const graph::CsrGraph& g, graph::vid_t root) {
+    return traced_traversal(g, root, "native-td", sink, pool,
                             [&g](bfs::BfsState& s, obs::LevelEvent* e) {
                               step_top_down(g, s, e);
                             });
   };
 }
 
-BfsEngine make_native_bottom_up_engine(obs::TraceSink* sink) {
-  return [sink](const graph::CsrGraph& g, graph::vid_t root) {
-    return traced_traversal(g, root, "native-bu", sink,
+BfsEngine make_native_bottom_up_engine(obs::TraceSink* sink,
+                                       bfs::StatePool* pool) {
+  return [sink, pool](const graph::CsrGraph& g, graph::vid_t root) {
+    return traced_traversal(g, root, "native-bu", sink, pool,
                             [&g](bfs::BfsState& s, obs::LevelEvent* e) {
                               step_bottom_up(g, s, e);
                             });
@@ -110,11 +123,12 @@ BfsEngine make_native_bottom_up_engine(obs::TraceSink* sink) {
 }
 
 BfsEngine make_native_hybrid_engine(core::HybridPolicy policy,
-                                    obs::TraceSink* sink) {
+                                    obs::TraceSink* sink,
+                                    bfs::StatePool* pool) {
   policy.validate();
-  return [policy, sink](const graph::CsrGraph& g, graph::vid_t root) {
+  return [policy, sink, pool](const graph::CsrGraph& g, graph::vid_t root) {
     return traced_traversal(
-        g, root, "native-hybrid", sink,
+        g, root, "native-hybrid", sink, pool,
         [&g, &policy](bfs::BfsState& s, obs::LevelEvent* e) {
           const graph::eid_t e_cq =
               bfs::frontier_out_edges(g, s.frontier_queue);
@@ -126,6 +140,64 @@ BfsEngine make_native_hybrid_engine(core::HybridPolicy policy,
             step_bottom_up(g, s, e);
           }
         });
+  };
+}
+
+BatchBfsEngine make_msbfs_batch_engine(core::HybridPolicy policy,
+                                       obs::TraceSink* sink) {
+  policy.validate();
+  return [policy, sink](const graph::CsrGraph& g,
+                        const std::vector<graph::vid_t>& batch) {
+    bfs::MsBfsOptions mopts;
+    mopts.m = policy.m;
+    mopts.n = policy.n;
+
+    obs::RunEvent trace;
+    if (sink != nullptr) {
+      trace = core::trace_begin_run(sink, "msbfs", g,
+                                    batch.empty() ? 0 : batch.front());
+    }
+    const auto start = clock::now();
+    bfs::MsBfsResult ms =
+        bfs::ms_bfs(g, std::span<const graph::vid_t>(batch), mopts);
+    const double wall = seconds_since(start);
+
+    if (sink != nullptr) {
+      // One trace run per batch: level events carry the union-frontier
+      // counters the direction decision actually saw, with the batch
+      // wall time spread evenly (per-level wall is not observable
+      // without timing inside the kernel).
+      for (const bfs::MsUnionLevel& lvl : ms.levels) {
+        obs::LevelEvent event;
+        event.device = "host";
+        event.level = lvl.level;
+        event.direction = lvl.direction;
+        event.frontier_vertices = lvl.frontier_vertices;
+        event.frontier_edges = lvl.frontier_edges;
+        event.next_vertices = lvl.next_vertices;
+        event.compute_seconds =
+            ms.levels.empty() ? 0.0
+                              : wall / static_cast<double>(ms.levels.size());
+        sink->on_level(event);
+      }
+      // Totals for the batch run: the union traversal's footprint.
+      bfs::BfsResult batch_totals;
+      for (const bfs::BfsResult& r : ms.per_root) {
+        batch_totals.reached = std::max(batch_totals.reached, r.reached);
+        batch_totals.edges_in_component = std::max(
+            batch_totals.edges_in_component, r.edges_in_component);
+      }
+      core::trace_end_run(sink, std::move(trace), batch_totals, wall, 0.0,
+                          ms.depth, ms.direction_switches);
+    }
+
+    const double share = wall / static_cast<double>(batch.size());
+    std::vector<TimedBfs> out;
+    out.reserve(batch.size());
+    for (bfs::BfsResult& r : ms.per_root) {
+      out.push_back(TimedBfs{std::move(r), share});
+    }
+    return out;
   };
 }
 

@@ -6,8 +6,16 @@
 // and time each traversal with a steady clock, so the library is
 // directly usable as a production BFS on a real multicore host —
 // including the M/N hybrid, which needs no hardware model at all.
+//
+// All three single-source factories optionally draw their BfsState from
+// a bfs::StatePool (non-owning; must outlive the engine): under
+// batch_mode=parallel_roots each worker recycles a state instead of
+// reallocating per root. The msbfs factory returns a BatchBfsEngine
+// wrapping the bit-parallel kernel — its state is the per-batch lane
+// masks, sized once per batch, so it takes no pool.
 #pragma once
 
+#include "bfs/state_pool.h"
 #include "core/hybrid_policy.h"
 #include "graph500/runner.h"
 #include "obs/sink.h"
@@ -18,16 +26,27 @@ namespace bfsx::graph500 {
 /// outlive the engine) observes every traversal as engine "native-td"
 /// with real per-level seconds.
 [[nodiscard]] BfsEngine make_native_top_down_engine(
-    obs::TraceSink* sink = nullptr);
+    obs::TraceSink* sink = nullptr, bfs::StatePool* pool = nullptr);
 
 /// Pure bottom-up, wall-clock timed. Traced as "native-bu".
 [[nodiscard]] BfsEngine make_native_bottom_up_engine(
-    obs::TraceSink* sink = nullptr);
+    obs::TraceSink* sink = nullptr, bfs::StatePool* pool = nullptr);
 
 /// The M/N combination, wall-clock timed. `policy` is evaluated against
 /// the real frontier statistics every level, exactly like the simulated
 /// executor. Traced as "native-hybrid".
 [[nodiscard]] BfsEngine make_native_hybrid_engine(
+    core::HybridPolicy policy, obs::TraceSink* sink = nullptr,
+    bfs::StatePool* pool = nullptr);
+
+/// Bit-parallel multi-source BFS (bfs::ms_bfs), wall-clock timed per
+/// batch. `policy`'s M/N knobs steer the union-frontier direction
+/// switch. Per-root seconds are the batch wall time divided evenly
+/// across the batch. With a sink attached, each batch is traced as one
+/// run of engine "msbfs" (root = first of the batch) whose level events
+/// carry the union-frontier counters; per-lane counters stay available
+/// to embedders via bfs::ms_bfs directly.
+[[nodiscard]] BatchBfsEngine make_msbfs_batch_engine(
     core::HybridPolicy policy, obs::TraceSink* sink = nullptr);
 
 }  // namespace bfsx::graph500

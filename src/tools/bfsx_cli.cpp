@@ -26,6 +26,7 @@
 #include "graph/graph_stats.h"
 #include "graph/io.h"
 #include "graph/partition.h"
+#include "graph/reorder.h"
 #include "graph500/engine_registry.h"
 #include "graph500/runner.h"
 #include "obs/registry.h"
@@ -63,17 +64,22 @@ graph::RmatParams rmat_from_args(const Args& args) {
 }
 
 /// Graph source: --graph FILE loads an edge list; otherwise R-MAT from
-/// --scale/--edgefactor/...
-graph::CsrGraph load_graph(const Args& args, graph::RmatParams* params_out) {
+/// --scale/--edgefactor/... Kept as an edge list so callers that
+/// relabel vertices (--reorder) can permute before building the CSR.
+graph::EdgeList load_edges(const Args& args, graph::RmatParams* params_out) {
   if (const auto path = args.get("graph")) {
     std::printf("loading %s ...\n", path->c_str());
-    return graph::build_csr(graph::load_edge_list(*path));
+    return graph::load_edge_list(*path);
   }
   const graph::RmatParams p = rmat_from_args(args);
   if (params_out != nullptr) *params_out = p;
   std::printf("generating R-MAT scale=%d edgefactor=%d ...\n", p.scale,
               p.edgefactor);
-  return graph::build_csr(graph::generate_rmat(p));
+  return graph::generate_rmat(p);
+}
+
+graph::CsrGraph load_graph(const Args& args, graph::RmatParams* params_out) {
+  return graph::build_csr(load_edges(args, params_out));
 }
 
 sim::Device device_from_spec(const std::string& text) {
@@ -153,10 +159,53 @@ int cmd_bfs(const Args& args) {
   args.check_known(with_graph_keys(
       {"engine", "device", "host", "m", "n", "m2", "n2", "roots", "native",
        "devices", "partition", "cluster", "link-latency-us", "link-gbps",
-       "trace-out", "trace-format", "metrics", "paranoid"}));
+       "trace-out", "trace-format", "metrics", "paranoid", "batch",
+       "batch-size", "reorder"}));
+
+  const graph500::BatchMode batch_mode =
+      graph500::parse_batch_mode(args.get_or("batch", "serial"));
+  if (batch_mode == graph500::BatchMode::kParallelRoots &&
+      args.has("trace-out")) {
+    throw std::invalid_argument(
+        "--batch=parallel_roots cannot be combined with --trace-out: "
+        "concurrent roots would interleave their trace events");
+  }
 
   graph::RmatParams params;
-  const graph::CsrGraph g = load_graph(args, &params);
+  const graph::EdgeList edges = load_edges(args, &params);
+  const int num_roots = args.get_int("roots", 8);
+
+  // --reorder relabels the graph before traversal. Roots are sampled on
+  // the *original* labelling (with the runner's default seed) and
+  // mapped through the permutation, so a reordered run traverses the
+  // same logical roots as an unreordered one; reported roots are
+  // translated back below.
+  const std::string reorder = args.get_or("reorder", "none");
+  graph::Permutation perm;
+  std::vector<graph::vid_t> explicit_roots;
+  graph::CsrGraph g;
+  if (reorder == "none") {
+    g = graph::build_csr(edges);
+  } else {
+    const graph::CsrGraph original = graph::build_csr(edges);
+    const std::vector<graph::vid_t> sampled =
+        graph::sample_roots(original, num_roots, 500);
+    if (reorder == "degree") {
+      perm = graph::degree_order(original);
+    } else if (reorder == "bfs") {
+      perm = graph::bfs_order(original, sampled.front());
+    } else {
+      throw std::invalid_argument("--reorder: expected degree or bfs, got '" +
+                                  reorder + "'");
+    }
+    g = graph::build_csr(graph::apply_permutation(edges, perm));
+    explicit_roots.reserve(sampled.size());
+    for (const graph::vid_t r : sampled) {
+      explicit_roots.push_back(perm[static_cast<std::size_t>(r)]);
+    }
+    std::printf("reorder: %s order applied (%zu vertices relabelled)\n",
+                reorder.c_str(), perm.size());
+  }
   std::printf("graph: %s\n", graph::summarize(g).c_str());
 
   if (args.get_bool("paranoid", false)) {
@@ -180,7 +229,9 @@ int cmd_bfs(const Args& args) {
         td_log.levels.size(), root);
   }
 
-  std::string engine_name = args.get_or("engine", "hybrid");
+  std::string engine_name = args.get_or(
+      "engine",
+      batch_mode == graph500::BatchMode::kMsBfs ? "msbfs" : "hybrid");
   // Compatibility spelling: `--native --engine td` == `--engine native-td`.
   if (args.get_bool("native", false) &&
       engine_name.rfind("native-", 0) != 0) {
@@ -189,7 +240,13 @@ int cmd_bfs(const Args& args) {
 
   const std::unique_ptr<obs::TraceSink> sink = sink_from_args(args);
 
+  // Pooled states: under --batch=parallel_roots each worker recycles a
+  // BfsState instead of reallocating per root (native engines only; the
+  // simulated engines model their state).
+  bfs::StatePool pool;
+
   graph500::EngineConfig cfg;
+  cfg.pool = &pool;
   cfg.device = device_from_args(args);
   cfg.host = device_from_args(args, "host");
   cfg.policy = {args.get_double("m", 14.0), args.get_double("n", 24.0)};
@@ -204,10 +261,14 @@ int cmd_bfs(const Args& args) {
 
   const graph500::EngineRegistry registry =
       graph500::EngineRegistry::with_builtin_engines();
-  const graph500::BfsEngine engine = registry.make_engine(engine_name, cfg);
+  const graph500::BatchBfsEngine engine =
+      registry.make_batch_engine(engine_name, cfg);
   if (const auto* entry = registry.find(engine_name)) {
     std::printf("engine: %s — %s\n", entry->name.c_str(),
                 entry->description.c_str());
+  }
+  if (batch_mode != graph500::BatchMode::kSerial) {
+    std::printf("batch: %s\n", graph500::to_string(batch_mode));
   }
   if (engine_name == "dist") {
     std::printf("        %zu device(s), %s partition, link %.1fus/%.0fGB/s\n",
@@ -218,7 +279,10 @@ int cmd_bfs(const Args& args) {
 
   obs::Registry metrics;
   graph500::RunnerOptions opts;
-  opts.num_roots = args.get_int("roots", 8);
+  opts.num_roots = num_roots;
+  opts.roots = explicit_roots;  // non-empty only under --reorder
+  opts.batch_mode = batch_mode;
+  opts.batch_size = args.get_int("batch-size", 64);
   if (args.get_bool("metrics", false)) opts.metrics = &metrics;
 
   const graph500::BenchmarkResult res =
@@ -226,6 +290,15 @@ int cmd_bfs(const Args& args) {
   std::printf("%s", graph500::format_teps_stats(res.stats).c_str());
   std::printf("validation failures: %d / %zu\n", res.validation_failures,
               res.runs.size());
+  if (!perm.empty()) {
+    // Translate each run's root back to the pre-permutation namespace.
+    const graph::Permutation inv = graph::invert_permutation(perm);
+    std::printf("roots (original ids):");
+    for (const graph500::RootRun& run : res.runs) {
+      std::printf(" %d", inv[static_cast<std::size_t>(run.root)]);
+    }
+    std::printf("\n");
+  }
   if (opts.metrics != nullptr) {
     std::printf("metrics:\n%s", metrics.format().c_str());
   }
@@ -311,11 +384,19 @@ int cmd_trace(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
-  args.check_known({"out"});
+  args.check_known({"out", "batch"});
   const std::string out = args.get_or("out", "bfsx_switch_model.txt");
+  const std::string batch = args.get_or("batch", "serial");
+  if (batch != "serial" && batch != "parallel") {
+    throw std::invalid_argument("--batch: expected serial or parallel, got '" +
+                                batch + "'");
+  }
   core::TrainerConfig cfg = core::default_trainer_config();
-  std::printf("labelling %zu configurations by exhaustive search...\n",
-              cfg.graphs.size() * cfg.arch_pairs.size());
+  cfg.parallel_labeling = batch == "parallel";
+  std::printf("labelling %zu configurations by exhaustive search (%s)...\n",
+              cfg.graphs.size() * cfg.arch_pairs.size(),
+              cfg.parallel_labeling ? "graphs across OpenMP workers"
+                                    : "serial");
   const core::TrainingData data = core::generate_training_data(cfg);
   const core::SwitchPredictor predictor = core::train_predictor(data);
   predictor.save_file(out);
@@ -353,13 +434,15 @@ int usage() {
       "  bfs       [--graph FILE | --scale N ...] --engine NAME\n"
       "            [--device cpu|gpu|mic|KEY=VAL,...] [--host cpu] [--m M --n N]\n"
       "            [--m2 M --n2 N] [--roots K] [--metrics] [--paranoid]\n"
+      "            [--batch serial|parallel_roots|msbfs] [--batch-size 1..64]\n"
+      "            [--reorder degree|bfs]\n"
       "            [--trace-out FILE [--trace-format jsonl|csv]]\n"
       "            dist: [--devices N] [--partition block|balanced]\n"
       "                  [--cluster cpu+cpu+gpu] [--link-latency-us L --link-gbps B]\n"
       "  analyze   [--graph FILE | --scale N ...]   degree/component report\n"
       "  trace     [--graph FILE | --scale N ...] [--root R]   level-trace CSV\n"
       "  tune      [--graph FILE | --scale N ...] [--device ...]\n"
-      "  train     [--out FILE]\n"
+      "  train     [--out FILE] [--batch serial|parallel]\n"
       "  predict   --model FILE [--scale N ...] [--td-arch cpu] [--bu-arch gpu]\n"
       "\nengines (--engine NAME):\n%s"
       "\noptions accept '--key value', '--key=value', and bare boolean "

@@ -31,7 +31,7 @@ TEST(EngineRegistry, EveryBuiltinConstructsAndTraverses) {
   const graph::vid_t root = graph::sample_roots(g, 1, 5)[0];
 
   const std::vector<std::string> names = registry.names();
-  ASSERT_EQ(names.size(), 9u);
+  ASSERT_EQ(names.size(), 10u);
   for (const std::string& name : names) {
     const EngineConfig cfg;  // defaults suffice for every family
     const BfsEngine engine = registry.make_engine(name, cfg);
@@ -40,6 +40,27 @@ TEST(EngineRegistry, EveryBuiltinConstructsAndTraverses) {
     EXPECT_GT(timed.seconds, 0.0) << name;
     EXPECT_EQ(timed.result.parent[static_cast<std::size_t>(root)], root)
         << name;
+  }
+}
+
+TEST(EngineRegistry, MakeBatchEngineServesEveryEntry) {
+  const EngineRegistry registry = EngineRegistry::with_builtin_engines();
+  const graph::CsrGraph g = small_graph();
+  const std::vector<graph::vid_t> batch = graph::sample_roots(g, 3, 5);
+  // "msbfs" has a native batch factory; "hybrid" goes through the
+  // one-root-at-a-time wrapper. Both must honour batch order.
+  for (const char* name : {"msbfs", "hybrid"}) {
+    const BatchBfsEngine engine =
+        registry.make_batch_engine(name, EngineConfig{});
+    const std::vector<TimedBfs> timed = engine(g, batch);
+    ASSERT_EQ(timed.size(), batch.size()) << name;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_GT(timed[i].result.reached, 1) << name;
+      EXPECT_EQ(timed[i]
+                    .result.parent[static_cast<std::size_t>(batch[i])],
+                batch[i])
+          << name;
+    }
   }
 }
 

@@ -1,0 +1,289 @@
+// MS-BFS equivalence and determinism tests: every lane of the
+// bit-parallel kernel must be indistinguishable (levels, counters,
+// totals) from a single-source traversal of the same root.
+#include "bfs/msbfs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bfs/state_pool.h"
+#include "bfs/topdown.h"
+#include "bfs/validate.h"
+#include "core/level_trace.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+#include "graph500/reference_bfs.h"
+
+namespace bfsx::bfs {
+namespace {
+
+using graph::build_csr;
+using graph::build_directed_csr;
+using graph::CsrGraph;
+using graph::EdgeList;
+
+CsrGraph rmat(int scale, int edgefactor = 16, std::uint64_t seed = 7) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = edgefactor;
+  p.seed = seed;
+  return build_csr(graph::generate_rmat(p));
+}
+
+/// Checks one lane against the serial oracle: exact levels, exact
+/// totals, and a structurally valid parent tree.
+void expect_lane_matches_reference(const CsrGraph& g, vid_t root,
+                                   const BfsResult& lane) {
+  const BfsResult ref = graph500::reference_bfs(g, root);
+  EXPECT_EQ(lane.level, ref.level) << "root " << root;
+  EXPECT_EQ(lane.reached, ref.reached) << "root " << root;
+  EXPECT_EQ(lane.edges_in_component, ref.edges_in_component)
+      << "root " << root;
+  const ValidationReport rep = validate_bfs(g, root, lane);
+  EXPECT_TRUE(rep.ok) << "root " << root << "\n" << rep.format();
+}
+
+TEST(MsBfs, FullBatchMatchesReferenceOnRmat) {
+  const CsrGraph g = rmat(12);
+  const std::vector<vid_t> roots =
+      graph::sample_roots(g, kMsBfsMaxLanes, 500);
+  const MsBfsResult ms = ms_bfs(g, roots);
+  ASSERT_EQ(ms.per_root.size(), roots.size());
+  ASSERT_EQ(ms.lane_levels.size(), roots.size());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    expect_lane_matches_reference(g, roots[i], ms.per_root[i]);
+  }
+}
+
+// The acceptance bar of this subsystem: a full 64-root batch on R-MAT
+// scale 16 with per-lane counters bit-equal to the single-source
+// LevelTrace — the M/N switching inputs stay exact per root.
+TEST(MsBfs, Scale16CountersMatchLevelTrace) {
+  const CsrGraph g = rmat(16);
+  const std::vector<vid_t> roots =
+      graph::sample_roots(g, kMsBfsMaxLanes, 500);
+  const MsBfsResult ms = ms_bfs(g, roots);
+  ASSERT_EQ(ms.lane_levels.size(), roots.size());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    const BfsResult ref = graph500::reference_bfs(g, roots[i]);
+    ASSERT_EQ(ms.per_root[i].level, ref.level) << "root " << roots[i];
+    const core::LevelTrace trace = core::build_level_trace(g, roots[i]);
+    const std::vector<MsLaneLevel>& lane = ms.lane_levels[i];
+    ASSERT_EQ(lane.size(), trace.levels.size()) << "root " << roots[i];
+    for (std::size_t k = 0; k < lane.size(); ++k) {
+      EXPECT_EQ(lane[k].level, trace.levels[k].level);
+      EXPECT_EQ(lane[k].frontier_vertices, trace.levels[k].frontier_vertices)
+          << "root " << roots[i] << " level " << k;
+      EXPECT_EQ(lane[k].frontier_edges, trace.levels[k].frontier_edges)
+          << "root " << roots[i] << " level " << k;
+      EXPECT_EQ(lane[k].next_vertices, trace.levels[k].next_vertices)
+          << "root " << roots[i] << " level " << k;
+    }
+  }
+}
+
+TEST(MsBfs, DirectedGraphMatchesReference) {
+  // Directed CSR: bottom-up scans in-neighbors, top-down out-neighbors;
+  // both must produce the directed-BFS levels of the oracle.
+  const EdgeList el = graph::make_erdos_renyi(400, 2'000, 13);
+  const CsrGraph g = build_directed_csr(EdgeList(el));
+  ASSERT_FALSE(g.is_symmetric());
+  const std::vector<vid_t> roots = graph::sample_roots(g, 17, 23);
+  for (const MsBfsOptions::Mode mode :
+       {MsBfsOptions::Mode::kAuto, MsBfsOptions::Mode::kTopDown,
+        MsBfsOptions::Mode::kBottomUp}) {
+    MsBfsOptions opts;
+    opts.mode = mode;
+    const MsBfsResult ms = ms_bfs(g, roots, opts);
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      const BfsResult ref = graph500::reference_bfs(g, roots[i]);
+      EXPECT_EQ(ms.per_root[i].level, ref.level)
+          << "mode " << static_cast<int>(mode) << " root " << roots[i];
+      EXPECT_EQ(ms.per_root[i].edges_in_component, ref.edges_in_component);
+    }
+  }
+}
+
+TEST(MsBfs, SmallAndDuplicateBatches) {
+  const CsrGraph g = rmat(10, 8, 3);
+  // A batch of one, a batch of identical roots, and a ragged batch with
+  // duplicates — duplicate roots must yield independent identical lanes.
+  const std::vector<std::vector<vid_t>> batches = {
+      {1},
+      {5, 5, 5},
+      {0, 9, 0, 31, 9, 2, 77, 0, 5, 5, 12, 200, 31}};
+  for (const std::vector<vid_t>& roots : batches) {
+    const MsBfsResult ms = ms_bfs(g, roots);
+    ASSERT_EQ(ms.per_root.size(), roots.size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      expect_lane_matches_reference(g, roots[i], ms.per_root[i]);
+      // Same-root lanes agree exactly, counters included.
+      for (std::size_t j = 0; j < i; ++j) {
+        if (roots[j] != roots[i]) continue;
+        EXPECT_EQ(ms.per_root[i].level, ms.per_root[j].level);
+        ASSERT_EQ(ms.lane_levels[i].size(), ms.lane_levels[j].size());
+        for (std::size_t k = 0; k < ms.lane_levels[i].size(); ++k) {
+          EXPECT_EQ(ms.lane_levels[i][k].frontier_edges,
+                    ms.lane_levels[j][k].frontier_edges);
+        }
+      }
+    }
+  }
+}
+
+TEST(MsBfs, ForcedDirectionsAgreeWithAuto) {
+  const CsrGraph g = rmat(11, 16, 21);
+  const std::vector<vid_t> roots = graph::sample_roots(g, 32, 9);
+  MsBfsOptions td, bu;
+  td.mode = MsBfsOptions::Mode::kTopDown;
+  bu.mode = MsBfsOptions::Mode::kBottomUp;
+  const MsBfsResult auto_run = ms_bfs(g, roots);
+  const MsBfsResult td_run = ms_bfs(g, roots, td);
+  const MsBfsResult bu_run = ms_bfs(g, roots, bu);
+  EXPECT_GT(auto_run.direction_switches, 0);  // scale 11 should flip
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(td_run.per_root[i].level, auto_run.per_root[i].level);
+    EXPECT_EQ(bu_run.per_root[i].level, auto_run.per_root[i].level);
+    // Counters are direction-independent (they describe level sets).
+    ASSERT_EQ(td_run.lane_levels[i].size(), auto_run.lane_levels[i].size());
+    ASSERT_EQ(bu_run.lane_levels[i].size(), auto_run.lane_levels[i].size());
+    for (std::size_t k = 0; k < auto_run.lane_levels[i].size(); ++k) {
+      EXPECT_EQ(td_run.lane_levels[i][k].frontier_edges,
+                auto_run.lane_levels[i][k].frontier_edges);
+      EXPECT_EQ(bu_run.lane_levels[i][k].frontier_vertices,
+                auto_run.lane_levels[i][k].frontier_vertices);
+    }
+  }
+}
+
+TEST(MsBfs, UnionLevelsAreConsistent) {
+  const CsrGraph g = rmat(12);
+  const std::vector<vid_t> roots = graph::sample_roots(g, 48, 11);
+  const MsBfsResult ms = ms_bfs(g, roots);
+  ASSERT_EQ(ms.depth, static_cast<std::int32_t>(ms.levels.size()));
+  for (std::size_t k = 0; k < ms.levels.size(); ++k) {
+    const MsUnionLevel& u = ms.levels[k];
+    EXPECT_EQ(u.level, static_cast<std::int32_t>(k));
+    EXPECT_GT(u.frontier_vertices, 0);
+    // The union frontier is at most the sum of the lane frontiers and
+    // at least the largest lane frontier.
+    graph::vid_t max_lane = 0;
+    std::int64_t sum_lane = 0;
+    for (const std::vector<MsLaneLevel>& lane : ms.lane_levels) {
+      if (k < lane.size()) {
+        max_lane = std::max(max_lane, lane[k].frontier_vertices);
+        sum_lane += lane[k].frontier_vertices;
+      }
+    }
+    EXPECT_GE(u.frontier_vertices, max_lane);
+    EXPECT_LE(static_cast<std::int64_t>(u.frontier_vertices), sum_lane);
+  }
+}
+
+#ifdef _OPENMP
+TEST(MsBfs, ThreadCountInvariance) {
+  const CsrGraph g = rmat(12, 16, 5);
+  const std::vector<vid_t> roots = graph::sample_roots(g, 40, 77);
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const MsBfsResult one = ms_bfs(g, roots);
+  omp_set_num_threads(4);
+  const MsBfsResult four = ms_bfs(g, roots);
+  omp_set_num_threads(saved);
+  ASSERT_EQ(one.per_root.size(), four.per_root.size());
+  EXPECT_EQ(one.depth, four.depth);
+  EXPECT_EQ(one.direction_switches, four.direction_switches);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(one.per_root[i].level, four.per_root[i].level);
+    EXPECT_EQ(one.per_root[i].reached, four.per_root[i].reached);
+    EXPECT_EQ(one.per_root[i].edges_in_component,
+              four.per_root[i].edges_in_component);
+  }
+  for (std::size_t k = 0; k < one.levels.size(); ++k) {
+    EXPECT_EQ(one.levels[k].direction, four.levels[k].direction);
+    EXPECT_EQ(one.levels[k].frontier_edges, four.levels[k].frontier_edges);
+  }
+}
+#endif  // _OPENMP
+
+TEST(MsBfs, RejectsBadBatches) {
+  const CsrGraph g = build_csr(graph::make_path(8));
+  EXPECT_THROW((void)ms_bfs(g, std::vector<vid_t>{}), std::invalid_argument);
+  const std::vector<vid_t> oversized(kMsBfsMaxLanes + 1, 0);
+  EXPECT_THROW((void)ms_bfs(g, oversized), std::invalid_argument);
+  EXPECT_THROW((void)ms_bfs(g, std::vector<vid_t>{-1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ms_bfs(g, std::vector<vid_t>{8}),
+               std::invalid_argument);
+}
+
+// --- StatePool -----------------------------------------------------------
+
+TEST(StatePool, ReusesReleasedStates) {
+  const CsrGraph g = build_csr(graph::make_path(16));
+  StatePool pool;
+  EXPECT_EQ(pool.created(), 0u);
+  EXPECT_EQ(pool.idle(), 0u);
+  {
+    StatePool::Lease lease = pool.acquire(g, 0);
+    EXPECT_EQ(pool.created(), 1u);
+    EXPECT_EQ(pool.idle(), 0u);
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+  {
+    StatePool::Lease a = pool.acquire(g, 3);
+    EXPECT_EQ(pool.created(), 1u);  // reused, not re-made
+    StatePool::Lease b = pool.acquire(g, 5);
+    EXPECT_EQ(pool.created(), 2u);  // pool empty, so a second state
+    EXPECT_EQ(a->parent[3], 3);
+    EXPECT_EQ(b->parent[5], 5);
+  }
+  EXPECT_EQ(pool.idle(), 2u);
+}
+
+TEST(StatePool, ResetStateTraversesLikeFresh) {
+  const CsrGraph g = rmat(10, 8, 17);
+  StatePool pool;
+  // Dirty a state with one full traversal, return it, then reuse it on
+  // a different root; the reused traversal must match a fresh one.
+  {
+    StatePool::Lease lease = pool.acquire(g, 2);
+    while (!lease->frontier_empty()) top_down_step(g, *lease);
+    (void)std::move(*lease).take_result(g);
+  }
+  StatePool::Lease reused = pool.acquire(g, 9);
+  ASSERT_EQ(pool.created(), 1u);
+  while (!reused->frontier_empty()) top_down_step(g, *reused);
+  const BfsResult got = std::move(*reused).take_result(g);
+  const BfsResult want = graph500::reference_bfs(g, 9);
+  EXPECT_EQ(got.level, want.level);
+  EXPECT_EQ(got.reached, want.reached);
+  EXPECT_EQ(got.edges_in_component, want.edges_in_component);
+  EXPECT_TRUE(validate_bfs(g, 9, got).ok);
+}
+
+TEST(StatePool, LeaseIsMovable) {
+  const CsrGraph g = build_csr(graph::make_path(8));
+  StatePool pool;
+  StatePool::Lease a = pool.acquire(g, 0);
+  StatePool::Lease b = std::move(a);
+  EXPECT_EQ(b->level[0], 0);
+  StatePool::Lease c = pool.acquire(g, 1);
+  c = std::move(b);  // releases c's state back to the pool
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_EQ(c->level[0], 0);
+}
+
+}  // namespace
+}  // namespace bfsx::bfs

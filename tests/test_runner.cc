@@ -3,12 +3,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <mutex>
 #include <stdexcept>
+#include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "graph500/native_engine.h"
 #include "graph500/reference_bfs.h"
 #include "graph/builder.h"
 #include "graph/graph_stats.h"
 #include "graph/rmat.h"
+#include "obs/registry.h"
 
 namespace bfsx::graph500 {
 namespace {
@@ -82,6 +91,156 @@ TEST(Runner, RejectsNonPositiveRootCount) {
   opts.num_roots = 0;
   EXPECT_THROW(run_benchmark(g, make_top_down_engine(cpu), opts),
                std::invalid_argument);
+}
+
+TEST(Runner, ParsesBatchModes) {
+  EXPECT_EQ(parse_batch_mode("serial"), BatchMode::kSerial);
+  EXPECT_EQ(parse_batch_mode("parallel_roots"), BatchMode::kParallelRoots);
+  EXPECT_EQ(parse_batch_mode("msbfs"), BatchMode::kMsBfs);
+  EXPECT_THROW((void)parse_batch_mode("parallel"), std::invalid_argument);
+  EXPECT_THROW((void)parse_batch_mode(""), std::invalid_argument);
+}
+
+// Satellite regression for the metrics race: parallel_roots must
+// account exactly what serial does — per-root observations, merged on
+// the calling thread, in root order.
+TEST(Runner, MetricsIdenticalAcrossBatchModes) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  constexpr int kRoots = 8;
+
+  auto run_mode = [&](BatchMode mode, obs::Registry& metrics) {
+    RunnerOptions opts;
+    opts.num_roots = kRoots;
+    opts.batch_mode = mode;
+    opts.metrics = &metrics;
+    return run_benchmark(g, make_top_down_engine(cpu), opts);
+  };
+
+  obs::Registry serial_metrics, parallel_metrics;
+  const BenchmarkResult serial = run_mode(BatchMode::kSerial, serial_metrics);
+  const BenchmarkResult parallel =
+      run_mode(BatchMode::kParallelRoots, parallel_metrics);
+
+  EXPECT_EQ(serial_metrics.counter("runner.roots"), kRoots);
+  EXPECT_EQ(serial_metrics.counters(), parallel_metrics.counters());
+  EXPECT_EQ(serial_metrics.timer("runner.engine_seconds").count, kRoots);
+  EXPECT_EQ(parallel_metrics.timer("runner.engine_seconds").count, kRoots);
+  EXPECT_EQ(parallel_metrics.timer("runner.validate_seconds").count, kRoots);
+
+  // The modelled engine reports deterministic seconds, so the whole
+  // aggregation must be bit-identical across dispatch modes.
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].root, parallel.runs[i].root);
+    EXPECT_DOUBLE_EQ(serial.runs[i].seconds, parallel.runs[i].seconds);
+    EXPECT_DOUBLE_EQ(serial.runs[i].teps, parallel.runs[i].teps);
+    EXPECT_EQ(serial.runs[i].edges, parallel.runs[i].edges);
+  }
+  EXPECT_DOUBLE_EQ(serial.stats.harmonic_mean, parallel.stats.harmonic_mean);
+}
+
+#ifdef _OPENMP
+TEST(Runner, ParallelRootsIsThreadCountInvariant) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  RunnerOptions opts;
+  opts.num_roots = 12;
+  opts.batch_mode = BatchMode::kParallelRoots;
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const BenchmarkResult one = run_benchmark(g, make_top_down_engine(cpu), opts);
+  omp_set_num_threads(4);
+  const BenchmarkResult four =
+      run_benchmark(g, make_top_down_engine(cpu), opts);
+  omp_set_num_threads(saved);
+  ASSERT_EQ(one.runs.size(), four.runs.size());
+  for (std::size_t i = 0; i < one.runs.size(); ++i) {
+    EXPECT_EQ(one.runs[i].root, four.runs[i].root);
+    EXPECT_DOUBLE_EQ(one.runs[i].seconds, four.runs[i].seconds);
+    EXPECT_DOUBLE_EQ(one.runs[i].teps, four.runs[i].teps);
+  }
+  EXPECT_DOUBLE_EQ(one.stats.harmonic_mean, four.stats.harmonic_mean);
+}
+#endif  // _OPENMP
+
+TEST(Runner, ExplicitRootsOverrideSampling) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  RunnerOptions opts;
+  opts.num_roots = 99;  // must be ignored
+  opts.roots = {1, 7, 1, 42};
+  const BenchmarkResult r = run_benchmark(g, make_top_down_engine(cpu), opts);
+  ASSERT_EQ(r.runs.size(), 4u);
+  EXPECT_EQ(r.runs[0].root, 1);
+  EXPECT_EQ(r.runs[1].root, 7);
+  EXPECT_EQ(r.runs[2].root, 1);
+  EXPECT_EQ(r.runs[3].root, 42);
+
+  opts.roots = {g.num_vertices()};
+  EXPECT_THROW(run_benchmark(g, make_top_down_engine(cpu), opts),
+               std::invalid_argument);
+}
+
+TEST(Runner, MsBfsModeChunksByBatchSize) {
+  const graph::CsrGraph g = test_graph();
+  std::mutex mu;
+  std::vector<std::size_t> chunk_sizes;
+  // A fake batch engine that records chunking and fabricates
+  // deterministic results (validation disabled below).
+  BatchBfsEngine fake = [&](const graph::CsrGraph& gg,
+                            const std::vector<graph::vid_t>& batch) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      chunk_sizes.push_back(batch.size());
+    }
+    std::vector<TimedBfs> out(batch.size());
+    for (TimedBfs& t : out) {
+      t.result.reached = 1;
+      t.result.edges_in_component = 100;
+      t.seconds = 1e-3;
+    }
+    (void)gg;
+    return out;
+  };
+  RunnerOptions opts;
+  opts.num_roots = 10;
+  opts.batch_size = 4;
+  opts.batch_mode = BatchMode::kMsBfs;
+  opts.validate = false;
+  const BenchmarkResult r = run_benchmark(g, fake, opts);
+  EXPECT_EQ(r.runs.size(), 10u);
+  ASSERT_EQ(chunk_sizes.size(), 3u);
+  EXPECT_EQ(chunk_sizes[0], 4u);
+  EXPECT_EQ(chunk_sizes[1], 4u);
+  EXPECT_EQ(chunk_sizes[2], 2u);
+}
+
+TEST(Runner, MsBfsModeRejectsPerRootEngine) {
+  const graph::CsrGraph g = test_graph();
+  const sim::Device cpu{sim::make_sandy_bridge_cpu()};
+  RunnerOptions opts;
+  opts.num_roots = 2;
+  opts.batch_mode = BatchMode::kMsBfs;
+  EXPECT_THROW(run_benchmark(g, make_top_down_engine(cpu), opts),
+               std::invalid_argument);
+}
+
+TEST(Runner, MsBfsEngineEndToEnd) {
+  const graph::CsrGraph g = test_graph();
+  obs::Registry metrics;
+  RunnerOptions opts;
+  opts.num_roots = 8;
+  opts.batch_size = 8;
+  opts.batch_mode = BatchMode::kMsBfs;
+  opts.metrics = &metrics;
+  const BenchmarkResult r =
+      run_benchmark(g, make_msbfs_batch_engine(core::HybridPolicy{}), opts);
+  EXPECT_EQ(r.runs.size(), 8u);
+  EXPECT_EQ(r.validation_failures, 0);
+  EXPECT_GT(r.stats.harmonic_mean, 0.0);
+  EXPECT_EQ(metrics.counter("runner.batches"), 1);
+  EXPECT_EQ(metrics.timer("runner.batch_seconds").count, 1);
 }
 
 TEST(ReferenceEngine, IsSlowerThanOptimisedTopDownByThePenalty) {

@@ -53,6 +53,19 @@ TEST(Trainer, LabelsAreReproducible) {
   EXPECT_EQ(a.n_data.y, b.n_data.y);
 }
 
+TEST(Trainer, ParallelLabelingMatchesSerialBitExactly) {
+  TrainerConfig cfg = tiny_config();
+  cfg.parallel_labeling = false;
+  const TrainingData serial = generate_training_data(cfg);
+  cfg.parallel_labeling = true;
+  const TrainingData parallel = generate_training_data(cfg);
+  EXPECT_EQ(serial.m_data.x, parallel.m_data.x);
+  EXPECT_EQ(serial.m_data.y, parallel.m_data.y);
+  EXPECT_EQ(serial.n_data.y, parallel.n_data.y);
+  EXPECT_EQ(serial.t_data.x, parallel.t_data.x);
+  EXPECT_EQ(serial.t_data.y, parallel.t_data.y);
+}
+
 TEST(Trainer, DefaultConfigIsPaperSized) {
   const TrainerConfig cfg = default_trainer_config();
   const std::size_t samples = cfg.graphs.size() * cfg.arch_pairs.size();
