@@ -19,6 +19,7 @@
 #include "graph/reorder.h"
 #include "graph500/native_engine.h"
 #include "graph500/runner.h"
+#include "obs/percentiles.h"
 
 namespace {
 
@@ -29,6 +30,8 @@ struct Measured {
   double seconds = 0.0;
   double aggregate_teps = 0.0;
   std::size_t states_created = 0;
+  /// Per-root traversal seconds (engine-attributed, not protocol wall).
+  obs::Percentiles per_root;
 };
 
 double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
@@ -67,6 +70,12 @@ Measured run_mode(const graph::CsrGraph& g,
       m.seconds > 0.0 ? static_cast<double>(total_edges(result)) / m.seconds
                       : 0.0;
   m.states_created = pool.created();
+  std::vector<double> per_root;
+  per_root.reserve(result.runs.size());
+  for (const graph500::RootRun& run : result.runs) {
+    per_root.push_back(run.seconds);
+  }
+  m.per_root = obs::compute_percentiles(std::move(per_root));
   return m;
 }
 
@@ -92,8 +101,9 @@ int main() {
               static_cast<long long>(bg.csr.num_edges()), num_roots);
 
   JsonReport report("msbfs");
-  std::printf("%-16s %8s %12s %14s %10s %7s\n", "mode", "threads",
-              "seconds", "agg MTEPS", "speedup", "states");
+  std::printf("%-16s %8s %12s %14s %10s %7s %10s %10s\n", "mode", "threads",
+              "seconds", "agg MTEPS", "speedup", "states", "p50 ms",
+              "p99 ms");
 
   for (const int threads : {1, 2, 4}) {
     set_threads(threads);
@@ -105,9 +115,10 @@ int main() {
       if (mode == graph500::BatchMode::kSerial) serial_teps = m.aggregate_teps;
       const double speedup =
           serial_teps > 0.0 ? m.aggregate_teps / serial_teps : 0.0;
-      std::printf("%-16s %8d %12.3f %14.1f %9.2fx %7zu\n",
+      std::printf("%-16s %8d %12.3f %14.1f %9.2fx %7zu %10.3f %10.3f\n",
                   graph500::to_string(mode), threads, m.seconds,
-                  m.aggregate_teps / 1e6, speedup, m.states_created);
+                  m.aggregate_teps / 1e6, speedup, m.states_created,
+                  m.per_root.p50 * 1e3, m.per_root.p99 * 1e3);
       report.row();
       report.cell("mode", graph500::to_string(mode));
       report.cell("threads", threads);
@@ -116,6 +127,9 @@ int main() {
       report.cell("speedup_vs_serial", speedup);
       report.cell("states_created",
                   static_cast<std::int64_t>(m.states_created));
+      report.cell("per_root_p50_seconds", m.per_root.p50);
+      report.cell("per_root_p95_seconds", m.per_root.p95);
+      report.cell("per_root_p99_seconds", m.per_root.p99);
     }
   }
 

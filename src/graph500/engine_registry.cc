@@ -9,26 +9,10 @@
 #include "graph500/native_engine.h"
 #include "graph500/reference_bfs.h"
 #include "sim/arch_config.h"
+#include "tools/args.h"
 
 namespace bfsx::graph500 {
 namespace {
-
-/// Classic O(a*b) edit distance, small strings only (engine names).
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t next_diag = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-      diag = next_diag;
-    }
-  }
-  return row[b.size()];
-}
 
 sim::Device cpu_preset() {
   return sim::Device{sim::parse_arch_spec("base=cpu,name=cpu")};
@@ -38,17 +22,12 @@ sim::Device cpu_preset() {
     const std::vector<EngineRegistry::Entry>& entries,
     const std::string& name) {
   std::string message = "unknown engine '" + name + "'";
-  const EngineRegistry::Entry* closest = nullptr;
-  std::size_t best = name.size();  // suggestions must beat "retype it all"
-  for (const EngineRegistry::Entry& e : entries) {
-    const std::size_t d = edit_distance(name, e.name);
-    if (d < best || (closest == nullptr && d <= best)) {
-      closest = &e;
-      best = d;
-    }
-  }
-  if (closest != nullptr && best <= std::max<std::size_t>(2, name.size() / 3)) {
-    message += " (did you mean '" + closest->name + "'?)";
+  std::vector<std::string_view> names;
+  names.reserve(entries.size());
+  for (const EngineRegistry::Entry& e : entries) names.push_back(e.name);
+  if (const std::string_view closest = tools::suggest_closest(name, names);
+      !closest.empty()) {
+    message += " (did you mean '" + std::string(closest) + "'?)";
   }
   message += "; valid engines:";
   for (const EngineRegistry::Entry& e : entries) message += " " + e.name;

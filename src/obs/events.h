@@ -71,4 +71,46 @@ struct LevelEvent {
   return k == LevelEvent::Kind::kLevel ? "level" : "handoff";
 }
 
+/// One query-engine lifecycle stage (src/serve). A query is admitted
+/// (kEnqueue) or bounced at the door (kReject); a scheduler tick
+/// coalesces admitted queries into one dispatch (kDispatch, the only
+/// batch-scoped stage — query_id is -1); each query completes
+/// (kComplete) with its submit-to-answer latency. Distance queries
+/// additionally report whether the landmark cache short-circuited them
+/// (kCacheHit — answered without touching the graph) or passed them
+/// through to the queue (kCacheMiss).
+struct QueryEvent {
+  enum class Stage {
+    kEnqueue,
+    kReject,
+    kDispatch,
+    kComplete,
+    kCacheHit,
+    kCacheMiss,
+  };
+
+  Stage stage = Stage::kEnqueue;
+  std::int64_t query_id = -1;    // engine-assigned; -1 for kDispatch
+  /// Stage-dependent detail: the query kind for enqueue/complete, the
+  /// rejection reason for kReject, the dispatch path ("msbfs" or the
+  /// single-source engine name) for kDispatch.
+  std::string detail;
+  std::uint64_t epoch = 0;       // graph epoch the stage observed
+  std::int32_t batch_size = 0;   // kDispatch: queries coalesced this tick
+  std::int32_t lanes = 0;        // kDispatch: distinct MS-BFS lanes (0 = single)
+  double seconds = 0.0;          // kComplete: submit -> answer latency
+};
+
+[[nodiscard]] constexpr const char* to_string(QueryEvent::Stage s) noexcept {
+  switch (s) {
+    case QueryEvent::Stage::kEnqueue: return "enqueue";
+    case QueryEvent::Stage::kReject: return "reject";
+    case QueryEvent::Stage::kDispatch: return "dispatch";
+    case QueryEvent::Stage::kComplete: return "complete";
+    case QueryEvent::Stage::kCacheHit: return "cache_hit";
+    case QueryEvent::Stage::kCacheMiss: return "cache_miss";
+  }
+  return "?";
+}
+
 }  // namespace bfsx::obs

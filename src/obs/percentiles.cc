@@ -1,0 +1,36 @@
+#include "obs/percentiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bfsx::obs {
+namespace {
+
+/// Nearest-rank: the smallest sample such that at least q·N samples
+/// are <= it. `sorted` must be non-empty and ascending.
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const auto index =
+      static_cast<std::size_t>(std::max(rank, 1.0)) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Percentiles compute_percentiles(std::vector<double> samples) {
+  Percentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  p.count = samples.size();
+  p.min = samples.front();
+  p.max = samples.back();
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  p.mean = sum / static_cast<double>(samples.size());
+  p.p50 = nearest_rank(samples, 0.50);
+  p.p95 = nearest_rank(samples, 0.95);
+  p.p99 = nearest_rank(samples, 0.99);
+  return p;
+}
+
+}  // namespace bfsx::obs

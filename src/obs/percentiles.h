@@ -1,0 +1,30 @@
+// Latency-distribution summary: p50/p95/p99 (plus min/mean/max) over a
+// sample vector, by the nearest-rank rule on the sorted samples
+// (index = ceil(q·N) − 1). Tail percentiles are what a serving system
+// promises — a mean hides the one query in a hundred that stalls — so
+// bench_serve and bench_msbfs both report through this instead of
+// open-coding quantile math with off-by-one ranks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bfsx::obs {
+
+struct Percentiles {
+  std::size_t count = 0;
+  double min = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises `samples` (taken by value: the computation sorts its
+/// copy). An empty input yields a zero-valued summary with count 0.
+/// Nearest-rank percentiles are always actual samples, never
+/// interpolated values — p99 of 10 samples is the largest one.
+[[nodiscard]] Percentiles compute_percentiles(std::vector<double> samples);
+
+}  // namespace bfsx::obs

@@ -26,6 +26,10 @@ class TraceSink {
   virtual void on_run_begin(const RunEvent&) {}
   virtual void on_level(const LevelEvent&) {}
   virtual void on_run_end(const RunEvent&) {}
+  /// Query-engine stages (src/serve). Unlike the run/level hooks these
+  /// arrive outside any run bracket; the serving engine serialises its
+  /// calls, so sinks still never see concurrent invocations.
+  virtual void on_query(const QueryEvent&) {}
 };
 
 /// In-memory sink: keeps every event. The test-suite workhorse, also
@@ -39,6 +43,7 @@ class MemorySink final : public TraceSink {
     levels.emplace_back(run, e);
   }
   void on_run_end(const RunEvent& e) override { run_ends.push_back(e); }
+  void on_query(const QueryEvent& e) override { queries.push_back(e); }
 
   /// The expanded-level (non-handoff) events of run `i`, in order.
   [[nodiscard]] std::vector<LevelEvent> levels_of_run(std::size_t i) const {
@@ -53,6 +58,8 @@ class MemorySink final : public TraceSink {
   /// (run index, event) in emission order; includes handoff events.
   std::vector<std::pair<std::size_t, LevelEvent>> levels;
   std::vector<RunEvent> run_ends;
+  /// Query-engine stage events, in emission order.
+  std::vector<QueryEvent> queries;
 };
 
 }  // namespace bfsx::obs

@@ -91,6 +91,21 @@ void JsonlWriter::on_run_end(const RunEvent& e) {
   out().flush();
 }
 
+void JsonlWriter::on_query(const QueryEvent& e) {
+  out() << JsonObject()
+               .field("schema", kTraceSchema)
+               .field("event", "query")
+               .field("stage", to_string(e.stage))
+               .field("query_id", e.query_id)
+               .field("detail", e.detail)
+               .field("epoch", static_cast<std::int64_t>(e.epoch))
+               .field("batch_size", static_cast<std::int64_t>(e.batch_size))
+               .field("lanes", static_cast<std::int64_t>(e.lanes))
+               .field("seconds", e.seconds)
+               .str()
+        << '\n';
+}
+
 CsvWriter::CsvWriter(const std::string& path) : StreamSink(path) {
   write_header();
 }

@@ -36,8 +36,10 @@ class StreamSink : public TraceSink {
 };
 
 /// JSON Lines trace: every line is a self-describing flat object with
-/// "schema", "event" (run_begin | level | handoff | run_end) and "run"
-/// fields, so files from multi-root benchmarks split cleanly.
+/// "schema", "event" (run_begin | level | handoff | run_end | query)
+/// and "run" fields, so files from multi-root benchmarks split cleanly.
+/// Query-engine stages serialise as event "query" with a "stage" field
+/// (enqueue | reject | dispatch | complete | cache_hit | cache_miss).
 class JsonlWriter final : public StreamSink {
  public:
   using StreamSink::StreamSink;
@@ -45,11 +47,14 @@ class JsonlWriter final : public StreamSink {
   void on_run_begin(const RunEvent& e) override;
   void on_level(const LevelEvent& e) override;
   void on_run_end(const RunEvent& e) override;
+  void on_query(const QueryEvent& e) override;
 };
 
 /// CSV trace: a header row, then one row per event over the union of
 /// fields (run_begin/run_end rows leave level columns empty and vice
-/// versa). Spreadsheet-friendly flavour of the same schema.
+/// versa). Spreadsheet-friendly flavour of the same schema. Query
+/// events are not part of the fixed column set and are dropped here;
+/// serving traces should use the JSONL writer.
 class CsvWriter final : public StreamSink {
  public:
   explicit CsvWriter(const std::string& path);

@@ -1,0 +1,407 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace bfsx::serve {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_between(clock::time_point from, clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+QueryResult skeleton(const Query& q) {
+  QueryResult r;
+  r.kind = q.kind;
+  r.source = q.source;
+  r.target = q.target;
+  return r;
+}
+
+/// Fills the answer fields of `r` from a finished traversal of its
+/// source. kBfs keeps the whole map; the point queries read one cell.
+void fill_answer(QueryResult& r,
+                 const std::shared_ptr<const bfs::BfsResult>& traversal) {
+  r.ok = true;
+  switch (r.kind) {
+    case QueryKind::kBfs:
+      r.traversal = traversal;
+      r.reachable = true;
+      r.distance = 0;
+      break;
+    case QueryKind::kDistance:
+    case QueryKind::kReachability:
+      r.distance = traversal->level[static_cast<std::size_t>(r.target)];
+      r.reachable = r.distance >= 0;
+      break;
+  }
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(graph::EdgeList edges, ServeOptions opts)
+    : opts_(std::move(opts)),
+      epochs_(std::move(edges)),
+      registry_(graph500::EngineRegistry::with_builtin_engines()) {
+  opts_.workers = std::max(opts_.workers, 1);
+  opts_.batch_max = std::clamp(opts_.batch_max, 1, bfs::kMsBfsMaxLanes);
+  paused_ = opts_.start_paused;
+  rebuild_cache();
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() { shutdown(); }
+
+std::future<QueryResult> QueryEngine::submit(Query q) {
+  const auto now = clock::now();
+  std::promise<QueryResult> reject_promise;
+  std::future<QueryResult> reject_future = reject_promise.get_future();
+
+  const auto reject = [&](RejectReason why) {
+    QueryResult r = skeleton(q);
+    r.reject = why;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (why == RejectReason::kQueueFull) {
+        ++stats_.rejected_full;
+      } else if (why == RejectReason::kShutdown) {
+        ++stats_.rejected_shutdown;
+      } else {
+        ++stats_.rejected_invalid;
+      }
+    }
+    obs::QueryEvent e;
+    e.stage = obs::QueryEvent::Stage::kReject;
+    e.detail = to_string(why);
+    emit(e);
+    reject_promise.set_value(std::move(r));
+    return std::move(reject_future);
+  };
+
+  // Admission validation against the newest epoch. Vertex ids only
+  // grow across epochs, so an id valid now stays valid for whichever
+  // (equal or newer) epoch the batch eventually pins.
+  const graph::vid_t n = epochs_.current_num_vertices();
+  const bool needs_target = q.kind != QueryKind::kBfs;
+  if (q.source < 0 || q.source >= n ||
+      (needs_target && (q.target < 0 || q.target >= n))) {
+    return reject(RejectReason::kInvalidVertex);
+  }
+  if (!q.engine.empty() && registry_.find(q.engine) == nullptr) {
+    return reject(RejectReason::kUnknownEngine);
+  }
+
+  std::int64_t id = 0;
+  const QueryKind kind = q.kind;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) {
+      lock.unlock();
+      return reject(RejectReason::kShutdown);
+    }
+    // Landmark-cache fast path: a covered distance/reachability query
+    // is answered at the door, never entering the queue. The epoch tag
+    // guards the rebuild window after a publish — a stale cache is a
+    // miss, not a wrong answer.
+    const bool cacheable = opts_.cache_enabled && q.engine.empty() &&
+                           q.kind != QueryKind::kBfs && cache_ != nullptr &&
+                           cache_->epoch() == epochs_.current_epoch();
+    if (cacheable) {
+      if (const auto hit = cache_->distance(q.source, q.target)) {
+        ++stats_.cache_hits;
+        ++stats_.served;
+        const std::uint64_t epoch = cache_->epoch();
+        lock.unlock();
+        QueryResult r = skeleton(q);
+        r.ok = true;
+        r.distance = *hit;
+        r.reachable = *hit >= 0;
+        r.epoch = epoch;
+        r.cache_hit = true;
+        r.latency_seconds = seconds_between(now, clock::now());
+        obs::QueryEvent e;
+        e.stage = obs::QueryEvent::Stage::kCacheHit;
+        e.detail = to_string(q.kind);
+        e.epoch = epoch;
+        emit(e);
+        e.stage = obs::QueryEvent::Stage::kComplete;
+        e.seconds = r.latency_seconds;
+        emit(e);
+        reject_promise.set_value(std::move(r));
+        return reject_future;
+      }
+      ++stats_.cache_misses;
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      lock.unlock();
+      return reject(RejectReason::kQueueFull);
+    }
+    id = next_id_++;
+    Pending p;
+    p.query = std::move(q);
+    p.promise = std::move(reject_promise);
+    p.enqueued = now;
+    p.id = id;
+    queue_.push_back(std::move(p));
+    ++stats_.submitted;
+  }
+  cv_work_.notify_one();
+  obs::QueryEvent e;
+  e.stage = obs::QueryEvent::Stage::kEnqueue;
+  e.query_id = id;
+  e.detail = to_string(kind);
+  emit(e);
+  return reject_future;
+}
+
+void QueryEngine::insert_edge(graph::vid_t u, graph::vid_t v) {
+  epochs_.buffer_insert(u, v);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.edges_inserted;
+}
+
+std::uint64_t QueryEngine::publish_inserts() {
+  const std::uint64_t epoch = epochs_.publish();
+  rebuild_cache();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.epochs_published;
+  return epoch;
+}
+
+void QueryEngine::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [&] {
+    return stopping_ || (queue_.empty() && in_flight_ == 0);
+  });
+}
+
+void QueryEngine::pause() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void QueryEngine::resume() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+void QueryEngine::shutdown() {
+  std::deque<Pending> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    orphans.swap(queue_);
+    stats_.rejected_shutdown += static_cast<std::int64_t>(orphans.size());
+  }
+  cv_work_.notify_all();
+  cv_idle_.notify_all();
+  for (Pending& p : orphans) {
+    QueryResult r = skeleton(p.query);
+    r.reject = RejectReason::kShutdown;
+    obs::QueryEvent e;
+    e.stage = obs::QueryEvent::Stage::kReject;
+    e.query_id = p.id;
+    e.detail = to_string(RejectReason::kShutdown);
+    emit(e);
+    p.promise.set_value(std::move(r));
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+ServeStats QueryEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t QueryEngine::current_epoch() const {
+  return epochs_.current_epoch();
+}
+
+graph::vid_t QueryEngine::num_vertices() const {
+  return epochs_.current_num_vertices();
+}
+
+void QueryEngine::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (stopping_) return;  // shutdown() already resolved the queue
+      // One scheduler tick: engine-override queries are incompatible
+      // with lane batching and go out alone; otherwise coalesce up to
+      // batch_max compatible queries into one MS-BFS pass.
+      const auto cap = static_cast<std::size_t>(opts_.batch_max);
+      if (!queue_.front().query.engine.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      } else {
+        while (!queue_.empty() && batch.size() < cap &&
+               queue_.front().query.engine.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      ++in_flight_;
+      ++stats_.dispatches;
+      stats_.max_batch =
+          std::max(stats_.max_batch, static_cast<std::int64_t>(batch.size()));
+    }
+    serve_tick(std::move(batch));
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void QueryEngine::serve_tick(std::vector<Pending> batch) {
+  // The whole tick answers on one pinned epoch: inserts published
+  // while the batch runs target the next epoch and cannot bleed in.
+  const GraphEpochs::Pin pin = epochs_.pin();
+  if (batch.size() == 1) {
+    serve_single(std::move(batch.front()), pin);
+  } else {
+    serve_msbfs(std::move(batch), pin);
+  }
+}
+
+void QueryEngine::serve_single(Pending pending, const GraphEpochs::Pin& pin) {
+  const std::string name = pending.query.engine.empty()
+                               ? opts_.fallback_engine
+                               : pending.query.engine;
+  obs::QueryEvent e;
+  e.stage = obs::QueryEvent::Stage::kDispatch;
+  e.detail = name;
+  e.epoch = pin.epoch();
+  e.batch_size = 1;
+  e.lanes = 0;
+  emit(e);
+
+  try {
+    const graph500::BfsEngine engine = single_engine(name, nullptr);
+    graph500::TimedBfs timed = engine(pin.graph(), pending.query.source);
+    QueryResult r = skeleton(pending.query);
+    r.epoch = pin.epoch();
+    fill_answer(r, std::make_shared<const bfs::BfsResult>(
+                       std::move(timed.result)));
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.served;
+      ++stats_.single_queries;
+    }
+    finish(std::move(pending), std::move(r));
+  } catch (...) {
+    pending.promise.set_exception(std::current_exception());
+  }
+}
+
+void QueryEngine::serve_msbfs(std::vector<Pending> batch,
+                              const GraphEpochs::Pin& pin) {
+  // Duplicate sources share one traversal lane; the MS-BFS pass runs
+  // over the distinct sources only.
+  std::unordered_map<graph::vid_t, std::size_t> lane_of;
+  std::vector<graph::vid_t> roots;
+  for (const Pending& p : batch) {
+    if (lane_of.emplace(p.query.source, roots.size()).second) {
+      roots.push_back(p.query.source);
+    }
+  }
+
+  obs::QueryEvent e;
+  e.stage = obs::QueryEvent::Stage::kDispatch;
+  e.detail = "msbfs";
+  e.epoch = pin.epoch();
+  e.batch_size = static_cast<std::int32_t>(batch.size());
+  e.lanes = static_cast<std::int32_t>(roots.size());
+  emit(e);
+
+  bfs::MsBfsOptions mopts;
+  mopts.m = opts_.policy.m;
+  mopts.n = opts_.policy.n;
+  bfs::MsBfsResult pass;
+  try {
+    pass = bfs::ms_bfs(pin.graph(), roots, mopts);
+  } catch (...) {
+    for (Pending& p : batch) {
+      p.promise.set_exception(std::current_exception());
+    }
+    return;
+  }
+
+  std::vector<std::shared_ptr<const bfs::BfsResult>> lane_result;
+  lane_result.reserve(roots.size());
+  for (bfs::BfsResult& r : pass.per_root) {
+    lane_result.push_back(
+        std::make_shared<const bfs::BfsResult>(std::move(r)));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.served += static_cast<std::int64_t>(batch.size());
+    stats_.batched_queries += static_cast<std::int64_t>(batch.size());
+  }
+  for (Pending& p : batch) {
+    QueryResult r = skeleton(p.query);
+    r.epoch = pin.epoch();
+    r.batch_lanes = static_cast<std::int32_t>(roots.size());
+    fill_answer(r, lane_result[lane_of.at(p.query.source)]);
+    finish(std::move(p), std::move(r));
+  }
+}
+
+void QueryEngine::finish(Pending pending, QueryResult result) {
+  result.latency_seconds = seconds_between(pending.enqueued, clock::now());
+  obs::QueryEvent e;
+  e.stage = obs::QueryEvent::Stage::kComplete;
+  e.query_id = pending.id;
+  e.detail = to_string(result.kind);
+  e.epoch = result.epoch;
+  e.seconds = result.latency_seconds;
+  emit(e);
+  pending.promise.set_value(std::move(result));
+}
+
+graph500::BfsEngine QueryEngine::single_engine(const std::string& name,
+                                               obs::TraceSink* sink) {
+  const std::lock_guard<std::mutex> lock(engines_mu_);
+  const auto it = engines_.find(name);
+  if (it != engines_.end()) return it->second;
+  graph500::EngineConfig cfg;
+  cfg.policy = opts_.policy;
+  cfg.pool = &pool_;
+  cfg.sink = sink;
+  return engines_.emplace(name, registry_.make_engine(name, cfg))
+      .first->second;
+}
+
+void QueryEngine::emit(const obs::QueryEvent& e) {
+  if (opts_.sink == nullptr) return;
+  const std::lock_guard<std::mutex> lock(sink_mu_);
+  opts_.sink->on_query(e);
+}
+
+void QueryEngine::rebuild_cache() {
+  if (!opts_.cache_enabled) return;
+  const GraphEpochs::Pin pin = epochs_.pin();
+  auto fresh = std::make_shared<const LandmarkCache>(
+      pin.graph(), pin.epoch(), opts_.num_landmarks);
+  const std::lock_guard<std::mutex> lock(mu_);
+  cache_ = std::move(fresh);
+}
+
+}  // namespace bfsx::serve

@@ -1,0 +1,185 @@
+// serve::QueryEngine — a long-lived concurrent BFS query engine.
+//
+// The repo's kernels answer one traversal; this subsystem turns them
+// into a server. A resident graph (epoch-snapshotted, see epochs.h)
+// takes streams of BFS / distance / reachability queries:
+//
+//   submit() ── admission ──> bounded queue ──> scheduler tick ──> answer
+//                 │  │                             │
+//                 │  └ landmark cache: covered     ├ >=2 compatible queries:
+//                 │    distance queries answered   │   one bit-parallel MS-BFS
+//                 │    at the door, no traversal   │   pass, lanes deduped by
+//                 │                                │   source
+//                 └ reject-with-reason when the    └ singletons / engine
+//                   queue is full (backpressure      overrides: single-source
+//                   the caller can see)              dispatch via the
+//                                                    EngineRegistry, states
+//                                                    leased from a StatePool
+//
+// Worker threads (std::thread; each may open its own OpenMP team
+// inside a kernel) drain the queue in ticks of up to `batch_max`
+// compatible queries. Admission, completion, cache hit/miss, and every
+// dispatch are reported through obs::TraceSink::on_query; calls are
+// serialised by the engine, so any sink works unsynchronised.
+//
+// Writes: insert_edge buffers, publish_inserts rebuilds into the next
+// epoch and re-arms the landmark cache. In-flight batches keep serving
+// the epoch they pinned — an answer is always bit-equal to
+// reference_bfs on its own epoch's graph, never a blend.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bfs/msbfs.h"
+#include "bfs/state_pool.h"
+#include "core/hybrid_policy.h"
+#include "graph500/engine_registry.h"
+#include "obs/sink.h"
+#include "serve/epochs.h"
+#include "serve/landmark_cache.h"
+#include "serve/query.h"
+
+namespace bfsx::serve {
+
+struct ServeOptions {
+  /// Worker threads draining the admission queue.
+  int workers = 2;
+  /// Admission-queue bound; a submit beyond it rejects kQueueFull.
+  std::size_t queue_capacity = 1024;
+  /// Queries coalesced per scheduler tick (clamped to [1, 64]).
+  /// 1 disables lane batching — every query dispatches single-source,
+  /// the "serial" baseline bench_serve compares against.
+  int batch_max = bfs::kMsBfsMaxLanes;
+  /// Landmark cache on the admission path (rebuilt per epoch).
+  bool cache_enabled = true;
+  int num_landmarks = 16;
+  /// M/N direction rule for both the MS-BFS union frontier and the
+  /// single-source fallback engine.
+  core::HybridPolicy policy{};
+  /// Single-source path for queries without an engine override (and
+  /// for ticks that coalesced only one query).
+  std::string fallback_engine = "native-hybrid";
+  /// Optional, non-owning; must outlive the engine. Receives on_query
+  /// stage events (serialised). Per-level run tracing stays off in the
+  /// server — concurrent workers would interleave run brackets.
+  obs::TraceSink* sink = nullptr;
+  /// Construct with the scheduler paused (tests/benches submit a full
+  /// workload first, then resume() — guarantees maximal coalescing).
+  bool start_paused = false;
+};
+
+/// Monotonic engine counters; snapshot via QueryEngine::stats().
+struct ServeStats {
+  std::int64_t submitted = 0;         // admitted into the queue
+  std::int64_t rejected_full = 0;
+  std::int64_t rejected_invalid = 0;  // bad vertex or unknown engine
+  std::int64_t rejected_shutdown = 0;
+  std::int64_t served = 0;            // completed with an answer
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;      // cacheable but uncovered
+  std::int64_t dispatches = 0;        // scheduler ticks that ran
+  std::int64_t batched_queries = 0;   // served by an MS-BFS lane
+  std::int64_t single_queries = 0;    // served by a single-source engine
+  std::int64_t max_batch = 0;         // largest tick
+  std::int64_t edges_inserted = 0;
+  std::int64_t epochs_published = 0;
+};
+
+class QueryEngine {
+ public:
+  /// Builds epoch 0 from `edges` and starts the worker pool.
+  explicit QueryEngine(graph::EdgeList edges, ServeOptions opts = {});
+  ~QueryEngine();  // shutdown(): pending queries reject kShutdown
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Admits `q` or rejects it immediately. Always returns a valid
+  /// future: rejected queries resolve at once with ok = false, served
+  /// ones when a worker answers. Thread-safe.
+  [[nodiscard]] std::future<QueryResult> submit(Query q);
+
+  /// Buffers one edge insertion; invisible until publish_inserts().
+  /// Writer side is single-threaded (one control thread), like
+  /// GraphEpochs.
+  void insert_edge(graph::vid_t u, graph::vid_t v);
+
+  /// Publishes buffered insertions as the next epoch and rebuilds the
+  /// landmark cache over it. Queries already dispatched keep their
+  /// pinned epoch. Returns the new epoch id.
+  std::uint64_t publish_inserts();
+
+  /// Blocks until the queue is empty and no batch is in flight.
+  /// Requires a running (not paused) scheduler.
+  void drain();
+
+  /// Pause/resume the scheduler (admission stays open). See
+  /// ServeOptions::start_paused.
+  void pause();
+  void resume();
+
+  /// Stops the scheduler: queued-but-unserved queries resolve with
+  /// kShutdown, workers join. Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] std::uint64_t current_epoch() const;
+  [[nodiscard]] graph::vid_t num_vertices() const;
+  [[nodiscard]] GraphEpochs& epochs() noexcept { return epochs_; }
+  [[nodiscard]] const bfs::StatePool& state_pool() const noexcept {
+    return pool_;
+  }
+
+ private:
+  struct Pending {
+    Query query;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::int64_t id = 0;
+  };
+
+  void worker_loop();
+  void serve_tick(std::vector<Pending> batch);
+  void serve_single(Pending pending, const GraphEpochs::Pin& pin);
+  void serve_msbfs(std::vector<Pending> batch, const GraphEpochs::Pin& pin);
+  void finish(Pending pending, QueryResult result);
+  [[nodiscard]] graph500::BfsEngine single_engine(const std::string& name,
+                                                 obs::TraceSink* sink);
+  void emit(const obs::QueryEvent& e);
+  void rebuild_cache();
+
+  ServeOptions opts_;
+  GraphEpochs epochs_;
+  bfs::StatePool pool_;
+  graph500::EngineRegistry registry_;
+
+  mutable std::mutex mu_;  // queue_, stats_, cache_, flags
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<Pending> queue_;
+  std::shared_ptr<const LandmarkCache> cache_;
+  ServeStats stats_;
+  int in_flight_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::int64_t next_id_ = 0;
+
+  std::mutex sink_mu_;  // serialises on_query emission
+  std::mutex engines_mu_;
+  std::map<std::string, graph500::BfsEngine> engines_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bfsx::serve

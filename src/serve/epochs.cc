@@ -1,0 +1,106 @@
+#include "serve/epochs.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace bfsx::serve {
+
+void GraphEpochs::Pin::release() noexcept {
+  if (owner_ != nullptr) owner_->unpin(epoch_);
+  owner_ = nullptr;
+  graph_ = nullptr;
+}
+
+GraphEpochs::GraphEpochs(graph::EdgeList edges,
+                         const graph::BuildOptions& opts)
+    : edges_(std::move(edges)), build_opts_(opts) {
+  // build_csr consumes its edge list; keep ours for future publishes.
+  auto g = std::make_unique<const graph::CsrGraph>(
+      graph::build_csr(edges_, build_opts_));
+  records_.push_back({0, std::move(g), 0});
+}
+
+GraphEpochs::Pin GraphEpochs::pin() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Record& current = records_.back();
+  ++current.pins;
+  return {this, current.epoch, current.graph.get()};
+}
+
+std::uint64_t GraphEpochs::current_epoch() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_.back().epoch;
+}
+
+graph::vid_t GraphEpochs::current_num_vertices() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_.back().graph->num_vertices();
+}
+
+void GraphEpochs::buffer_insert(graph::vid_t u, graph::vid_t v) {
+  if (u < 0 || v < 0) {
+    throw std::invalid_argument("GraphEpochs: negative vertex in insert (" +
+                                std::to_string(u) + ", " + std::to_string(v) +
+                                ")");
+  }
+  pending_.push_back({u, v});
+}
+
+std::size_t GraphEpochs::pending_inserts() const { return pending_.size(); }
+
+std::uint64_t GraphEpochs::publish() {
+  for (const graph::Edge& e : pending_) {
+    edges_.num_vertices =
+        std::max({edges_.num_vertices, e.src + 1, e.dst + 1});
+    edges_.edges.push_back(e);
+  }
+  pending_.clear();
+  // The rebuild happens outside the lock: readers keep pinning the old
+  // epoch while the new CSR is under construction.
+  auto fresh = std::make_unique<const graph::CsrGraph>(
+      graph::build_csr(edges_, build_opts_));
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t next = records_.back().epoch + 1;
+  records_.push_back({next, std::move(fresh), 0});
+  // Retire every superseded, unpinned epoch (the newly published
+  // record is last and never considered).
+  const auto stale = [&](const Record& r) {
+    return r.epoch != next && r.pins == 0;
+  };
+  const auto removed =
+      std::count_if(records_.begin(), records_.end(), stale);
+  records_.erase(
+      std::remove_if(records_.begin(), records_.end(), stale),
+      records_.end());
+  retired_ += static_cast<std::uint64_t>(removed);
+  return next;
+}
+
+std::size_t GraphEpochs::live_epochs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::uint64_t GraphEpochs::retired_epochs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return retired_;
+}
+
+void GraphEpochs::unpin(std::uint64_t epoch) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = records_.begin(); it != records_.end(); ++it) {
+    if (it->epoch != epoch) continue;
+    --it->pins;
+    // The current epoch stays resident unpinned; a superseded one
+    // retires with its last pin.
+    if (it->pins == 0 && it->epoch != records_.back().epoch) {
+      records_.erase(it);
+      ++retired_;
+    }
+    return;
+  }
+}
+
+}  // namespace bfsx::serve

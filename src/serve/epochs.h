@@ -1,0 +1,136 @@
+// Epoch-based graph snapshots: streaming edge insertions that never
+// race live queries.
+//
+// The serving engine keeps one resident graph under concurrent query
+// traffic while accepting edge insertions. CSR is the wrong structure
+// to mutate in place — every kernel in this repository assumes frozen
+// offsets — so writes are decoupled from reads the RCU way:
+//
+//   * readers call pin() and get an immutable CsrGraph plus its epoch
+//     id; every answer a batch produces is attributed to that epoch;
+//   * the writer buffers insertions (buffer_insert) invisibly, then
+//     publish() rebuilds the edge list into a fresh CSR as epoch N+1;
+//   * superseded epochs retire (memory freed) as their last pin drops.
+//
+// Single writer, many readers: buffer_insert/publish must come from
+// one thread at a time (the engine's control path); pin() is safe from
+// any thread at any moment, including mid-publish. A publish costs one
+// O(V+E) rebuild — the price of keeping every traversal kernel
+// oblivious to mutation, paid only on the write path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+
+namespace bfsx::serve {
+
+class GraphEpochs {
+ public:
+  /// RAII reader pin: holds one epoch's graph alive. Movable,
+  /// non-copyable; dropping the last pin of a superseded epoch retires
+  /// it. The referenced graph is valid for the pin's lifetime.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(GraphEpochs* owner, std::uint64_t epoch,
+        const graph::CsrGraph* g) noexcept
+        : owner_(owner), epoch_(epoch), graph_(g) {}
+    Pin(Pin&& other) noexcept { *this = std::move(other); }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        release();
+        owner_ = other.owner_;
+        epoch_ = other.epoch_;
+        graph_ = other.graph_;
+        other.owner_ = nullptr;
+        other.graph_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { release(); }
+
+    [[nodiscard]] const graph::CsrGraph& graph() const noexcept {
+      return *graph_;
+    }
+    [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+   private:
+    void release() noexcept;
+
+    GraphEpochs* owner_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    const graph::CsrGraph* graph_ = nullptr;
+  };
+
+  /// Builds epoch 0 from `edges` (kept — every publish rebuilds from
+  /// the accumulated list). `opts` applies to every rebuild; the
+  /// default symmetrises, matching the Graph 500 pipeline.
+  explicit GraphEpochs(graph::EdgeList edges,
+                       const graph::BuildOptions& opts = {});
+
+  GraphEpochs(const GraphEpochs&) = delete;
+  GraphEpochs& operator=(const GraphEpochs&) = delete;
+
+  /// Pins the newest published epoch. Thread-safe.
+  [[nodiscard]] Pin pin();
+
+  /// Id of the newest published epoch. Thread-safe.
+  [[nodiscard]] std::uint64_t current_epoch() const;
+
+  /// Vertex count of the newest published epoch. Thread-safe.
+  [[nodiscard]] graph::vid_t current_num_vertices() const;
+
+  // ---- writer side (one thread at a time) ----
+
+  /// Buffers one directed edge for the next publish; invisible to
+  /// readers until then. Endpoints may exceed the current vertex count
+  /// — the vertex set grows at publish. Rejects negatives.
+  void buffer_insert(graph::vid_t u, graph::vid_t v);
+
+  /// Insertions buffered since the last publish.
+  [[nodiscard]] std::size_t pending_inserts() const;
+
+  /// Folds the buffered insertions into the edge list, rebuilds it as
+  /// the next epoch, and retires every unpinned superseded epoch.
+  /// Valid with zero pending insertions (publishes an identical graph
+  /// under a new id). Returns the new epoch id.
+  std::uint64_t publish();
+
+  // ---- observability ----
+
+  /// Epochs currently retained: the published one plus superseded ones
+  /// still pinned by readers.
+  [[nodiscard]] std::size_t live_epochs() const;
+
+  /// Superseded epochs whose storage has been reclaimed.
+  [[nodiscard]] std::uint64_t retired_epochs() const;
+
+ private:
+  struct Record {
+    std::uint64_t epoch = 0;
+    std::unique_ptr<const graph::CsrGraph> graph;
+    std::size_t pins = 0;
+  };
+
+  void unpin(std::uint64_t epoch) noexcept;
+
+  // Writer-owned; never touched by readers.
+  graph::EdgeList edges_;
+  graph::BuildOptions build_opts_;
+  std::vector<graph::Edge> pending_;
+
+  mutable std::mutex mu_;  // guards records_ / retired_
+  std::vector<Record> records_;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace bfsx::serve

@@ -1,0 +1,84 @@
+#include "serve/landmark_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bfs/msbfs.h"
+
+namespace bfsx::serve {
+
+LandmarkCache::LandmarkCache(const graph::CsrGraph& g, std::uint64_t epoch,
+                             int num_landmarks)
+    : epoch_(epoch),
+      symmetric_(g.is_symmetric()),
+      num_vertices_(g.num_vertices()) {
+  const int k = std::clamp(num_landmarks, 0, bfs::kMsBfsMaxLanes);
+  lane_of_.assign(static_cast<std::size_t>(num_vertices_), -1);
+  if (k == 0 || num_vertices_ == 0) return;
+
+  // Top-k by out-degree, ties to the smaller id. A full sort of the
+  // vertex ids is O(V log V) — fine on the publish path, which already
+  // paid an O(V+E) rebuild.
+  std::vector<graph::vid_t> order(static_cast<std::size_t>(num_vertices_));
+  for (graph::vid_t v = 0; v < num_vertices_; ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  const auto hubbier = [&g](graph::vid_t a, graph::vid_t b) {
+    const graph::eid_t da = g.out_degree(a);
+    const graph::eid_t db = g.out_degree(b);
+    return da != db ? da > db : a < b;
+  };
+  const std::size_t want = std::min(static_cast<std::size_t>(k),
+                                    static_cast<std::size_t>(num_vertices_));
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(want),
+                    order.end(), hubbier);
+  for (std::size_t i = 0; i < want; ++i) {
+    if (g.out_degree(order[i]) == 0) break;  // only isolated ones left
+    landmarks_.push_back(order[i]);
+  }
+  if (landmarks_.empty()) return;
+
+  const bfs::MsBfsResult pass = bfs::ms_bfs(g, landmarks_);
+  dist_.resize(landmarks_.size() * static_cast<std::size_t>(num_vertices_));
+  for (std::size_t lane = 0; lane < landmarks_.size(); ++lane) {
+    lane_of_[static_cast<std::size_t>(landmarks_[lane])] =
+        static_cast<std::int32_t>(lane);
+    const std::vector<std::int32_t>& level = pass.per_root[lane].level;
+    std::copy(level.begin(), level.end(),
+              dist_.begin() +
+                  static_cast<std::ptrdiff_t>(
+                      lane * static_cast<std::size_t>(num_vertices_)));
+  }
+}
+
+bool LandmarkCache::is_landmark(graph::vid_t v) const noexcept {
+  return v >= 0 && v < num_vertices_ &&
+         lane_of_[static_cast<std::size_t>(v)] >= 0;
+}
+
+std::optional<std::int32_t> LandmarkCache::distance(
+    graph::vid_t s, graph::vid_t t) const noexcept {
+  if (s < 0 || t < 0 || s >= num_vertices_ || t >= num_vertices_) {
+    return std::nullopt;
+  }
+  const auto row = [this](std::int32_t lane, graph::vid_t v) {
+    return dist_[static_cast<std::size_t>(lane) *
+                     static_cast<std::size_t>(num_vertices_) +
+                 static_cast<std::size_t>(v)];
+  };
+  if (const std::int32_t lane = lane_of_[static_cast<std::size_t>(s)];
+      lane >= 0) {
+    return row(lane, t);
+  }
+  // d(t, s) = d(s, t) only when every edge is mirrored.
+  if (symmetric_) {
+    if (const std::int32_t lane = lane_of_[static_cast<std::size_t>(t)];
+        lane >= 0) {
+      return row(lane, s);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bfsx::serve

@@ -1,0 +1,65 @@
+// Landmark (hub) distance cache: distance queries answered without
+// touching the graph.
+//
+// Scale-free graphs concentrate traffic on hubs — the same few
+// high-degree vertices keep appearing as query sources. One MS-BFS
+// pass over the top-k out-degree vertices (k <= 64, one lane each)
+// precomputes the full distance row of every hub; a distance query
+// whose source is a landmark — or whose target is one, on a symmetric
+// graph — is then answered exactly from the table, O(1), no traversal.
+// This is deliberately *not* an approximate landmark scheme: outside
+// the covered pairs the cache reports a miss and the query proceeds to
+// the batch scheduler, so every served answer stays bit-equal to
+// reference_bfs.
+//
+// The cache is immutable after construction (thread-safe reads) and is
+// stamped with the graph epoch it was built from; the engine rebuilds
+// it after each publish and treats an epoch mismatch as a miss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace bfsx::serve {
+
+class LandmarkCache {
+ public:
+  /// Builds the cache over `g` (stamped with `epoch`): selects up to
+  /// `num_landmarks` highest-out-degree vertices (ties to the smaller
+  /// id, zero-degree vertices excluded), then runs one MS-BFS pass
+  /// with one lane per landmark. `num_landmarks` is clamped to
+  /// [0, 64]; an empty graph or k = 0 yields an always-miss cache.
+  LandmarkCache(const graph::CsrGraph& g, std::uint64_t epoch,
+                int num_landmarks);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] const std::vector<graph::vid_t>& landmarks() const noexcept {
+    return landmarks_;
+  }
+
+  /// True iff `v` is one of the selected landmarks.
+  [[nodiscard]] bool is_landmark(graph::vid_t v) const noexcept;
+
+  /// Exact BFS distance from `s` to `t` (-1: unreachable) when the
+  /// pair is covered — `s` is a landmark, or `t` is one and the graph
+  /// was symmetric; std::nullopt on a miss. Out-of-range vertices are
+  /// a miss, never an error (the admission path validates ranges).
+  [[nodiscard]] std::optional<std::int32_t> distance(
+      graph::vid_t s, graph::vid_t t) const noexcept;
+
+ private:
+  std::uint64_t epoch_ = 0;
+  bool symmetric_ = false;
+  graph::vid_t num_vertices_ = 0;
+  std::vector<graph::vid_t> landmarks_;
+  /// Per vertex: its lane in `dist_`, or -1. Sized num_vertices_.
+  std::vector<std::int32_t> lane_of_;
+  /// landmarks_.size() rows of num_vertices_ distances, row-major.
+  std::vector<std::int32_t> dist_;
+};
+
+}  // namespace bfsx::serve

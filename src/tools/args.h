@@ -25,6 +25,47 @@
 
 namespace bfsx::tools {
 
+/// Classic O(a*b) edit distance, small strings only (option, engine,
+/// and subcommand names).
+[[nodiscard]] inline std::size_t edit_distance(std::string_view a,
+                                               std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next_diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = next_diag;
+    }
+  }
+  return row[b.size()];
+}
+
+/// The candidate closest to `name` when it is close enough for a
+/// did-you-mean hint — within max(2, |name|/3) edits, and strictly
+/// cheaper than retyping `name` from scratch — else an empty view.
+/// Shared by option names (Args::check_known), engine names
+/// (graph500::EngineRegistry), and bfsx subcommands.
+[[nodiscard]] inline std::string_view suggest_closest(
+    std::string_view name, const std::vector<std::string_view>& candidates) {
+  std::string_view closest;
+  std::size_t best = name.size();  // suggestions must beat "retype it all"
+  for (const std::string_view c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d < best || (closest.empty() && d <= best)) {
+      closest = c;
+      best = d;
+    }
+  }
+  if (closest.empty() || best > std::max<std::size_t>(2, name.size() / 3)) {
+    return {};
+  }
+  return closest;
+}
+
 class Args {
  public:
   Args() = default;
@@ -80,16 +121,8 @@ class Args {
       }
       if (ok) continue;
       std::string message = "unknown option --" + key;
-      std::string_view closest;
-      std::size_t best = key.size();
-      for (const std::string_view k : known) {
-        const std::size_t d = edit_distance(key, k);
-        if (d < best) {
-          best = d;
-          closest = k;
-        }
-      }
-      if (!closest.empty() && best <= 2) {
+      if (const std::string_view closest = suggest_closest(key, known);
+          !closest.empty()) {
         message += " (did you mean --" + std::string(closest) + "?)";
       }
       throw std::invalid_argument(message);
@@ -165,23 +198,6 @@ class Args {
                                   " needs a value (it was given as a bare "
                                   "flag)");
     }
-  }
-
-  /// Classic O(a*b) edit distance for the did-you-mean hints.
-  static std::size_t edit_distance(std::string_view a, std::string_view b) {
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-      std::size_t diag = row[0];
-      row[0] = i;
-      for (std::size_t j = 1; j <= b.size(); ++j) {
-        const std::size_t next_diag = row[j];
-        const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-        row[j] = std::min(std::min(row[j] + 1, row[j - 1] + 1), subst);
-        diag = next_diag;
-      }
-    }
-    return row[b.size()];
   }
 
   std::map<std::string, std::string> values_;

@@ -7,8 +7,11 @@
 //   tune      exhaustively tune (M, N) for a graph/device pair
 //   train     run the offline pipeline and save a predictor model
 //   predict   load a model and print the predicted switching points
+//   serve     run the concurrent query engine over a workload trace
 //
 // Run `bfsx help` or any subcommand with no arguments for usage.
+// Misspelled subcommands get the same did-you-mean treatment as
+// options and engine names (tools::suggest_closest).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -29,8 +32,11 @@
 #include "graph/reorder.h"
 #include "graph500/engine_registry.h"
 #include "graph500/runner.h"
+#include "obs/percentiles.h"
 #include "obs/registry.h"
 #include "obs/writers.h"
+#include "serve/engine.h"
+#include "serve/trace.h"
 #include "sim/arch_config.h"
 #include "sim/cluster.h"
 #include "tools/args.h"
@@ -425,6 +431,107 @@ int cmd_predict(const Args& args) {
   return 0;
 }
 
+/// bfsx serve: the query-serving subsystem behind a CLI. Two modes:
+/// --make-trace FILE writes a generated workload, --replay FILE runs
+/// one against a live engine and prints throughput + latency
+/// percentiles. The graph comes from the usual --graph/--scale keys.
+int cmd_serve(const Args& args) {
+  args.check_known(with_graph_keys(
+      {"replay", "make-trace", "queries", "bfs-fraction", "reach-fraction",
+       "hot-fraction", "hot-set", "insert-every", "publish-every",
+       "trace-seed", "workers", "batch-max", "cache", "landmarks",
+       "queue-cap", "fallback-engine", "m", "n", "trace-out",
+       "trace-format"}));
+  const auto make = args.get("make-trace");
+  const auto replay = args.get("replay");
+  if (make.has_value() == replay.has_value()) {
+    throw std::invalid_argument(
+        "serve: exactly one of --make-trace FILE or --replay FILE is "
+        "required");
+  }
+
+  graph::EdgeList edges = load_edges(args, nullptr);
+
+  if (make) {
+    const graph::CsrGraph g = graph::build_csr(edges);
+    serve::TraceGenOptions topt;
+    topt.num_queries = args.get_int("queries", 1000);
+    topt.bfs_fraction = args.get_double("bfs-fraction", topt.bfs_fraction);
+    topt.reach_fraction =
+        args.get_double("reach-fraction", topt.reach_fraction);
+    topt.hot_fraction = args.get_double("hot-fraction", topt.hot_fraction);
+    topt.hot_set = args.get_int("hot-set", topt.hot_set);
+    topt.insert_every = args.get_int("insert-every", 0);
+    topt.publish_every = args.get_int("publish-every", 0);
+    topt.seed = static_cast<std::uint64_t>(args.get_int("trace-seed", 42));
+    const std::vector<serve::TraceOp> ops =
+        serve::generate_query_trace(g, topt);
+    serve::save_trace_file(ops, *make);
+    std::printf("wrote %zu trace ops (%lld queries) to %s\n", ops.size(),
+                static_cast<long long>(topt.num_queries), make->c_str());
+    return 0;
+  }
+
+  const std::vector<serve::TraceOp> ops = serve::load_trace_file(*replay);
+  const std::unique_ptr<obs::TraceSink> sink = sink_from_args(args);
+
+  serve::ServeOptions sopt;
+  sopt.workers = args.get_int("workers", 2);
+  sopt.batch_max = args.get_int("batch-max", 64);
+  sopt.cache_enabled = args.get_bool("cache", true);
+  sopt.num_landmarks = args.get_int("landmarks", 16);
+  sopt.policy = {args.get_double("m", 14.0), args.get_double("n", 24.0)};
+  sopt.fallback_engine = args.get_or("fallback-engine", "native-hybrid");
+  sopt.sink = sink.get();
+  // Default capacity fits the whole trace (the replay client is
+  // open-loop); pass an explicit --queue-cap to see backpressure
+  // rejections in the summary instead.
+  const int cap = args.get_int("queue-cap", 0);
+  sopt.queue_capacity =
+      cap > 0 ? static_cast<std::size_t>(cap) : std::max(ops.size(), {1});
+
+  serve::QueryEngine engine(std::move(edges), sopt);
+  std::printf("serving %zu trace ops: workers=%d batch-max=%d cache=%s "
+              "landmarks=%d\n",
+              ops.size(), sopt.workers, sopt.batch_max,
+              sopt.cache_enabled ? "on" : "off", sopt.num_landmarks);
+
+  const serve::ReplaySummary sum = serve::replay_trace(engine, ops);
+  engine.shutdown();
+  const serve::ServeStats st = engine.stats();
+  const obs::Percentiles lat = obs::compute_percentiles(sum.latencies);
+
+  std::printf("queries: %lld served, %lld rejected (%lld cache hits)\n",
+              static_cast<long long>(sum.served),
+              static_cast<long long>(sum.rejected),
+              static_cast<long long>(sum.cache_hits));
+  std::printf("batching: %lld batched / %lld single over %lld dispatches "
+              "(largest tick %lld)\n",
+              static_cast<long long>(st.batched_queries),
+              static_cast<long long>(st.single_queries),
+              static_cast<long long>(st.dispatches),
+              static_cast<long long>(st.max_batch));
+  if (sum.inserts > 0 || sum.publishes > 0) {
+    std::printf("writes: %lld inserts, %lld publishes (final epoch %llu)\n",
+                static_cast<long long>(sum.inserts),
+                static_cast<long long>(sum.publishes),
+                static_cast<unsigned long long>(engine.current_epoch()));
+  }
+  std::printf("throughput: %.0f queries/s over %.3f s\n",
+              sum.wall_seconds > 0.0
+                  ? static_cast<double>(sum.served) / sum.wall_seconds
+                  : 0.0,
+              sum.wall_seconds);
+  std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+              lat.p50 * 1e3, lat.p95 * 1e3, lat.p99 * 1e3, lat.max * 1e3);
+  if (const auto out = args.get("trace-out")) {
+    std::printf("query events (%s, schema %s) written to %s\n",
+                args.get_or("trace-format", "jsonl").c_str(),
+                obs::kTraceSchema, out->c_str());
+  }
+  return 0;
+}
+
 int usage() {
   std::printf(
       "bfsx — heuristic cross-architecture BFS (ICPP'14 reproduction)\n\n"
@@ -444,6 +551,11 @@ int usage() {
       "  tune      [--graph FILE | --scale N ...] [--device ...]\n"
       "  train     [--out FILE] [--batch serial|parallel]\n"
       "  predict   --model FILE [--scale N ...] [--td-arch cpu] [--bu-arch gpu]\n"
+      "  serve     --make-trace FILE [--queries N] [--hot-fraction F]\n"
+      "            [--insert-every K --publish-every K] [--trace-seed S]\n"
+      "            or: --replay FILE [--workers N] [--batch-max 1..64]\n"
+      "            [--cache on|off] [--landmarks K] [--queue-cap N]\n"
+      "            [--fallback-engine NAME] [--trace-out FILE]\n"
       "\nengines (--engine NAME):\n%s"
       "\noptions accept '--key value', '--key=value', and bare boolean "
       "'--flag';\nrepeating or misspelling an option is an error\n",
@@ -465,6 +577,18 @@ int main(int argc, char** argv) {
     if (cmd == "tune") return cmd_tune(args);
     if (cmd == "train") return cmd_train(args);
     if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "help") return usage();
+    static const std::vector<std::string_view> kCommands = {
+        "generate", "bfs",   "analyze", "trace", "tune",
+        "train",    "predict", "serve",  "help"};
+    std::string message = "unknown command '" + cmd + "'";
+    if (const std::string_view closest =
+            tools::suggest_closest(cmd, kCommands);
+        !closest.empty()) {
+      message += " (did you mean '" + std::string(closest) + "'?)";
+    }
+    std::fprintf(stderr, "bfsx: %s\n\n", message.c_str());
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bfsx %s: %s\n", cmd.c_str(), e.what());

@@ -148,6 +148,40 @@ TEST(CliArgs, CheckKnownNamesUnknownOptionWithSuggestion) {
   }
 }
 
+TEST(SuggestClosest, EditDistanceBasics) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("serve", "sevre"), 2u);  // transposition = 2 edits
+}
+
+TEST(SuggestClosest, FindsTransposedSubcommand) {
+  const std::vector<std::string_view> commands = {
+      "generate", "bfs", "analyze", "trace", "tune",
+      "train",    "predict", "serve", "help"};
+  EXPECT_EQ(suggest_closest("sevre", commands), "serve");
+  EXPECT_EQ(suggest_closest("generat", commands), "generate");
+  EXPECT_EQ(suggest_closest("analize", commands), "analyze");
+}
+
+TEST(SuggestClosest, RefusesFarFetchedMatches) {
+  const std::vector<std::string_view> commands = {"serve", "bfs"};
+  EXPECT_EQ(suggest_closest("quux", commands), "");
+  // A suggestion must be cheaper than retyping the whole word: for a
+  // 2-char typo nothing 2+ edits away qualifies.
+  EXPECT_EQ(suggest_closest("xy", commands), "");
+  EXPECT_EQ(suggest_closest("", commands), "");
+}
+
+TEST(SuggestClosest, PrefersTheCheapestCandidate) {
+  const std::vector<std::string_view> candidates = {"native-td",
+                                                    "native-bu",
+                                                    "native-hybrid"};
+  EXPECT_EQ(suggest_closest("native-tb", candidates), "native-td");
+  EXPECT_EQ(suggest_closest("native-hybird", candidates), "native-hybrid");
+}
+
 TEST(CliArgs, CheckKnownWithoutCloseMatchStillNamesKey) {
   const Args args = parse({"--zzzzzz", "1"});
   try {

@@ -1,0 +1,83 @@
+// Golden tests for obs::compute_percentiles: the nearest-rank rule
+// (index = ceil(q*N) - 1) has exact expected values on small inputs,
+// so every case here is checked against hand-computed numbers.
+#include "obs/percentiles.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bfsx::obs {
+namespace {
+
+TEST(Percentiles, EmptyInputIsAllZero) {
+  const Percentiles p = compute_percentiles({});
+  EXPECT_EQ(p.count, 0u);
+  EXPECT_EQ(p.min, 0.0);
+  EXPECT_EQ(p.mean, 0.0);
+  EXPECT_EQ(p.p50, 0.0);
+  EXPECT_EQ(p.p95, 0.0);
+  EXPECT_EQ(p.p99, 0.0);
+  EXPECT_EQ(p.max, 0.0);
+}
+
+TEST(Percentiles, SingleSampleIsEveryPercentile) {
+  const Percentiles p = compute_percentiles({42.0});
+  EXPECT_EQ(p.count, 1u);
+  EXPECT_EQ(p.min, 42.0);
+  EXPECT_EQ(p.mean, 42.0);
+  EXPECT_EQ(p.p50, 42.0);
+  EXPECT_EQ(p.p95, 42.0);
+  EXPECT_EQ(p.p99, 42.0);
+  EXPECT_EQ(p.max, 42.0);
+}
+
+TEST(Percentiles, HundredSamplesHitExactRanks) {
+  // 1..100: ceil(q*100) - 1 indexes the sample literally named q*100.
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(i);  // reversed: must sort
+  const Percentiles p = compute_percentiles(samples);
+  EXPECT_EQ(p.count, 100u);
+  EXPECT_EQ(p.min, 1.0);
+  EXPECT_EQ(p.mean, 50.5);
+  EXPECT_EQ(p.p50, 50.0);
+  EXPECT_EQ(p.p95, 95.0);
+  EXPECT_EQ(p.p99, 99.0);
+  EXPECT_EQ(p.max, 100.0);
+}
+
+TEST(Percentiles, SmallNRoundsUpToRealSamples) {
+  // N = 4: p50 -> ceil(2)-1 = index 1; p95/p99 -> ceil(3.8)/ceil(3.96)
+  // -> index 3. Nearest-rank never interpolates between samples.
+  const Percentiles p = compute_percentiles({10.0, 20.0, 30.0, 40.0});
+  EXPECT_EQ(p.p50, 20.0);
+  EXPECT_EQ(p.p95, 40.0);
+  EXPECT_EQ(p.p99, 40.0);
+  EXPECT_EQ(p.mean, 25.0);
+}
+
+TEST(Percentiles, TenSamplesP99IsTheMaximum) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 10; ++i) samples.push_back(i * 0.5);
+  const Percentiles p = compute_percentiles(samples);
+  EXPECT_EQ(p.p50, 2.5);  // ceil(5)-1 = index 4
+  EXPECT_EQ(p.p95, 5.0);  // ceil(9.5)-1 = index 9
+  EXPECT_EQ(p.p99, 5.0);
+  EXPECT_EQ(p.max, 5.0);
+}
+
+TEST(Percentiles, DuplicateHeavyDistribution) {
+  // 99 fast samples and one stall: the mean moves a little, p99 jumps
+  // to the stall — the reason serving benches report percentiles.
+  std::vector<double> samples(99, 1.0);
+  samples.push_back(101.0);
+  const Percentiles p = compute_percentiles(samples);
+  EXPECT_EQ(p.p50, 1.0);
+  EXPECT_EQ(p.p95, 1.0);
+  EXPECT_EQ(p.p99, 1.0);   // ceil(99)-1 = index 98, still a fast one
+  EXPECT_EQ(p.max, 101.0);
+  EXPECT_EQ(p.mean, 2.0);
+}
+
+}  // namespace
+}  // namespace bfsx::obs

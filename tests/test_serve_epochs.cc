@@ -1,0 +1,144 @@
+// serve::GraphEpochs: snapshot isolation, retirement, and vertex-set
+// growth across publishes.
+#include "serve/epochs.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/edge_list.h"
+
+namespace bfsx::serve {
+namespace {
+
+/// 0-1-2-3 path.
+graph::EdgeList path4() {
+  graph::EdgeList el;
+  el.num_vertices = 4;
+  el.edges = {{0, 1}, {1, 2}, {2, 3}};
+  return el;
+}
+
+TEST(GraphEpochs, EpochZeroMatchesDirectBuild) {
+  GraphEpochs epochs(path4());
+  EXPECT_EQ(epochs.current_epoch(), 0u);
+  EXPECT_EQ(epochs.current_num_vertices(), 4);
+  EXPECT_EQ(epochs.live_epochs(), 1u);
+
+  const GraphEpochs::Pin pin = epochs.pin();
+  EXPECT_EQ(pin.epoch(), 0u);
+  const graph::CsrGraph direct = graph::build_csr(path4());
+  EXPECT_EQ(pin.graph().num_vertices(), direct.num_vertices());
+  EXPECT_EQ(pin.graph().num_edges(), direct.num_edges());
+}
+
+TEST(GraphEpochs, BufferedInsertsInvisibleUntilPublish) {
+  GraphEpochs epochs(path4());
+  const graph::eid_t before = epochs.pin().graph().num_edges();
+  epochs.buffer_insert(0, 3);
+  EXPECT_EQ(epochs.pending_inserts(), 1u);
+  EXPECT_EQ(epochs.pin().graph().num_edges(), before);
+  EXPECT_EQ(epochs.current_epoch(), 0u);
+
+  const std::uint64_t next = epochs.publish();
+  EXPECT_EQ(next, 1u);
+  EXPECT_EQ(epochs.pending_inserts(), 0u);
+  EXPECT_GT(epochs.pin().graph().num_edges(), before);
+}
+
+TEST(GraphEpochs, PinnedReaderKeepsItsSnapshotAcrossPublish) {
+  GraphEpochs epochs(path4());
+  std::optional<GraphEpochs::Pin> old = epochs.pin();
+  const graph::eid_t old_edges = old->graph().num_edges();
+
+  epochs.buffer_insert(0, 2);
+  epochs.publish();
+
+  // The old pin still reads the pre-publish graph...
+  EXPECT_EQ(old->epoch(), 0u);
+  EXPECT_EQ(old->graph().num_edges(), old_edges);
+  // ...and keeps its record alive.
+  EXPECT_EQ(epochs.live_epochs(), 2u);
+  EXPECT_EQ(epochs.retired_epochs(), 0u);
+
+  // Dropping the last pin of the superseded epoch retires it.
+  old.reset();
+  EXPECT_EQ(epochs.live_epochs(), 1u);
+  EXPECT_EQ(epochs.retired_epochs(), 1u);
+}
+
+TEST(GraphEpochs, UnpinnedSupersededEpochRetiresAtPublish) {
+  GraphEpochs epochs(path4());
+  epochs.buffer_insert(1, 3);
+  epochs.publish();  // epoch 0 had no pins: retired immediately
+  EXPECT_EQ(epochs.live_epochs(), 1u);
+  EXPECT_EQ(epochs.retired_epochs(), 1u);
+}
+
+TEST(GraphEpochs, PublishGrowsVertexSet) {
+  GraphEpochs epochs(path4());
+  epochs.buffer_insert(3, 6);  // vertex 6 does not exist yet
+  EXPECT_EQ(epochs.current_num_vertices(), 4);
+  epochs.publish();
+  EXPECT_EQ(epochs.current_num_vertices(), 7);
+}
+
+TEST(GraphEpochs, PublishWithNothingPendingIsValid) {
+  GraphEpochs epochs(path4());
+  const graph::eid_t edges = epochs.pin().graph().num_edges();
+  EXPECT_EQ(epochs.publish(), 1u);
+  EXPECT_EQ(epochs.pin().graph().num_edges(), edges);
+}
+
+TEST(GraphEpochs, NegativeInsertThrows) {
+  GraphEpochs epochs(path4());
+  EXPECT_THROW(epochs.buffer_insert(-1, 2), std::invalid_argument);
+  EXPECT_THROW(epochs.buffer_insert(0, -5), std::invalid_argument);
+}
+
+TEST(GraphEpochs, MovedPinUnpinsExactlyOnce) {
+  GraphEpochs epochs(path4());
+  {
+    GraphEpochs::Pin a = epochs.pin();
+    GraphEpochs::Pin b = std::move(a);
+    GraphEpochs::Pin c = epochs.pin();
+    c = std::move(b);  // move-assign releases c's own pin first
+  }
+  epochs.buffer_insert(0, 3);
+  epochs.publish();
+  // Had any pin leaked, epoch 0 would still be live.
+  EXPECT_EQ(epochs.live_epochs(), 1u);
+}
+
+TEST(GraphEpochs, ConcurrentPinnersDuringPublishes) {
+  GraphEpochs epochs(path4());
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&epochs] {
+      for (int i = 0; i < 200; ++i) {
+        const GraphEpochs::Pin pin = epochs.pin();
+        // The snapshot must be internally consistent whatever the
+        // writer is doing.
+        ASSERT_GE(pin.graph().num_vertices(), 4);
+        ASSERT_GE(pin.graph().num_edges(), 6);  // 3 undirected edges
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    epochs.buffer_insert(0, 3);
+    epochs.publish();
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(epochs.current_epoch(), 20u);
+  EXPECT_EQ(epochs.live_epochs(), 1u);
+  EXPECT_EQ(epochs.retired_epochs(), 20u);
+}
+
+}  // namespace
+}  // namespace bfsx::serve

@@ -1,0 +1,96 @@
+// Concurrent lease/return fuzz for bfs::StatePool. The serving engine
+// checks states out from std::thread workers (not just the runner's
+// structured OpenMP dispatch), so the pool's mutex discipline is
+// exercised here under raw threads — this test is part of the TSan CI
+// selection (`state_pool` matches the job's regex).
+#include "bfs/state_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+#include "graph500/native_engine.h"
+#include "graph500/reference_bfs.h"
+
+namespace bfsx::bfs {
+namespace {
+
+graph::CsrGraph rmat(int scale) {
+  graph::RmatParams p;
+  p.scale = scale;
+  p.edgefactor = 8;
+  p.seed = 99;
+  return graph::build_csr(graph::generate_rmat(p));
+}
+
+TEST(StatePoolConcurrent, LeaseReturnFuzzAcrossThreads) {
+  const graph::CsrGraph g = rmat(9);
+  const std::vector<graph::vid_t> roots = graph::sample_roots(g, 8, 123);
+  StatePool pool;
+  // The pooled path the serving engine uses: every traversal leases a
+  // state, runs, and returns it on destruction.
+  const graph500::BfsEngine engine =
+      graph500::make_native_top_down_engine(nullptr, &pool);
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 32;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const graph::vid_t root =
+            roots[static_cast<std::size_t>(t * kItersPerThread + i) %
+                  roots.size()];
+        // A stale reset (cross-thread recycling bug) corrupts an
+        // answer here, not just a counter.
+        const BfsResult got = engine(g, root).result;
+        const BfsResult want = graph500::reference_bfs(g, root);
+        if (got.level != want.level || got.reached != want.reached) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Every lease went back: the freelist holds all distinct states, and
+  // no more states were built than there were concurrent holders.
+  EXPECT_EQ(pool.idle(), pool.created());
+  EXPECT_LE(pool.created(), static_cast<std::size_t>(kThreads));
+  EXPECT_GE(pool.created(), 1u);
+}
+
+TEST(StatePoolConcurrent, MovedLeasesReturnExactlyOnce) {
+  const graph::CsrGraph g = rmat(7);
+  StatePool pool;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 64; ++i) {
+        StatePool::Lease a = pool.acquire(g, 0);
+        StatePool::Lease b = std::move(a);  // churn the move path too
+        StatePool::Lease c = std::move(b);
+        (void)c;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(pool.idle(), pool.created());
+  EXPECT_LE(pool.created(), static_cast<std::size_t>(kThreads));
+}
+
+}  // namespace
+}  // namespace bfsx::bfs
