@@ -1,0 +1,161 @@
+// GraphView abstraction-penalty A/B: the top-down and bottom-up
+// kernels run over the same graph twice — through the direct CsrGraph
+// overloads and through the templated GraphView instantiation behind
+// the CsrGraphView adapter — at 1/2/4 OpenMP threads. The adapter is
+// supposed to be zero-overhead (it inlines to the same row walks), so
+// the aggregate-TEPS penalty must stay under the 3% gate; this bench
+// measures it instead of asserting it. Set BFSX_ENFORCE_GATE=1 to turn
+// a gate breach into a nonzero exit (off by default: smoke-scale runs
+// are timing-noise bound).
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bfs/drivers.h"
+#include "graph/view.h"
+
+namespace {
+
+using namespace bfsx;
+using namespace bfsx::bench;
+
+struct Measured {
+  double seconds = 0.0;
+  double aggregate_teps = 0.0;
+};
+
+constexpr int kRepeats = 5;  // best-of to damp scheduler noise
+
+double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One timed pass of `kernel` over every root; returns the best of
+/// kRepeats passes by aggregate TEPS (total component edges / wall).
+template <typename Kernel>
+Measured best_pass(const std::vector<graph::vid_t>& roots, Kernel&& kernel) {
+  Measured best;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    graph::eid_t edges = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const graph::vid_t root : roots) {
+      edges += kernel(root).edges_in_component;
+    }
+    Measured m;
+    m.seconds = wall_seconds(t0);
+    m.aggregate_teps =
+        m.seconds > 0.0 ? static_cast<double>(edges) / m.seconds : 0.0;
+    if (m.aggregate_teps > best.aggregate_teps) best = m;
+  }
+  return best;
+}
+
+void set_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+bool enforce_gate() {
+  const char* v = std::getenv("BFSX_ENFORCE_GATE");
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace
+
+int main() {
+  print_header("graphview", "CsrGraphView adapter vs direct CSR kernels");
+  const int scale = pick_scale(18, 20);
+  const int num_roots = 16;
+  const BuiltGraph bg = make_graph(scale, 16);
+  const graph::CsrGraphView view(bg.csr);
+  const std::vector<graph::vid_t> roots =
+      graph::sample_roots(bg.csr, num_roots, 500);
+  std::printf("graph: %s vertices, %lld directed edges, %d roots, "
+              "best of %d passes\n\n",
+              scale_label(scale).c_str(),
+              static_cast<long long>(bg.csr.num_edges()), num_roots, kRepeats);
+
+  constexpr double kGatePercent = 3.0;
+  JsonReport report("graphview");
+  std::printf("%-10s %8s %14s %14s %10s\n", "kernel", "threads",
+              "direct MTEPS", "view MTEPS", "penalty");
+
+  double direct_edges = 0.0, direct_seconds = 0.0;
+  double view_edges = 0.0, view_seconds = 0.0;
+  for (const int threads : {1, 2, 4}) {
+    set_threads(threads);
+    struct Row {
+      const char* kernel;
+      Measured direct;
+      Measured via_view;
+    };
+    const Row rows[] = {
+        {"top-down",
+         best_pass(roots,
+                   [&](graph::vid_t r) { return bfs::run_top_down(bg.csr, r); }),
+         best_pass(roots,
+                   [&](graph::vid_t r) { return bfs::run_top_down(view, r); })},
+        {"bottom-up",
+         best_pass(roots,
+                   [&](graph::vid_t r) { return bfs::run_bottom_up(bg.csr, r); }),
+         best_pass(roots, [&](graph::vid_t r) {
+           return bfs::run_bottom_up(view, r);
+         })},
+    };
+    for (const Row& row : rows) {
+      const double penalty =
+          row.direct.aggregate_teps > 0.0
+              ? (row.direct.aggregate_teps - row.via_view.aggregate_teps) /
+                    row.direct.aggregate_teps * 100.0
+              : 0.0;
+      direct_edges += row.direct.aggregate_teps * row.direct.seconds;
+      direct_seconds += row.direct.seconds;
+      view_edges += row.via_view.aggregate_teps * row.via_view.seconds;
+      view_seconds += row.via_view.seconds;
+      std::printf("%-10s %8d %14.1f %14.1f %9.2f%%\n", row.kernel, threads,
+                  row.direct.aggregate_teps / 1e6,
+                  row.via_view.aggregate_teps / 1e6, penalty);
+      report.row();
+      report.cell("kernel", row.kernel);
+      report.cell("threads", threads);
+      report.cell("direct_teps", row.direct.aggregate_teps);
+      report.cell("view_teps", row.via_view.aggregate_teps);
+      report.cell("penalty_percent", penalty);
+      report.cell("gate_percent", kGatePercent);
+    }
+  }
+
+  // The gate is on aggregate TEPS across the whole kernel × thread
+  // matrix: per-cell numbers at smoke scales are timing-noise bound
+  // (the view side regularly wins individual cells).
+  const double direct_teps =
+      direct_seconds > 0.0 ? direct_edges / direct_seconds : 0.0;
+  const double view_teps = view_seconds > 0.0 ? view_edges / view_seconds : 0.0;
+  const double penalty =
+      direct_teps > 0.0 ? (direct_teps - view_teps) / direct_teps * 100.0 : 0.0;
+  const bool gate_ok = penalty < kGatePercent;
+  std::printf("\naggregate: direct %.1f MTEPS, via view %.1f MTEPS — "
+              "abstraction penalty %.2f%% (gate: < %.0f%%) — %s\n",
+              direct_teps / 1e6, view_teps / 1e6, penalty, kGatePercent,
+              gate_ok ? "PASS" : "FAIL");
+  report.row();
+  report.cell("kernel", "aggregate");
+  report.cell("threads", 0);
+  report.cell("direct_teps", direct_teps);
+  report.cell("view_teps", view_teps);
+  report.cell("penalty_percent", penalty);
+  report.cell("gate_percent", kGatePercent);
+  report.write();
+  if (!gate_ok && enforce_gate()) return 1;
+  return 0;
+}

@@ -7,20 +7,11 @@
 #include <omp.h>
 #endif
 
-#include "bfs/frontier.h"
-#include "check/contract.h"
-
 namespace bfsx::bfs {
-namespace {
+namespace detail {
 
-/// Fills state.unvisited with every not-yet-visited vertex in ascending
-/// order. Runs once, on the first bottom-up level of a traversal; after
-/// that the list is compacted incrementally and 0..n is never rescanned.
-/// Parallelised over contiguous vertex chunks whose local buffers are
-/// concatenated in chunk order, so the list is ascending for any thread
-/// count.
-void prime_unvisited(const CsrGraph& g, BfsState& state) {
-  const auto n = static_cast<std::size_t>(g.num_vertices());
+void prime_unvisited(vid_t num_vertices, BfsState& state) {
+  const auto n = static_cast<std::size_t>(num_vertices);
 #ifdef _OPENMP
   // Chunking by thread id assumes the team has exactly `workers`
   // threads; a nested region runs with 1, so fall back to serial there
@@ -85,180 +76,14 @@ void prime_unvisited(const CsrGraph& g, BfsState& state) {
   state.unvisited_primed = true;
 }
 
-}  // namespace
+}  // namespace detail
 
 BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
-  BottomUpStats stats;
-  stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
-
-  const std::int32_t next_level = state.current_level + 1;
-  if (!state.unvisited_primed) prime_unvisited(g, state);
-  // Reused scratch; all-zero on entry (constructor + the dirty-word
-  // wipe at the end of every step maintain the invariant). A dirty
-  // scratch silently resurrects a previous frontier into this level's
-  // discoveries, so paranoid builds verify the wipe every step.
-  BFSX_PARANOID(BFSX_CHECK(state.bu_scratch.none())
-                << "bu_scratch dirty on bottom_up_step entry (first set bit "
-                << state.bu_scratch.find_first() << ")");
-  BFSX_CHECK_EQ(state.bu_scratch.size(),
-                static_cast<std::size_t>(g.num_vertices()));
-  Bitmap& next = state.bu_scratch;
-
-  const auto& cand = state.unvisited;
-  const std::size_t ncand = cand.size();
-  stats.candidates = static_cast<vid_t>(ncand);
-
-  vid_t unvisited = 0;
-  eid_t scanned_hit = 0;
-  eid_t scanned_miss = 0;
-  vid_t found = 0;
-
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1024) \
-    reduction(+ : unvisited, scanned_hit, scanned_miss, found)
-#endif
-  for (std::size_t i = 0; i < ncand; ++i) {
-    const vid_t v = cand[i];
-    // Stragglers an interleaved top-down step visited since the list
-    // was last compacted; skipping them here keeps every counter equal
-    // to the full 0..n scan's.
-    if (state.visited.test(static_cast<std::size_t>(v))) continue;
-    ++unvisited;
-    // Algorithm 2 lines 9-12: scan predecessors, adopt the first one
-    // found in the current frontier, then break.
-    eid_t walked = 0;
-    bool hit = false;
-    for (vid_t u : g.in_neighbors(v)) {
-      ++walked;
-      if (state.frontier_bitmap.test(static_cast<std::size_t>(u))) {
-        state.parent[static_cast<std::size_t>(v)] = u;
-        state.level[static_cast<std::size_t>(v)] = next_level;
-        next.set_atomic(static_cast<std::size_t>(v));
-        ++found;
-        hit = true;
-        break;
-      }
-    }
-    if (hit) {
-      scanned_hit += walked;
-    } else {
-      scanned_miss += walked;
-    }
-  }
-
-  // Fold the discoveries into the visited set. Deferring this to after
-  // the scan keeps the level semantics exact: a vertex discovered this
-  // level must not act as a parent within the same level.
-  next.for_each_set([&state](vid_t v) {
-    state.visited.set(static_cast<std::size_t>(v));
-  });
-
-  // Compact the candidate list in place: drop this level's discoveries
-  // and any stragglers. O(|list|), order-preserving, so the next level
-  // iterates exactly the still-unvisited vertices.
-  std::erase_if(state.unvisited, [&state](vid_t v) {
-    return state.visited.test(static_cast<std::size_t>(v));
-  });
-
-  stats.unvisited_vertices = unvisited;
-  stats.edges_scanned_hit = scanned_hit;
-  stats.edges_scanned_miss = scanned_miss;
-  stats.next_vertices = found;
-  state.reached += found;
-  state.current_level = next_level;
-  state.frontier_bitmap.swap(next);
-  // `next` (the scratch) now holds the *previous* frontier's bits; the
-  // outgoing queue still lists exactly those vertices, so zeroing their
-  // words restores the all-clear invariant in O(|frontier|) stores
-  // instead of an O(n/64) memset.
-  for (vid_t v : state.frontier_queue) {
-    next.clear_word(static_cast<std::size_t>(v));
-  }
-  bitmap_to_queue(state.frontier_bitmap, state.frontier_queue);
-  // The wipe above and the compaction must restore every inter-step
-  // invariant (scratch all-clear, unvisited exact); state-level
-  // validation at each step makes a broken wipe fail here, at its
-  // source, instead of levels later.
-  BFSX_PARANOID(state.assert_invariants(g));
-  return stats;
+  return bottom_up_step(graph::CsrGraphView(g), state);
 }
 
 BottomUpStats bottom_up_probe(const CsrGraph& g, const BfsState& state) {
-  BottomUpStats stats;
-  stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
-
-  const vid_t n = g.num_vertices();
-  vid_t unvisited = 0;
-  eid_t scanned_hit = 0;
-  eid_t scanned_miss = 0;
-  vid_t found = 0;
-
-  // Probe one candidate without mutating anything; reads only shared
-  // immutable state, so the counter updates below stay inside the
-  // OpenMP reduction scope. walked == -1 flags an already-visited
-  // straggler.
-  struct Probe {
-    eid_t walked;
-    bool hit;
-  };
-  const auto probe_one = [&g, &state](vid_t v) -> Probe {
-    if (state.visited.test(static_cast<std::size_t>(v))) return {-1, false};
-    eid_t walked = 0;
-    for (vid_t u : g.in_neighbors(v)) {
-      ++walked;
-      if (state.frontier_bitmap.test(static_cast<std::size_t>(u))) {
-        return {walked, true};
-      }
-    }
-    return {walked, false};
-  };
-
-  if (state.unvisited_primed) {
-    // A bottom-up step already primed the candidate list; probing it
-    // (stragglers skip via the visited test) yields the exact counters
-    // of a full scan at a fraction of the iterations.
-    const auto& cand = state.unvisited;
-    const std::size_t ncand = cand.size();
-    stats.candidates = static_cast<vid_t>(ncand);
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1024) \
-    reduction(+ : unvisited, scanned_hit, scanned_miss, found)
-#endif
-    for (std::size_t i = 0; i < ncand; ++i) {
-      const Probe p = probe_one(cand[i]);
-      if (p.walked < 0) continue;
-      ++unvisited;
-      if (p.hit) {
-        ++found;
-        scanned_hit += p.walked;
-      } else {
-        scanned_miss += p.walked;
-      }
-    }
-  } else {
-    stats.candidates = n;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic, 1024) \
-    reduction(+ : unvisited, scanned_hit, scanned_miss, found)
-#endif
-    for (vid_t v = 0; v < n; ++v) {
-      const Probe p = probe_one(v);
-      if (p.walked < 0) continue;
-      ++unvisited;
-      if (p.hit) {
-        ++found;
-        scanned_hit += p.walked;
-      } else {
-        scanned_miss += p.walked;
-      }
-    }
-  }
-
-  stats.unvisited_vertices = unvisited;
-  stats.edges_scanned_hit = scanned_hit;
-  stats.edges_scanned_miss = scanned_miss;
-  stats.next_vertices = found;
-  return stats;
+  return bottom_up_probe(graph::CsrGraphView(g), state);
 }
 
 }  // namespace bfsx::bfs

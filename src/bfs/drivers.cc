@@ -1,67 +1,17 @@
 #include "bfs/drivers.h"
 
-#include <deque>
-
-#include "bfs/bottomup.h"
-#include "bfs/topdown.h"
-
 namespace bfsx::bfs {
 
 BfsResult run_top_down(const CsrGraph& g, vid_t root, TraversalLog* log) {
-  BfsState state(g, root);
-  while (!state.frontier_empty()) {
-    const std::int32_t lvl = state.current_level;
-    const TopDownStats s = top_down_step(g, state);
-    if (log != nullptr) {
-      log->levels.push_back({lvl, s.frontier_vertices, s.frontier_edges,
-                             /*bottom_up_scanned=*/0, s.next_vertices});
-    }
-  }
-  return std::move(state).take_result(g);
+  return run_top_down(graph::CsrGraphView(g), root, log);
 }
 
 BfsResult run_bottom_up(const CsrGraph& g, vid_t root, TraversalLog* log) {
-  BfsState state(g, root);
-  while (!state.frontier_empty()) {
-    const std::int32_t lvl = state.current_level;
-    const eid_t cq_edges =
-        state.frontier_queue.empty()
-            ? 0
-            : [&] {
-                eid_t total = 0;
-                for (vid_t v : state.frontier_queue) total += g.out_degree(v);
-                return total;
-              }();
-    const vid_t cq_vertices = static_cast<vid_t>(state.frontier_queue.size());
-    const BottomUpStats s = bottom_up_step(g, state);
-    if (log != nullptr) {
-      log->levels.push_back(
-          {lvl, cq_vertices, cq_edges, s.edges_scanned(), s.next_vertices});
-    }
-  }
-  return std::move(state).take_result(g);
+  return run_bottom_up(graph::CsrGraphView(g), root, log);
 }
 
 BfsResult run_serial(const CsrGraph& g, vid_t root) {
-  BfsState state(g, root);
-  std::deque<vid_t> queue;
-  queue.push_back(root);
-  while (!queue.empty()) {
-    const vid_t u = queue.front();
-    queue.pop_front();
-    for (vid_t v : g.out_neighbors(u)) {
-      auto& p = state.parent[static_cast<std::size_t>(v)];
-      if (p == kNoVertex) {
-        p = u;
-        state.level[static_cast<std::size_t>(v)] =
-            state.level[static_cast<std::size_t>(u)] + 1;
-        ++state.reached;
-        queue.push_back(v);
-      }
-    }
-  }
-  state.frontier_queue.clear();
-  return std::move(state).take_result(g);
+  return run_serial(graph::CsrGraphView(g), root);
 }
 
 }  // namespace bfsx::bfs

@@ -7,6 +7,7 @@
 #include "graph/bitmap.h"
 #include "graph/csr.h"
 #include "graph/types.h"
+#include "graph/view.h"
 
 namespace bfsx::bfs {
 
@@ -23,5 +24,15 @@ void bitmap_to_queue(const graph::Bitmap& bitmap,
 /// paper's `|E|cq < |E|/M` switch test.
 [[nodiscard]] graph::eid_t frontier_out_edges(
     const graph::CsrGraph& g, const std::vector<graph::vid_t>& queue);
+
+/// View overload of the |E|cq tally; same degree sum over any
+/// graph::GraphView.
+template <graph::GraphView V>
+[[nodiscard]] graph::eid_t frontier_out_edges(
+    const V& g, const std::vector<graph::vid_t>& queue) {
+  graph::eid_t total = 0;
+  for (graph::vid_t v : queue) total += g.out_degree(v);
+  return total;
+}
 
 }  // namespace bfsx::bfs

@@ -6,11 +6,10 @@
 
 namespace bfsx::bfs {
 
-void BfsState::reset(const CsrGraph& g, vid_t root) {
-  BFSX_CHECK(root >= 0 && root < g.num_vertices())
-      << "BFS root " << root << " out of range [0, " << g.num_vertices()
-      << ")";
-  const auto n = static_cast<std::size_t>(g.num_vertices());
+void BfsState::reset(vid_t num_vertices, vid_t root) {
+  BFSX_CHECK(root >= 0 && root < num_vertices)
+      << "BFS root " << root << " out of range [0, " << num_vertices << ")";
+  const auto n = static_cast<std::size_t>(num_vertices);
   parent.assign(n, kNoVertex);
   level.assign(n, -1);
   visited.resize_and_reset(n);
@@ -28,26 +27,9 @@ void BfsState::reset(const CsrGraph& g, vid_t root) {
   reached = 1;
 }
 
-BfsResult BfsState::take_result(const CsrGraph& g) && {
-  BfsResult r;
-  r.reached = reached;
-  // Count directed edges whose tail is reached; for a symmetric graph
-  // halving gives the undirected count Graph 500 uses for TEPS.
-  eid_t directed = 0;
-  for (vid_t v = 0; v < g.num_vertices(); ++v) {
-    if (parent[static_cast<std::size_t>(v)] != kNoVertex) {
-      directed += g.out_degree(v);
-    }
-  }
-  r.edges_in_component = g.is_symmetric() ? directed / 2 : directed;
-  r.parent = std::move(parent);
-  r.level = std::move(level);
-  return r;
-}
-
-void BfsState::check_invariants(const CsrGraph& g,
+void BfsState::check_invariants(vid_t num_vertices,
                                 check::CheckReport& report) const {
-  const auto n = static_cast<std::size_t>(g.num_vertices());
+  const auto n = static_cast<std::size_t>(num_vertices);
   if (parent.size() != n || level.size() != n || visited.size() != n) {
     report.failf() << "map sizes (parent " << parent.size() << ", level "
                    << level.size() << ", visited " << visited.size()
@@ -165,9 +147,9 @@ void BfsState::check_invariants(const CsrGraph& g,
   }
 }
 
-void BfsState::assert_invariants(const CsrGraph& g) const {
+void BfsState::assert_invariants(vid_t num_vertices) const {
   check::CheckReport report;
-  check_invariants(g, report);
+  check_invariants(num_vertices, report);
   report.throw_if_failed("BfsState::check_invariants");
 }
 

@@ -41,17 +41,29 @@ struct BfsResult {
 /// Mutable traversal state. Kernels advance it one level at a time,
 /// which is exactly the granularity at which the paper's combination
 /// techniques switch direction (and switch devices).
+///
+/// The state is sized purely by |V|, so the same object serves CSR
+/// graphs and implicit GraphViews (graph/view.h); the CsrGraph
+/// overloads below are conveniences that extract `num_vertices()`.
 struct BfsState {
-  explicit BfsState(const CsrGraph& g, vid_t root) { reset(g, root); }
+  /// Sizes the maps for `num_vertices` vertices and arms a traversal
+  /// from `root` — the representation-independent core.
+  BfsState(vid_t num_vertices, vid_t root) { reset(num_vertices, root); }
 
-  /// Re-arms the state for a fresh traversal of `g` from `root`,
-  /// reusing every allocation the previous run left behind (vector and
-  /// bitmap capacities, the compacted `unvisited` list's storage). A
-  /// reset state is indistinguishable from a freshly constructed one —
-  /// this is what lets `StatePool` hand the same object to run after
-  /// run. Also valid on a moved-from state (take_result empties
-  /// parent/level; assign refills them).
-  void reset(const CsrGraph& g, vid_t root);
+  explicit BfsState(const CsrGraph& g, vid_t root) {
+    reset(g.num_vertices(), root);
+  }
+
+  /// Re-arms the state for a fresh traversal of an `num_vertices`-vertex
+  /// graph from `root`, reusing every allocation the previous run left
+  /// behind (vector and bitmap capacities, the compacted `unvisited`
+  /// list's storage). A reset state is indistinguishable from a freshly
+  /// constructed one — this is what lets `StatePool` hand the same
+  /// object to run after run. Also valid on a moved-from state
+  /// (take_result empties parent/level; assign refills them).
+  void reset(vid_t num_vertices, vid_t root);
+
+  void reset(const CsrGraph& g, vid_t root) { reset(g.num_vertices(), root); }
 
   std::vector<vid_t> parent;
   std::vector<std::int32_t> level;
@@ -98,14 +110,40 @@ struct BfsState {
   ///   * once primed, `unvisited` is strictly ascending and a superset
   ///     of the not-yet-visited vertices (stragglers visited by
   ///     interleaved top-down steps are legal leftovers).
-  void check_invariants(const CsrGraph& g, check::CheckReport& report) const;
+  void check_invariants(vid_t num_vertices, check::CheckReport& report) const;
+
+  void check_invariants(const CsrGraph& g, check::CheckReport& report) const {
+    check_invariants(g.num_vertices(), report);
+  }
 
   /// Convenience wrapper: throws check::ContractViolation listing every
   /// retained failure.
-  void assert_invariants(const CsrGraph& g) const;
+  void assert_invariants(vid_t num_vertices) const;
+
+  void assert_invariants(const CsrGraph& g) const {
+    assert_invariants(g.num_vertices());
+  }
 
   /// Extracts the final result (parent/level maps are moved out).
-  [[nodiscard]] BfsResult take_result(const CsrGraph& g) &&;
+  /// Works for any graph representation that reports vertex count,
+  /// out-degrees, and symmetry — CsrGraph or any GraphView.
+  template <typename G>
+  [[nodiscard]] BfsResult take_result(const G& g) && {
+    BfsResult r;
+    r.reached = reached;
+    // Count directed edges whose tail is reached; for a symmetric graph
+    // halving gives the undirected count Graph 500 uses for TEPS.
+    eid_t directed = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (parent[static_cast<std::size_t>(v)] != kNoVertex) {
+        directed += g.out_degree(v);
+      }
+    }
+    r.edges_in_component = g.is_symmetric() ? directed / 2 : directed;
+    r.parent = std::move(parent);
+    r.level = std::move(level);
+    return r;
+  }
 };
 
 }  // namespace bfsx::bfs

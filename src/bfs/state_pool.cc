@@ -11,7 +11,7 @@ void StatePool::Lease::release() noexcept {
   state_ = nullptr;
 }
 
-StatePool::Lease StatePool::acquire(const graph::CsrGraph& g,
+StatePool::Lease StatePool::acquire(graph::vid_t num_vertices,
                                     graph::vid_t root) {
   std::unique_ptr<BfsState> state;
   {
@@ -24,9 +24,9 @@ StatePool::Lease StatePool::acquire(const graph::CsrGraph& g,
     }
   }
   if (state != nullptr) {
-    state->reset(g, root);
+    state->reset(num_vertices, root);
   } else {
-    state = std::make_unique<BfsState>(g, root);
+    state = std::make_unique<BfsState>(num_vertices, root);
   }
   return {this, std::move(state)};
 }

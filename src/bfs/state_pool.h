@@ -63,10 +63,16 @@ class StatePool {
   StatePool(const StatePool&) = delete;
   StatePool& operator=(const StatePool&) = delete;
 
-  /// Checks out a state armed for a traversal of `g` from `root`:
-  /// either a recycled one (reset, allocations reused) or — when the
-  /// freelist is empty — a freshly constructed one.
-  [[nodiscard]] Lease acquire(const graph::CsrGraph& g, graph::vid_t root);
+  /// Checks out a state armed for a traversal of an
+  /// `num_vertices`-vertex graph from `root`: either a recycled one
+  /// (reset, allocations reused) or — when the freelist is empty — a
+  /// freshly constructed one. Representation-independent, so the same
+  /// pool serves CSR graphs and implicit GraphViews.
+  [[nodiscard]] Lease acquire(graph::vid_t num_vertices, graph::vid_t root);
+
+  [[nodiscard]] Lease acquire(const graph::CsrGraph& g, graph::vid_t root) {
+    return acquire(g.num_vertices(), root);
+  }
 
   /// States constructed over the pool's lifetime. With W concurrent
   /// workers this settles at <= W however many roots run.

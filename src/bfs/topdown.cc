@@ -1,83 +1,9 @@
 #include "bfs/topdown.h"
 
-#include <cstddef>
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
-#include "bfs/frontier.h"
-#include "check/contract.h"
-
 namespace bfsx::bfs {
 
 TopDownStats top_down_step(const CsrGraph& g, BfsState& state) {
-  TopDownStats stats;
-  stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
-
-  const auto& queue = state.frontier_queue;
-  const std::int32_t next_level = state.current_level + 1;
-  // |E|cq is accumulated inside the traversal loop (one queue walk)
-  // rather than by a frontier_out_edges pre-pass (two queue walks); the
-  // reduction makes it exact under any schedule.
-  eid_t frontier_edges = 0;
-
-  std::vector<vid_t> next;
-#ifdef _OPENMP
-  const int num_threads = omp_get_max_threads();
-#else
-  const int num_threads = 1;
-#endif
-  std::vector<std::vector<vid_t>> local_next(
-      static_cast<std::size_t>(num_threads));
-
-#ifdef _OPENMP
-#pragma omp parallel reduction(+ : frontier_edges)
-#endif
-  {
-#ifdef _OPENMP
-    const int tid = omp_get_thread_num();
-#else
-    const int tid = 0;
-#endif
-    auto& mine = local_next[static_cast<std::size_t>(tid)];
-#ifdef _OPENMP
-#pragma omp for schedule(dynamic, 64) nowait
-#endif
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-      const vid_t u = queue[i];
-      frontier_edges += g.out_degree(u);
-      for (vid_t v : g.out_neighbors(u)) {
-        // Algorithm 1 line 9: visited check, fused with the claim so two
-        // frontier vertices cannot both adopt v.
-        if (state.visited.test_and_set_atomic(static_cast<std::size_t>(v))) {
-          state.parent[static_cast<std::size_t>(v)] = u;
-          state.level[static_cast<std::size_t>(v)] = next_level;
-          mine.push_back(v);
-        }
-      }
-    }
-  }
-
-  stats.frontier_edges = frontier_edges;
-
-  std::size_t total = 0;
-  for (const auto& part : local_next) total += part.size();
-  next.reserve(total);
-  for (const auto& part : local_next) {
-    next.insert(next.end(), part.begin(), part.end());
-  }
-
-  stats.next_vertices = static_cast<vid_t>(next.size());
-  state.reached += stats.next_vertices;
-  state.current_level = next_level;
-  state.frontier_queue = std::move(next);
-  queue_to_bitmap(state.frontier_queue, state.frontier_bitmap);
-  // Catches a lost atomic claim (parent written without the level, a
-  // double discovery) at the level it happened, including the straggler
-  // bookkeeping this step leaves in a primed bottom-up candidate list.
-  BFSX_PARANOID(state.assert_invariants(g));
-  return stats;
+  return top_down_step(graph::CsrGraphView(g), state);
 }
 
 }  // namespace bfsx::bfs

@@ -1,7 +1,24 @@
 // Parallel top-down BFS level step (paper Algorithm 1, lines 6-13).
+//
+// The kernel is a template over any graph::GraphView (graph/view.h), so
+// the identical loop runs on CSR storage (through graph::CsrGraphView)
+// and on implicit successor functions. The historical CsrGraph overload
+// below forwards through the adapter, which keeps every existing call
+// site source-compatible and makes CSR bit-equality structural rather
+// than promised.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "bfs/frontier.h"
 #include "bfs/state.h"
+#include "check/contract.h"
+#include "graph/view.h"
 
 namespace bfsx::bfs {
 
@@ -21,6 +38,77 @@ struct TopDownStats {
 ///
 /// On return the state's frontier (queue + bitmap), visited set, parent
 /// and level maps, current_level, and reached count are all updated.
+template <graph::GraphView V>
+TopDownStats top_down_step(const V& g, BfsState& state) {
+  TopDownStats stats;
+  stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
+
+  const auto& queue = state.frontier_queue;
+  const std::int32_t next_level = state.current_level + 1;
+  // |E|cq is accumulated inside the traversal loop (one queue walk)
+  // rather than by a frontier_out_edges pre-pass (two queue walks); the
+  // reduction makes it exact under any schedule.
+  eid_t frontier_edges = 0;
+
+  std::vector<vid_t> next;
+#ifdef _OPENMP
+  const int num_threads = omp_get_max_threads();
+#else
+  const int num_threads = 1;
+#endif
+  std::vector<std::vector<vid_t>> local_next(
+      static_cast<std::size_t>(num_threads));
+
+#ifdef _OPENMP
+#pragma omp parallel reduction(+ : frontier_edges)
+#endif
+  {
+#ifdef _OPENMP
+    const int tid = omp_get_thread_num();
+#else
+    const int tid = 0;
+#endif
+    auto& mine = local_next[static_cast<std::size_t>(tid)];
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic, 64) nowait
+#endif
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const vid_t u = queue[i];
+      frontier_edges += g.out_degree(u);
+      g.for_each_out_neighbor(u, [&state, &mine, u, next_level](vid_t v) {
+        // Algorithm 1 line 9: visited check, fused with the claim so two
+        // frontier vertices cannot both adopt v.
+        if (state.visited.test_and_set_atomic(static_cast<std::size_t>(v))) {
+          state.parent[static_cast<std::size_t>(v)] = u;
+          state.level[static_cast<std::size_t>(v)] = next_level;
+          mine.push_back(v);
+        }
+      });
+    }
+  }
+
+  stats.frontier_edges = frontier_edges;
+
+  std::size_t total = 0;
+  for (const auto& part : local_next) total += part.size();
+  next.reserve(total);
+  for (const auto& part : local_next) {
+    next.insert(next.end(), part.begin(), part.end());
+  }
+
+  stats.next_vertices = static_cast<vid_t>(next.size());
+  state.reached += stats.next_vertices;
+  state.current_level = next_level;
+  state.frontier_queue = std::move(next);
+  queue_to_bitmap(state.frontier_queue, state.frontier_bitmap);
+  // Catches a lost atomic claim (parent written without the level, a
+  // double discovery) at the level it happened, including the straggler
+  // bookkeeping this step leaves in a primed bottom-up candidate list.
+  BFSX_PARANOID(state.assert_invariants(g.num_vertices()));
+  return stats;
+}
+
+/// CSR entry point: forwards through the zero-overhead adapter.
 TopDownStats top_down_step(const CsrGraph& g, BfsState& state);
 
 }  // namespace bfsx::bfs

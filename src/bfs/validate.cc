@@ -3,28 +3,7 @@
 #include <sstream>
 
 namespace bfsx::bfs {
-namespace {
-
-/// Collects numbered failures into a ValidationReport, mirroring
-/// check::CheckReport but keeping this module's public struct stable.
-class Collector {
- public:
-  explicit Collector(ValidationReport& report) : report_(report) {}
-
-  [[nodiscard]] bool wants_more() const noexcept {
-    return report_.failures.size() < ValidationReport::kMaxFailures;
-  }
-
-  void fail(const std::string& msg) {
-    report_.ok = false;
-    ++report_.total_failures;
-    if (report_.error.empty()) report_.error = msg;
-    if (wants_more()) report_.failures.push_back(msg);
-  }
-
- private:
-  ValidationReport& report_;
-};
+namespace detail {
 
 std::string vtx(vid_t v) {
   std::ostringstream os;
@@ -36,7 +15,7 @@ std::string edge(vid_t u, vid_t v) {
   return "edge (" + std::to_string(u) + "," + std::to_string(v) + ")";
 }
 
-}  // namespace
+}  // namespace detail
 
 std::string ValidationReport::format() const {
   if (ok) return "ok";
@@ -54,92 +33,7 @@ std::string ValidationReport::format() const {
 
 ValidationReport validate_bfs(const CsrGraph& g, vid_t root,
                               const BfsResult& result) {
-  ValidationReport report;
-  Collector collect(report);
-
-  // Fatal preconditions: nothing below can index safely without them.
-  const vid_t n = g.num_vertices();
-  if (root < 0 || root >= n) {
-    collect.fail("root out of range");
-    return report;
-  }
-  if (result.parent.size() != static_cast<std::size_t>(n) ||
-      result.level.size() != static_cast<std::size_t>(n)) {
-    collect.fail("parent/level map size mismatch");
-    return report;
-  }
-
-  // Check 1: root self-parented at level 0.
-  if (result.parent[static_cast<std::size_t>(root)] != root) {
-    collect.fail("root is not its own parent");
-  }
-  if (result.level[static_cast<std::size_t>(root)] != 0) {
-    collect.fail("root level is not 0");
-  }
-
-  vid_t reached = 0;
-  for (vid_t v = 0; v < n && collect.wants_more(); ++v) {
-    const vid_t p = result.parent[static_cast<std::size_t>(v)];
-    const std::int32_t lv = result.level[static_cast<std::size_t>(v)];
-    if ((p == kNoVertex) != (lv < 0)) {
-      collect.fail(vtx(v) + ": parent and level disagree about reachability" +
-                   " (parent " + std::to_string(p) + ", level " +
-                   std::to_string(lv) + ")");
-      continue;
-    }
-    if (p == kNoVertex) continue;
-    ++reached;
-    if (v == root) continue;
-    if (p < 0 || p >= n) {
-      collect.fail(vtx(v) + ": parent " + std::to_string(p) +
-                   " out of range");
-      continue;
-    }
-    const std::int32_t lp = result.level[static_cast<std::size_t>(p)];
-    // Check 2: tree edges span exactly one level.
-    if (lp < 0 || lv != lp + 1) {
-      collect.fail(vtx(v) + ": level " + std::to_string(lv) +
-                   " is not parent " + std::to_string(p) + "'s level " +
-                   std::to_string(lp) + " + 1");
-    }
-    // Check 3: the tree edge must exist (parent -> child in the graph).
-    if (!g.has_edge(p, v)) {
-      collect.fail(vtx(v) + ": tree " + edge(p, v) + " missing from graph");
-    }
-  }
-  // The reached tally is only meaningful if the scan above ran to
-  // completion; with the cap hit it would undercount and mislead.
-  if (collect.wants_more() && reached != result.reached) {
-    collect.fail("reached count " + std::to_string(result.reached) +
-                 " does not match parent map (" + std::to_string(reached) +
-                 ")");
-  }
-
-  // Checks 4 and 5 over every edge.
-  for (vid_t u = 0; u < n && collect.wants_more(); ++u) {
-    const std::int32_t lu = result.level[static_cast<std::size_t>(u)];
-    for (vid_t v : g.out_neighbors(u)) {
-      if (!collect.wants_more()) break;
-      const std::int32_t lv = result.level[static_cast<std::size_t>(v)];
-      if (lu >= 0 && lv >= 0) {
-        // An out-edge (u, v) relaxes v, so lv <= lu + 1 always. The
-        // reverse bound lu <= lv + 1 needs the mirror edge (v, u) and
-        // therefore only holds on symmetric graphs — a directed back
-        // edge may legally jump many levels up the tree.
-        if (lv - lu > 1 || (g.is_symmetric() && lu - lv > 1)) {
-          collect.fail(edge(u, v) + " spans more than one level (" +
-                       std::to_string(lu) + " vs " + std::to_string(lv) + ")");
-        }
-      } else if (lu >= 0 && lv < 0) {
-        // A reached vertex with an unreached out-neighbour means the BFS
-        // stopped early (for directed graphs only the out direction is
-        // conclusive).
-        collect.fail(edge(u, v) + " leaves the traversed region (level " +
-                     std::to_string(lu) + " -> unreached)");
-      }
-    }
-  }
-  return report;
+  return validate_bfs(graph::CsrGraphView(g), root, result);
 }
 
 bool same_levels(const BfsResult& a, const BfsResult& b) {

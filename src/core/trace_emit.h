@@ -15,10 +15,11 @@ namespace bfsx::core {
 
 /// Builds the identity half of a RunEvent and emits run_begin when a
 /// sink is attached. The returned event is reused for run_end once the
-/// totals are known.
+/// totals are known. `G` is anything reporting num_vertices()/
+/// num_edges() — CsrGraph or any EdgeCountedView (graph/view.h).
+template <typename G>
 inline obs::RunEvent trace_begin_run(obs::TraceSink* sink, std::string engine,
-                                     const graph::CsrGraph& g,
-                                     graph::vid_t root) {
+                                     const G& g, graph::vid_t root) {
   obs::RunEvent e;
   e.engine = std::move(engine);
   e.root = root;

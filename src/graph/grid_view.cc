@@ -1,0 +1,51 @@
+#include "graph/grid_view.h"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "graph/prng.h"
+
+namespace bfsx::graph {
+
+GridWorld::GridWorld(const GridSpec& spec) : spec_(spec) {
+  if (spec.width <= 0 || spec.height <= 0) {
+    throw std::invalid_argument("grid: width and height must be positive (" +
+                                std::to_string(spec.width) + "x" +
+                                std::to_string(spec.height) + ")");
+  }
+  if (spec.connectivity != 4 && spec.connectivity != 8) {
+    throw std::invalid_argument("grid: connectivity must be 4 or 8, got " +
+                                std::to_string(spec.connectivity));
+  }
+  if (!(spec.wall_density >= 0.0) || spec.wall_density >= 1.0) {
+    throw std::invalid_argument("grid: wall-density must be in [0, 1), got " +
+                                std::to_string(spec.wall_density));
+  }
+  const auto cells = static_cast<std::int64_t>(spec.width) *
+                     static_cast<std::int64_t>(spec.height);
+  if (cells > std::numeric_limits<vid_t>::max()) {
+    throw std::invalid_argument("grid: " + std::to_string(spec.width) + "x" +
+                                std::to_string(spec.height) +
+                                " overflows the vertex id space");
+  }
+  num_cells_ = static_cast<vid_t>(cells);
+  walls_.resize_and_reset(static_cast<std::size_t>(num_cells_));
+  if (spec.wall_density > 0.0) {
+    // One uniform draw per cell in id order: the spec fully determines
+    // the wall set, independent of platform or thread count.
+    Xoshiro256ss rng(spec.wall_seed);
+    for (vid_t v = 0; v < num_cells_; ++v) {
+      if (rng.next_double() < spec.wall_density) {
+        walls_.set(static_cast<std::size_t>(v));
+      }
+    }
+  }
+  // Directed edge count (each undirected adjacency counted once per
+  // endpoint), the |E| the M/N switching heuristic divides by.
+  eid_t total = 0;
+  for (vid_t v = 0; v < num_cells_; ++v) total += out_degree(v);
+  num_edges_ = total;
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,130 @@
+// GridWorld: an implicit grid-world graph view (graph/view.h).
+//
+// Vertices are the cells of a width x height grid; edges connect
+// 4- or 8-adjacent cells when neither is a wall. Nothing is
+// materialized: neighbours are generated from coordinates on the fly,
+// so the only storage is one bit per cell for the walls. This is the
+// first of the state-space scenarios ROADMAP item 4 calls for — a
+// graph whose diameter is O(width + height), the opposite regime from
+// the low-diameter R-MAT graphs the paper's heuristic was tuned on.
+//
+// Id mapping is dense rank: cell (x, y) is vertex y*width + x, walls
+// included (a wall is an isolated vertex — degree 0, never enumerated
+// as a neighbour). Keeping walls in the id space makes the view
+// bit-compatible with its materialized CSR: same |V|, same ids, same
+// per-level counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "graph/bitmap.h"
+#include "graph/types.h"
+#include "graph/view.h"
+
+namespace bfsx::graph {
+
+/// Parameters of a grid world. Walls are sampled i.i.d. per cell with
+/// probability `wall_density` from a deterministic PRNG stream, so a
+/// spec names one exact graph on every platform.
+struct GridSpec {
+  vid_t width = 0;
+  vid_t height = 0;
+  int connectivity = 4;  // 4 (von Neumann) or 8 (Moore)
+  double wall_density = 0.0;
+  std::uint64_t wall_seed = 1;
+};
+
+class GridWorld {
+ public:
+  /// Validates the spec (throws std::invalid_argument) and samples the
+  /// wall bitmap; O(cells).
+  explicit GridWorld(const GridSpec& spec);
+
+  [[nodiscard]] vid_t num_vertices() const noexcept { return num_cells_; }
+  [[nodiscard]] eid_t num_edges() const noexcept { return num_edges_; }
+  /// Grid adjacency is mutual, so in == out and bottom-up needs no
+  /// transpose.
+  [[nodiscard]] bool is_symmetric() const noexcept { return true; }
+
+  [[nodiscard]] const GridSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] vid_t id_of(vid_t x, vid_t y) const noexcept {
+    return y * spec_.width + x;
+  }
+  [[nodiscard]] std::pair<vid_t, vid_t> coords_of(vid_t v) const noexcept {
+    return {v % spec_.width, v / spec_.width};
+  }
+  [[nodiscard]] bool in_bounds(vid_t x, vid_t y) const noexcept {
+    return x >= 0 && x < spec_.width && y >= 0 && y < spec_.height;
+  }
+  [[nodiscard]] bool is_wall(vid_t v) const noexcept {
+    return walls_.test(static_cast<std::size_t>(v));
+  }
+
+  [[nodiscard]] eid_t out_degree(vid_t v) const noexcept {
+    eid_t degree = 0;
+    visit_neighbors(v, [&degree](vid_t) {
+      ++degree;
+      return true;
+    });
+    return degree;
+  }
+
+  /// Neighbours are enumerated in ascending id order (offsets sorted
+  /// row-major), matching the sorted rows of a CSR built from
+  /// materialize() — traversal order, and therefore serial parents, are
+  /// identical on both representations.
+  template <typename Fn>
+  void for_each_out_neighbor(vid_t v, Fn&& fn) const {
+    visit_neighbors(v, [&fn](vid_t w) {
+      fn(w);
+      return true;
+    });
+  }
+
+  /// TransposeView protocol: `fn` returns false to stop the scan.
+  template <typename Fn>
+  void for_each_in_neighbor(vid_t v, Fn&& fn) const {
+    visit_neighbors(v, fn);
+  }
+
+ private:
+  /// Enumerates the live neighbours of `v` in ascending id order;
+  /// `fn(w)` returns false to stop early. Walls have no neighbours in
+  /// either direction.
+  template <typename Fn>
+  bool visit_neighbors(vid_t v, Fn&& fn) const {
+    if (is_wall(v)) return true;
+    const auto [x, y] = coords_of(v);
+    const bool diag = spec_.connectivity == 8;
+    // Row-major offset order == ascending neighbour ids.
+    if (diag && !emit(x - 1, y - 1, fn)) return false;
+    if (!emit(x, y - 1, fn)) return false;
+    if (diag && !emit(x + 1, y - 1, fn)) return false;
+    if (!emit(x - 1, y, fn)) return false;
+    if (!emit(x + 1, y, fn)) return false;
+    if (diag && !emit(x - 1, y + 1, fn)) return false;
+    if (!emit(x, y + 1, fn)) return false;
+    if (diag && !emit(x + 1, y + 1, fn)) return false;
+    return true;
+  }
+
+  template <typename Fn>
+  bool emit(vid_t x, vid_t y, Fn&& fn) const {
+    if (!in_bounds(x, y)) return true;
+    const vid_t w = id_of(x, y);
+    if (is_wall(w)) return true;
+    return static_cast<bool>(fn(w));
+  }
+
+  GridSpec spec_;
+  vid_t num_cells_ = 0;
+  eid_t num_edges_ = 0;
+  Bitmap walls_;
+};
+
+static_assert(HybridView<GridWorld>);
+
+}  // namespace bfsx::graph

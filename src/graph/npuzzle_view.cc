@@ -1,0 +1,60 @@
+#include "graph/npuzzle_view.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace bfsx::graph {
+
+NPuzzleSpace::NPuzzleSpace(const NPuzzleSpec& spec) : spec_(spec) {
+  if (spec.width < 1 || spec.height < 1) {
+    throw std::invalid_argument("npuzzle: board sides must be positive (" +
+                                std::to_string(spec.width) + "x" +
+                                std::to_string(spec.height) + ")");
+  }
+  const int k = spec.width * spec.height;
+  if (k < 2 || k > 9) {
+    // 4 bits per cell in a uint64_t caps the board at 9 cells; 3x3 is
+    // already 181440 reachable states, plenty for a test scenario.
+    throw std::invalid_argument(
+        "npuzzle: board must have 2..9 cells, got " + std::to_string(k) +
+        " (" + std::to_string(spec.width) + "x" + std::to_string(spec.height) +
+        ")");
+  }
+
+  // Canonical solved state: tiles 1..k-1 in cells 0..k-2, blank last.
+  solved_ = 0;
+  for (int c = 0; c + 1 < k; ++c) {
+    solved_ |= static_cast<std::uint64_t>(c + 1) << (4 * c);
+  }
+
+  // Deterministic serial BFS from the solved state assigns dense ids in
+  // discovery order; the move order inside visit-successors fixes the
+  // order within a level, so the id map is identical on every platform.
+  states_.push_back(solved_);
+  ids_.emplace(solved_, 0);
+  std::deque<std::uint64_t> queue{solved_};
+  eid_t directed_edges = 0;
+  const auto expand = [this, &directed_edges, &queue](std::uint64_t s,
+                                                      int blank, int cell) {
+    ++directed_edges;
+    const std::uint64_t t = slide(s, blank, cell);
+    if (ids_.emplace(t, static_cast<vid_t>(states_.size())).second) {
+      states_.push_back(t);
+      queue.push_back(t);
+    }
+  };
+  while (!queue.empty()) {
+    const std::uint64_t s = queue.front();
+    queue.pop_front();
+    const int blank = blank_position(s);
+    const int x = blank % spec_.width;
+    const int y = blank / spec_.width;
+    if (y > 0) expand(s, blank, blank - spec_.width);
+    if (x > 0) expand(s, blank, blank - 1);
+    if (x + 1 < spec_.width) expand(s, blank, blank + 1);
+    if (y + 1 < spec_.height) expand(s, blank, blank + spec_.width);
+  }
+  num_edges_ = directed_edges;
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,154 @@
+// NPuzzleSpace: the sliding-tile n-puzzle as an implicit graph view.
+//
+// A state is a placement of tiles 1..k-1 and one blank on a
+// width x height board; an edge connects states one blank-slide apart.
+// This is the `stubbscroll__SOLVER`-style workload ROADMAP item 4 names:
+// a state space with no locality, bitpacked states, and a hash-based
+// vertex-id mapping instead of a dense coordinate rank.
+//
+// Encoding: 4 bits per cell, cell i (row-major) in bits [4i, 4i+4),
+// value = tile number, 0 = blank — so boards up to 9 cells (3x3, the
+// classic 8-puzzle: 181440 reachable states) fit one uint64_t.
+//
+// Id mapping: construction enumerates the component reachable from the
+// canonical solved state with a deterministic serial BFS, assigning
+// dense ids in discovery order (id 0 = solved). `states_` maps id ->
+// packed state; a hash map gives the reverse direction for successor
+// lookup. The enumeration is the one part of the view that is not
+// lazy — acceptable for ≤ 9 cells, and it is exactly what makes ids
+// dense enough for the kernels' O(|V|) state arrays. Half of all
+// permutations are unreachable (odd parity); they simply get no id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "graph/view.h"
+
+namespace bfsx::graph {
+
+/// Board shape. `width * height` must be in [2, 9].
+struct NPuzzleSpec {
+  int width = 3;
+  int height = 3;
+};
+
+class NPuzzleSpace {
+ public:
+  /// Validates the spec and enumerates the reachable component
+  /// (throws std::invalid_argument on a bad shape).
+  explicit NPuzzleSpace(const NPuzzleSpec& spec);
+
+  [[nodiscard]] vid_t num_vertices() const noexcept {
+    return static_cast<vid_t>(states_.size());
+  }
+  [[nodiscard]] eid_t num_edges() const noexcept { return num_edges_; }
+  /// Every slide is reversible, so the state graph is symmetric and
+  /// bottom-up works without a transpose.
+  [[nodiscard]] bool is_symmetric() const noexcept { return true; }
+
+  [[nodiscard]] const NPuzzleSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int cells() const noexcept {
+    return spec_.width * spec_.height;
+  }
+
+  /// Packed state for a vertex id (ids are dense, [0, num_vertices)).
+  [[nodiscard]] std::uint64_t state_of(vid_t v) const {
+    return states_[static_cast<std::size_t>(v)];
+  }
+
+  /// Vertex id of a packed state, or kNoVertex if the state is not in
+  /// the reachable component (wrong parity or malformed).
+  [[nodiscard]] vid_t id_of(std::uint64_t state) const {
+    const auto it = ids_.find(state);
+    return it == ids_.end() ? kNoVertex : it->second;
+  }
+
+  /// The canonical solved state (tiles in order, blank last) — id 0.
+  [[nodiscard]] std::uint64_t solved_state() const noexcept {
+    return solved_;
+  }
+
+  [[nodiscard]] eid_t out_degree(vid_t v) const {
+    return blank_moves(blank_position(state_of(v)));
+  }
+
+  /// Successors in a fixed move order: the tile sliding into the blank
+  /// comes from above, the left, the right, then below (blank moves
+  /// N, W, E, S). The order is part of the view's contract — per-level
+  /// counters depend only on the set, but enumeration order is what
+  /// tests pin down.
+  template <typename Fn>
+  void for_each_out_neighbor(vid_t v, Fn&& fn) const {
+    visit_successors(v, [&fn](vid_t w) {
+      fn(w);
+      return true;
+    });
+  }
+
+  /// TransposeView protocol: `fn` returns false to stop the scan.
+  template <typename Fn>
+  void for_each_in_neighbor(vid_t v, Fn&& fn) const {
+    visit_successors(v, fn);
+  }
+
+  /// Bit extraction helpers (exposed for tests and state formatting).
+  [[nodiscard]] int tile_at(std::uint64_t state, int cell) const noexcept {
+    return static_cast<int>((state >> (4 * cell)) & 0xF);
+  }
+  [[nodiscard]] int blank_position(std::uint64_t state) const noexcept {
+    const int k = cells();
+    for (int c = 0; c < k; ++c) {
+      if (tile_at(state, c) == 0) return c;
+    }
+    return -1;
+  }
+
+ private:
+  [[nodiscard]] eid_t blank_moves(int blank) const noexcept {
+    const int x = blank % spec_.width;
+    const int y = blank / spec_.width;
+    return (y > 0 ? 1 : 0) + (x > 0 ? 1 : 0) +
+           (x + 1 < spec_.width ? 1 : 0) + (y + 1 < spec_.height ? 1 : 0);
+  }
+
+  /// Swaps the blank at `blank` with the tile at `cell`.
+  [[nodiscard]] std::uint64_t slide(std::uint64_t state, int blank,
+                                    int cell) const noexcept {
+    const std::uint64_t tile = (state >> (4 * cell)) & 0xF;
+    state &= ~(std::uint64_t{0xF} << (4 * cell));  // clear source
+    state |= tile << (4 * blank);                  // tile into blank
+    return state;
+  }
+
+  template <typename Fn>
+  void visit_successors(vid_t v, Fn&& fn) const {
+    const std::uint64_t s = state_of(v);
+    const int blank = blank_position(s);
+    const int x = blank % spec_.width;
+    const int y = blank / spec_.width;
+    // Move order N, W, E, S (blank swaps with that cell).
+    if (y > 0 && !fn(ids_.at(slide(s, blank, blank - spec_.width)))) return;
+    if (x > 0 && !fn(ids_.at(slide(s, blank, blank - 1)))) return;
+    if (x + 1 < spec_.width && !fn(ids_.at(slide(s, blank, blank + 1)))) {
+      return;
+    }
+    if (y + 1 < spec_.height &&
+        !fn(ids_.at(slide(s, blank, blank + spec_.width)))) {
+      return;
+    }
+  }
+
+  NPuzzleSpec spec_;
+  std::uint64_t solved_ = 0;
+  eid_t num_edges_ = 0;
+  std::vector<std::uint64_t> states_;        // id -> packed state
+  std::unordered_map<std::uint64_t, vid_t> ids_;  // packed state -> id
+};
+
+static_assert(HybridView<NPuzzleSpace>);
+
+}  // namespace bfsx::graph

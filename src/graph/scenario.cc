@@ -1,0 +1,238 @@
+#include "graph/scenario.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "tools/args.h"
+
+namespace bfsx::graph {
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string::size_type pos = 0;
+  while (true) {
+    const auto next = text.find(sep, pos);
+    if (next == std::string::npos) {
+      out.push_back(text.substr(pos));
+      return out;
+    }
+    out.push_back(text.substr(pos, next - pos));
+    pos = next + 1;
+  }
+}
+
+/// Whole-token integer parse, same strictness as tools::Args::get_int:
+/// "12abc" is an error, not 12.
+int parse_int(const std::string& text, const std::string& what) {
+  const char* s = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("scenario: " + what +
+                                ": expected an integer, got '" + text + "'");
+  }
+  return static_cast<int>(v);
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  const char* s = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw std::invalid_argument("scenario: " + what +
+                                ": expected a number, got '" + text + "'");
+  }
+  return v;
+}
+
+/// "WxH" -> (W, H).
+std::pair<int, int> parse_shape(const std::string& token,
+                                const std::string& kind) {
+  const auto x = token.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= token.size()) {
+    throw std::invalid_argument("scenario: " + kind +
+                                " needs a WIDTHxHEIGHT shape, got '" + token +
+                                "'");
+  }
+  return {parse_int(token.substr(0, x), kind + " width"),
+          parse_int(token.substr(x + 1), kind + " height")};
+}
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+KeyValue parse_option(const std::string& token,
+                      const std::vector<std::string_view>& known) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("scenario: expected key=value, got '" + token +
+                                "'");
+  }
+  KeyValue kv{token.substr(0, eq), token.substr(eq + 1)};
+  for (const std::string_view k : known) {
+    if (kv.key == k) return kv;
+  }
+  std::string message = "scenario: unknown option '" + kv.key + "'";
+  if (const auto closest = tools::suggest_closest(kv.key, known);
+      !closest.empty()) {
+    message += " (did you mean '" + std::string(closest) + "'?)";
+  }
+  throw std::invalid_argument(message);
+}
+
+Scenario make_grid(const std::vector<std::string>& parts) {
+  if (parts.size() < 2) {
+    throw std::invalid_argument(
+        "scenario: grid needs a shape, e.g. grid:64x64");
+  }
+  const auto [w, h] = parse_shape(parts[1], "grid");
+  GridSpec spec;
+  spec.width = w;
+  spec.height = h;
+  static const std::vector<std::string_view> known = {"conn", "wall-density",
+                                                      "wall-seed"};
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const KeyValue kv = parse_option(parts[i], known);
+    if (kv.key == "conn") {
+      spec.connectivity = parse_int(kv.value, "conn");
+    } else if (kv.key == "wall-density") {
+      spec.wall_density = parse_double(kv.value, "wall-density");
+    } else {
+      spec.wall_seed =
+          static_cast<std::uint64_t>(parse_int(kv.value, "wall-seed"));
+    }
+  }
+  std::ostringstream name;
+  name << "grid:" << spec.width << "x" << spec.height << ":conn="
+       << spec.connectivity << ":wall-density=" << spec.wall_density
+       << ":wall-seed=" << spec.wall_seed;
+  return {name.str(), ScenarioGraph{GridWorld(spec)}};
+}
+
+Scenario make_npuzzle(const std::vector<std::string>& parts) {
+  if (parts.size() < 2) {
+    throw std::invalid_argument(
+        "scenario: npuzzle needs a shape, e.g. npuzzle:3x3");
+  }
+  if (parts.size() > 2) {
+    throw std::invalid_argument("scenario: npuzzle takes no options, got '" +
+                                parts[2] + "'");
+  }
+  const auto [w, h] = parse_shape(parts[1], "npuzzle");
+  NPuzzleSpec spec;
+  spec.width = w;
+  spec.height = h;
+  std::ostringstream name;
+  name << "npuzzle:" << w << "x" << h;
+  return {name.str(), ScenarioGraph{NPuzzleSpace(spec)}};
+}
+
+}  // namespace
+
+std::string known_scenarios() { return "grid:WxH[:conn=4|8][:wall-density=D][:wall-seed=S], npuzzle:WxH"; }
+
+Scenario parse_scenario(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  const std::string& kind = parts[0];
+  if (kind == "grid") return make_grid(parts);
+  if (kind == "npuzzle") return make_npuzzle(parts);
+  static const std::vector<std::string_view> kinds = {"grid", "npuzzle"};
+  std::string message = "unknown scenario '" + kind + "'";
+  if (const auto closest = tools::suggest_closest(kind, kinds);
+      !closest.empty()) {
+    message += " (did you mean '" + std::string(closest) + "'?)";
+  }
+  message += "; valid scenarios: " + known_scenarios();
+  throw std::invalid_argument(message);
+}
+
+vid_t resolve_root_state(const ScenarioGraph& g, const std::string& state) {
+  return std::visit(
+      [&state](const auto& view) -> vid_t {
+        using V = std::decay_t<decltype(view)>;
+        const std::vector<std::string> parts = split(state, ',');
+        if constexpr (std::is_same_v<V, GridWorld>) {
+          if (parts.size() != 2) {
+            throw std::invalid_argument(
+                "root-state: grid roots are 'x,y', got '" + state + "'");
+          }
+          const auto x =
+              static_cast<vid_t>(parse_int(parts[0], "root-state x"));
+          const auto y =
+              static_cast<vid_t>(parse_int(parts[1], "root-state y"));
+          if (!view.in_bounds(x, y)) {
+            throw std::invalid_argument(
+                "root-state: cell (" + parts[0] + "," + parts[1] +
+                ") is outside the " + std::to_string(view.spec().width) + "x" +
+                std::to_string(view.spec().height) + " grid");
+          }
+          const vid_t v = view.id_of(x, y);
+          if (view.is_wall(v)) {
+            throw std::invalid_argument("root-state: cell (" + parts[0] + "," +
+                                        parts[1] + ") is a wall");
+          }
+          return v;
+        } else {
+          const int k = view.cells();
+          if (static_cast<int>(parts.size()) != k) {
+            throw std::invalid_argument(
+                "root-state: npuzzle roots list all " + std::to_string(k) +
+                " tiles row-major (blank as 0), got " +
+                std::to_string(parts.size()) + " values");
+          }
+          std::uint64_t packed = 0;
+          unsigned seen = 0;
+          for (int c = 0; c < k; ++c) {
+            const int tile = parse_int(parts[static_cast<std::size_t>(c)],
+                                       "root-state tile");
+            if (tile < 0 || tile >= k || ((seen >> tile) & 1u) != 0) {
+              throw std::invalid_argument(
+                  "root-state: '" + state + "' is not a permutation of 0.." +
+                  std::to_string(k - 1));
+            }
+            seen |= 1u << tile;
+            packed |= static_cast<std::uint64_t>(tile) << (4 * c);
+          }
+          const vid_t v = view.id_of(packed);
+          if (v == kNoVertex) {
+            throw std::invalid_argument(
+                "root-state: '" + state +
+                "' is not reachable from the solved board (odd permutation "
+                "parity)");
+          }
+          return v;
+        }
+      },
+      g);
+}
+
+std::string format_state(const ScenarioGraph& g, vid_t v) {
+  return std::visit(
+      [v](const auto& view) -> std::string {
+        using V = std::decay_t<decltype(view)>;
+        if constexpr (std::is_same_v<V, GridWorld>) {
+          const auto [x, y] = view.coords_of(v);
+          return std::to_string(x) + "," + std::to_string(y);
+        } else {
+          const std::uint64_t s = view.state_of(v);
+          std::string out;
+          for (int c = 0; c < view.cells(); ++c) {
+            if (c != 0) out += ",";
+            out += std::to_string(view.tile_at(s, c));
+          }
+          return out;
+        }
+      },
+      g);
+}
+
+}  // namespace bfsx::graph

@@ -1,0 +1,57 @@
+// Scenario parsing: the `--scenario` surface that names an implicit
+// graph on the command line.
+//
+// A scenario spec is `kind:shape[:key=value...]`:
+//
+//   grid:64x64                    4-connected open grid
+//   grid:128x96:conn=8            Moore connectivity
+//   grid:256x256:wall-density=0.2:wall-seed=7
+//   npuzzle:3x3                   the classic 8-puzzle (181440 states)
+//
+// parse_scenario builds the named view; the result is a std::variant so
+// non-template callers (CLI, runner glue) hold either view behind one
+// type and std::visit once per traversal — type erasure at whole-run
+// granularity, never on the hot path (the visited lambda instantiates
+// the templated kernels per concrete view).
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "graph/grid_view.h"
+#include "graph/npuzzle_view.h"
+#include "graph/types.h"
+
+namespace bfsx::graph {
+
+/// Either implicit view, plus the canonical spec string it was parsed
+/// from (for traces and error messages).
+using ScenarioGraph = std::variant<GridWorld, NPuzzleSpace>;
+
+struct Scenario {
+  std::string name;  // canonical spec, e.g. "grid:64x64:conn=4:..."
+  ScenarioGraph graph;
+};
+
+/// Parses a scenario spec and constructs the view. Throws
+/// std::invalid_argument with a did-you-mean hint (tools::suggest_closest)
+/// for unknown kinds and unknown grid options.
+[[nodiscard]] Scenario parse_scenario(const std::string& spec);
+
+/// The scenario kinds parse_scenario accepts, for usage text.
+[[nodiscard]] std::string known_scenarios();
+
+/// Translates a root named in scenario coordinates into a vertex id —
+/// the same id-mapping step `--reorder` performs for CSR roots.
+/// Grid: "x,y" (must be in bounds and not a wall). N-puzzle: the
+/// row-major tile list, blank as 0, e.g. "1,2,3,4,5,6,7,8,0" (must be a
+/// permutation in the reachable component). Throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] vid_t resolve_root_state(const ScenarioGraph& g,
+                                       const std::string& state);
+
+/// Renders a vertex id back into scenario coordinates — the inverse of
+/// resolve_root_state, used when reporting sampled roots.
+[[nodiscard]] std::string format_state(const ScenarioGraph& g, vid_t v);
+
+}  // namespace bfsx::graph

@@ -8,6 +8,7 @@
 #include "dist/dist_bfs.h"
 #include "graph500/native_engine.h"
 #include "graph500/reference_bfs.h"
+#include "graph500/scenario_engine.h"
 #include "sim/arch_config.h"
 #include "tools/args.h"
 
@@ -80,6 +81,31 @@ BatchBfsEngine EngineRegistry::make_batch_engine(
     for (const graph::vid_t root : batch) timed.push_back(engine(g, root));
     return timed;
   };
+}
+
+ScenarioBfsEngine EngineRegistry::make_scenario_engine(
+    const std::string& name, const EngineConfig& config) const {
+  const Entry* entry = find(name);
+  if (entry == nullptr) throw_unknown(entries_, name);
+  if (!entry->scenario_factory) {
+    std::string message =
+        "engine '" + name +
+        "' does not support --scenario (its kernels are CSR- or "
+        "simulator-specific); scenario-capable engines:";
+    for (const Entry& e : entries_) {
+      if (e.scenario_factory) message += " " + e.name;
+    }
+    throw UnknownEngineError(message);
+  }
+  return entry->scenario_factory(config);
+}
+
+std::vector<std::string> EngineRegistry::scenario_names() const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    if (e.scenario_factory) out.push_back(e.name);
+  }
+  return out;
 }
 
 std::vector<std::string> EngineRegistry::names() const {
@@ -176,20 +202,35 @@ EngineRegistry EngineRegistry::with_builtin_engines() {
            return TimedBfs{std::move(run.result), run.seconds};
          };
        }});
+  // The native engines' kernels are templated over GraphView, so they
+  // also register scenario factories — the same level-step core runs
+  // over implicit grid/puzzle views (--scenario).
   r.register_engine(
       {"native-td", "pure top-down on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
          return make_native_top_down_engine(cfg.sink, cfg.pool);
+       },
+       {},
+       [](const EngineConfig& cfg) {
+         return make_scenario_top_down_engine(cfg.sink, cfg.pool);
        }});
   r.register_engine(
       {"native-bu", "pure bottom-up on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
          return make_native_bottom_up_engine(cfg.sink, cfg.pool);
+       },
+       {},
+       [](const EngineConfig& cfg) {
+         return make_scenario_bottom_up_engine(cfg.sink, cfg.pool);
        }});
   r.register_engine(
       {"native-hybrid", "M/N combination on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
          return make_native_hybrid_engine(cfg.policy, cfg.sink, cfg.pool);
+       },
+       {},
+       [](const EngineConfig& cfg) {
+         return make_scenario_hybrid_engine(cfg.policy, cfg.sink, cfg.pool);
        }});
   // The per-root factory serves callers that treat msbfs like any other
   // engine (batches of one); --batch=msbfs goes through the

@@ -19,6 +19,7 @@
 #include "core/hybrid_policy.h"
 #include "graph/partition.h"
 #include "graph500/runner.h"
+#include "graph500/scenario_engine.h"
 #include "obs/sink.h"
 #include "sim/cluster.h"
 #include "sim/device.h"
@@ -77,7 +78,13 @@ class EngineRegistry {
     /// Optional batched construction (engines that amortise one kernel
     /// pass over many roots, e.g. msbfs). Entries without one still
     /// work with make_batch_engine via a one-root-at-a-time wrapper.
-    std::function<BatchBfsEngine(const EngineConfig&)> batch_factory;
+    std::function<BatchBfsEngine(const EngineConfig&)> batch_factory{};
+    /// Optional implicit-graph (--scenario) construction. Engines whose
+    /// kernels are templated over graph::GraphView register one;
+    /// CSR-specialised kernels (msbfs lane masks) and the modelled
+    /// simulator engines (which cost CSR memory traffic) leave it
+    /// empty, and make_scenario_engine rejects them by name.
+    std::function<ScenarioBfsEngine(const EngineConfig&)> scenario_factory{};
   };
 
   /// Registers an engine; throws std::invalid_argument on a duplicate
@@ -98,6 +105,16 @@ class EngineRegistry {
   /// UnknownEngineError for unknown names.
   [[nodiscard]] BatchBfsEngine make_batch_engine(
       const std::string& name, const EngineConfig& config) const;
+
+  /// Constructs the named engine for implicit scenario graphs. Throws
+  /// UnknownEngineError both for unknown names and for engines without
+  /// scenario support — the latter message lists the scenario-capable
+  /// engines so `--scenario --engine=msbfs` fails with a usable hint.
+  [[nodiscard]] ScenarioBfsEngine make_scenario_engine(
+      const std::string& name, const EngineConfig& config) const;
+
+  /// Names of entries with a scenario_factory, registration order.
+  [[nodiscard]] std::vector<std::string> scenario_names() const;
 
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] const std::vector<Entry>& entries() const noexcept {

@@ -1,0 +1,209 @@
+#include "graph500/scenario_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "bfs/validate.h"
+#include "check/contract.h"
+#include "graph/view.h"
+#include "graph500/view_engine.h"
+
+namespace bfsx::graph500 {
+namespace {
+
+graph::vid_t scenario_num_vertices(const graph::ScenarioGraph& g) {
+  return std::visit([](const auto& view) { return view.num_vertices(); }, g);
+}
+
+std::vector<graph::vid_t> resolve_scenario_roots(const graph::ScenarioGraph& g,
+                                                 const RunnerOptions& opts) {
+  if (!opts.roots.empty()) {
+    const graph::vid_t n = scenario_num_vertices(g);
+    for (const graph::vid_t r : opts.roots) {
+      if (r < 0 || r >= n) {
+        throw std::invalid_argument(
+            "run_scenario_benchmark: explicit root " + std::to_string(r) +
+            " out of range [0, " + std::to_string(n) + ")");
+      }
+    }
+    return opts.roots;
+  }
+  if (opts.num_roots <= 0) {
+    throw std::invalid_argument(
+        "run_scenario_benchmark: num_roots must be > 0");
+  }
+  return std::visit(
+      [&opts](const auto& view) {
+        return graph::sample_view_roots(view, opts.num_roots, opts.root_seed);
+      },
+      g);
+}
+
+bfs::ValidationReport validate_scenario(const graph::ScenarioGraph& g,
+                                        graph::vid_t root,
+                                        const bfs::BfsResult& result) {
+  return std::visit(
+      [root, &result](const auto& view) {
+        return bfs::validate_bfs(view, root, result);
+      },
+      g);
+}
+
+/// Per-root record produced by a worker — same disjoint-slot scheme as
+/// runner.cc, so parallel_roots never touches a shared accumulator.
+struct Slot {
+  RootRun run;
+  double engine_seconds = 0.0;
+  double validate_seconds = 0.0;
+};
+
+}  // namespace
+
+ScenarioBfsEngine make_scenario_top_down_engine(obs::TraceSink* sink,
+                                                bfs::StatePool* pool) {
+  return [sink, pool](const graph::ScenarioGraph& sg, graph::vid_t root) {
+    return std::visit(
+        [root, sink, pool](const auto& g) {
+          return detail::traced_traversal(
+              g, root, "native-td", sink, pool,
+              [&g](bfs::BfsState& s, obs::LevelEvent* e) {
+                detail::step_top_down(g, s, e);
+              });
+        },
+        sg);
+  };
+}
+
+ScenarioBfsEngine make_scenario_bottom_up_engine(obs::TraceSink* sink,
+                                                 bfs::StatePool* pool) {
+  return [sink, pool](const graph::ScenarioGraph& sg, graph::vid_t root) {
+    return std::visit(
+        [root, sink, pool](const auto& g) {
+          return detail::traced_traversal(
+              g, root, "native-bu", sink, pool,
+              [&g](bfs::BfsState& s, obs::LevelEvent* e) {
+                detail::step_bottom_up(g, s, e);
+              });
+        },
+        sg);
+  };
+}
+
+ScenarioBfsEngine make_scenario_hybrid_engine(core::HybridPolicy policy,
+                                              obs::TraceSink* sink,
+                                              bfs::StatePool* pool) {
+  policy.validate();
+  return [policy, sink, pool](const graph::ScenarioGraph& sg,
+                              graph::vid_t root) {
+    return std::visit(
+        [root, &policy, sink, pool](const auto& g) {
+          return detail::traced_traversal(
+              g, root, "native-hybrid", sink, pool,
+              [&g, &policy](bfs::BfsState& s, obs::LevelEvent* e) {
+                detail::step_hybrid(g, policy, s, e);
+              });
+        },
+        sg);
+  };
+}
+
+BenchmarkResult run_scenario_benchmark(const graph::ScenarioGraph& g,
+                                       const ScenarioBfsEngine& engine,
+                                       const RunnerOptions& opts) {
+  if (opts.batch_mode == BatchMode::kMsBfs) {
+    throw std::invalid_argument(
+        "run_scenario_benchmark: batch mode 'msbfs' is CSR-only (the "
+        "bit-parallel lane kernel reads CSR rows); use serial or "
+        "parallel_roots");
+  }
+  const std::vector<graph::vid_t> roots = resolve_scenario_roots(g, opts);
+  const std::size_t total = roots.size();
+  std::vector<Slot> slots(total);
+
+  const auto eval_root = [&](std::size_t i) {
+    Slot& slot = slots[i];
+    const graph::vid_t root = roots[i];
+    const auto t0 = detail::EngineClock::now();
+    TimedBfs t = engine(g, root);
+    slot.engine_seconds = detail::seconds_since(t0);
+    slot.run.root = root;
+    slot.run.seconds = t.seconds;
+    slot.run.reached = t.result.reached;
+    slot.run.edges = t.result.edges_in_component;
+    if (opts.validate) {
+      const auto v0 = detail::EngineClock::now();
+      const bfs::ValidationReport report =
+          validate_scenario(g, root, t.result);
+      slot.validate_seconds = detail::seconds_since(v0);
+      slot.run.valid = report.ok;
+    }
+    if (slot.run.valid && t.seconds > 0.0) {
+      slot.run.teps =
+          static_cast<double>(t.result.edges_in_component) / t.seconds;
+    }
+  };
+
+  if (opts.batch_mode == BatchMode::kParallelRoots) {
+    // Threads fill disjoint slots; exceptions are ferried out (OpenMP
+    // regions must not leak them) and rethrown once, after the join.
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    const auto count = static_cast<std::int64_t>(total);
+    // omp-lint: allow(shared-write) first_error is assigned under
+    //           error_mu; eval_root writes only its own slot
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::int64_t i = 0; i < count; ++i) {
+      try {
+        eval_root(static_cast<std::size_t>(i));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (std::size_t i = 0; i < total; ++i) eval_root(i);
+  }
+
+  // Deterministic merge, in root order, on the calling thread — the
+  // only place the metrics registry and the TEPS list are touched.
+  BenchmarkResult out;
+  out.runs.reserve(total);
+  std::vector<double> teps;
+  for (const Slot& slot : slots) {
+    if (opts.metrics != nullptr) {
+      opts.metrics->record_seconds("runner.engine_seconds",
+                                   slot.engine_seconds);
+      opts.metrics->add("runner.roots");
+      opts.metrics->add("runner.vertices_reached", slot.run.reached);
+      if (opts.validate) {
+        opts.metrics->record_seconds("runner.validate_seconds",
+                                     slot.validate_seconds);
+      }
+    }
+    if (!slot.run.valid) {
+      ++out.validation_failures;
+      if (opts.metrics != nullptr) {
+        opts.metrics->add("runner.validation_failures");
+      }
+    }
+    if (slot.run.valid && slot.run.seconds > 0.0) {
+      teps.push_back(slot.run.teps);
+    }
+    out.runs.push_back(slot.run);
+  }
+  if (teps.empty()) {
+    throw std::runtime_error(
+        "run_scenario_benchmark: no valid timed runs to aggregate");
+  }
+  out.stats = compute_teps_stats(teps);
+  return out;
+}
+
+}  // namespace bfsx::graph500

@@ -1,0 +1,73 @@
+// Golden-trace regression for the GraphView refactor: the complete
+// per-level counter profile of the scale-16 R-MAT benchmark graph,
+// captured from the pre-refactor CSR kernels (`bfsx trace --scale 16
+// --edgefactor 16 --seed 2014`, root 55025). The templated kernels,
+// reached through the CsrGraphView adapter, must reproduce every column
+// bit for bit — |V|cq, |E|cq, the bottom-up hit/miss scan counts, and
+// the next-frontier sizes. Any deviation means the refactor changed
+// traversal semantics, not just plumbing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/level_trace.h"
+#include "graph/builder.h"
+#include "graph/graph_stats.h"
+#include "graph/rmat.h"
+
+namespace bfsx::core {
+namespace {
+
+struct GoldenLevel {
+  std::int32_t level;
+  graph::vid_t frontier_vertices;
+  graph::eid_t frontier_edges;
+  graph::eid_t bu_hit;
+  graph::eid_t bu_miss;
+  graph::vid_t next_vertices;
+};
+
+// Captured before the kernels were templated over GraphView; the root
+// is sample_roots(g, 1, 7)[0] on the same graph.
+constexpr graph::vid_t kGoldenRoot = 55025;
+constexpr graph::vid_t kGoldenVertices = 65536;
+constexpr graph::eid_t kGoldenEdges = 1821470;
+const std::vector<GoldenLevel> kGolden = {
+    {0, 1, 11, 4429, 1816238, 11},
+    {1, 11, 5221, 525710, 815077, 3734},
+    {2, 3734, 1001161, 55939, 5468, 38920},
+    {3, 38920, 809609, 4130, 50, 4113},
+    {4, 4113, 5418, 24, 26, 24},
+    {5, 24, 24, 0, 26, 0},
+};
+
+TEST(CsrGoldenTrace, Scale16CountersAreBitIdenticalToPreRefactorRun) {
+  graph::RmatParams p;
+  p.scale = 16;
+  p.edgefactor = 16;
+  p.seed = 2014;
+  const graph::CsrGraph g = graph::build_csr(graph::generate_rmat(p));
+  ASSERT_EQ(g.num_vertices(), kGoldenVertices);
+  ASSERT_EQ(g.num_edges(), kGoldenEdges);
+
+  const graph::vid_t root = graph::sample_roots(g, 1, 7)[0];
+  ASSERT_EQ(root, kGoldenRoot);
+
+  const LevelTrace trace = build_level_trace(g, root);
+  EXPECT_EQ(trace.num_vertices, kGoldenVertices);
+  EXPECT_EQ(trace.num_edges, kGoldenEdges);
+  ASSERT_EQ(trace.levels.size(), kGolden.size());
+  for (std::size_t i = 0; i < kGolden.size(); ++i) {
+    const TraceLevel& got = trace.levels[i];
+    const GoldenLevel& want = kGolden[i];
+    EXPECT_EQ(got.level, want.level) << "level " << i;
+    EXPECT_EQ(got.frontier_vertices, want.frontier_vertices) << "level " << i;
+    EXPECT_EQ(got.frontier_edges, want.frontier_edges) << "level " << i;
+    EXPECT_EQ(got.bu_edges_hit, want.bu_hit) << "level " << i;
+    EXPECT_EQ(got.bu_edges_miss, want.bu_miss) << "level " << i;
+    EXPECT_EQ(got.next_vertices, want.next_vertices) << "level " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bfsx::core

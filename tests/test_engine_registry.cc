@@ -115,6 +115,31 @@ TEST(EngineRegistry, RejectsDuplicateAndMalformedRegistrations) {
                std::invalid_argument);
 }
 
+TEST(EngineRegistry, ScenarioFactoriesCoverTheNativeFamily) {
+  const EngineRegistry registry = EngineRegistry::with_builtin_engines();
+  EXPECT_EQ(registry.scenario_names(),
+            (std::vector<std::string>{"native-td", "native-bu",
+                                      "native-hybrid"}));
+}
+
+TEST(EngineRegistry, ScenarioUnsupportedEngineNamesTheCapableOnes) {
+  const EngineRegistry registry = EngineRegistry::with_builtin_engines();
+  for (const char* name : {"msbfs", "hybrid", "dist"}) {
+    try {
+      (void)registry.make_scenario_engine(name, EngineConfig{});
+      FAIL() << "expected UnknownEngineError for " << name;
+    } catch (const UnknownEngineError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("does not support --scenario"), std::string::npos)
+          << what;
+      EXPECT_NE(what.find("native-hybrid"), std::string::npos) << what;
+    }
+  }
+  // Unknown names keep the usual did-you-mean treatment.
+  EXPECT_THROW((void)registry.make_scenario_engine("nosuch", EngineConfig{}),
+               UnknownEngineError);
+}
+
 /// The per-level work counters (|V|cq, |E|cq, next) are properties of
 /// the level sets, which every correct engine shares — so the traces of
 /// the native, simulated, cross-architecture, and distributed engines

@@ -1,0 +1,207 @@
+// Cross-representation equality: each implicit scenario, materialized
+// into a CsrGraph, must traverse identically to the implicit view —
+// same distances, valid parents, and the same per-level |V|cq / |E|cq /
+// next counters (which are properties of the level sets, not of the
+// representation). This is the acceptance gate for the GraphView
+// refactor's implicit-graph half; the CSR half is pinned by
+// test_graph_view and test_csr_golden_trace.
+#include <gtest/gtest.h>
+
+#include <variant>
+#include <vector>
+
+#include "bfs/drivers.h"
+#include "bfs/validate.h"
+#include "graph/builder.h"
+#include "graph/scenario.h"
+#include "graph/view.h"
+#include "graph500/engine_registry.h"
+#include "graph500/scenario_engine.h"
+
+namespace bfsx::graph {
+namespace {
+
+/// Distances and set-determined per-level counters must match exactly
+/// between the implicit view and its materialized CSR; parents must be
+/// valid tree edges on both. `compare_bu_scans` additionally pins the
+/// bottom-up scan counts, which depend on predecessor enumeration
+/// order — exact only when the view enumerates ascending ids (grid).
+template <typename V>
+void expect_representation_equality(const V& view, bool compare_bu_scans) {
+  const CsrGraph csr = build_csr(materialize(view));
+  ASSERT_EQ(csr.num_vertices(), view.num_vertices());
+  ASSERT_EQ(csr.num_edges(), view.num_edges());
+
+  for (const vid_t root : sample_view_roots(view, 3, 77)) {
+    // Serial oracle: distances must be identical cell for cell.
+    const bfs::BfsResult ref = bfs::run_serial(csr, root);
+    const bfs::BfsResult imp = bfs::run_serial(view, root);
+    EXPECT_EQ(ref.level, imp.level) << "root " << root;
+    EXPECT_EQ(ref.reached, imp.reached);
+    EXPECT_EQ(ref.edges_in_component, imp.edges_in_component);
+
+    // Parallel kernels on the view: distances match the CSR oracle and
+    // every parent is a genuine tree edge (checked on the CSR).
+    bfs::TraversalLog view_td;
+    bfs::TraversalLog view_bu;
+    const bfs::BfsResult td = bfs::run_top_down(view, root, &view_td);
+    const bfs::BfsResult bu = bfs::run_bottom_up(view, root, &view_bu);
+    EXPECT_TRUE(bfs::same_levels(ref, td)) << "root " << root;
+    EXPECT_TRUE(bfs::same_levels(ref, bu)) << "root " << root;
+    EXPECT_TRUE(bfs::validate_bfs(view, root, td).ok);
+    EXPECT_TRUE(bfs::validate_bfs(csr, root, td).ok);
+    EXPECT_TRUE(bfs::validate_bfs(csr, root, bu).ok);
+
+    // The same kernels on the materialized CSR: per-level counters are
+    // set properties, so they must be bit-equal across representations.
+    bfs::TraversalLog csr_td;
+    bfs::TraversalLog csr_bu;
+    (void)bfs::run_top_down(csr, root, &csr_td);
+    (void)bfs::run_bottom_up(csr, root, &csr_bu);
+    ASSERT_EQ(view_td.levels.size(), csr_td.levels.size()) << root;
+    for (std::size_t i = 0; i < csr_td.levels.size(); ++i) {
+      EXPECT_EQ(view_td.levels[i].frontier_vertices,
+                csr_td.levels[i].frontier_vertices)
+          << "level " << i;
+      EXPECT_EQ(view_td.levels[i].frontier_edges,
+                csr_td.levels[i].frontier_edges)
+          << "level " << i;
+      EXPECT_EQ(view_td.levels[i].next_vertices,
+                csr_td.levels[i].next_vertices)
+          << "level " << i;
+    }
+    ASSERT_EQ(view_bu.levels.size(), csr_bu.levels.size()) << root;
+    for (std::size_t i = 0; i < csr_bu.levels.size(); ++i) {
+      EXPECT_EQ(view_bu.levels[i].frontier_vertices,
+                csr_bu.levels[i].frontier_vertices)
+          << "level " << i;
+      EXPECT_EQ(view_bu.levels[i].frontier_edges,
+                csr_bu.levels[i].frontier_edges)
+          << "level " << i;
+      EXPECT_EQ(view_bu.levels[i].next_vertices,
+                csr_bu.levels[i].next_vertices)
+          << "level " << i;
+      if (compare_bu_scans) {
+        EXPECT_EQ(view_bu.levels[i].bottom_up_scanned,
+                  csr_bu.levels[i].bottom_up_scanned)
+            << "level " << i;
+      }
+    }
+  }
+}
+
+TEST(ScenarioEquality, OpenGridMatchesMaterializedCsr) {
+  GridSpec spec;
+  spec.width = 24;
+  spec.height = 17;
+  // Grid neighbours are enumerated in ascending id order — the same
+  // order as sorted CSR rows — so even the order-sensitive bottom-up
+  // scan counts must agree.
+  expect_representation_equality(GridWorld(spec), /*compare_bu_scans=*/true);
+}
+
+TEST(ScenarioEquality, WalledGridMatchesMaterializedCsr) {
+  GridSpec spec;
+  spec.width = 20;
+  spec.height = 20;
+  spec.wall_density = 0.3;
+  spec.wall_seed = 13;
+  expect_representation_equality(GridWorld(spec), /*compare_bu_scans=*/true);
+}
+
+TEST(ScenarioEquality, MooreGridMatchesMaterializedCsr) {
+  GridSpec spec;
+  spec.width = 13;
+  spec.height = 11;
+  spec.connectivity = 8;
+  expect_representation_equality(GridWorld(spec), /*compare_bu_scans=*/true);
+}
+
+TEST(ScenarioEquality, SmallPuzzleMatchesMaterializedCsr) {
+  // N-puzzle successors come in move order (N, W, E, S), not ascending
+  // id order, so bottom-up scan counts are representation-specific;
+  // everything set-determined must still match.
+  expect_representation_equality(NPuzzleSpace(NPuzzleSpec{3, 2}),
+                                 /*compare_bu_scans=*/false);
+}
+
+TEST(ScenarioEquality, EightPuzzleMatchesMaterializedCsr) {
+  expect_representation_equality(NPuzzleSpace(NPuzzleSpec{3, 3}),
+                                 /*compare_bu_scans=*/false);
+}
+
+TEST(ScenarioRunner, SerialAndParallelRootsAgree) {
+  const Scenario s = parse_scenario("grid:32x32:wall-density=0.15:wall-seed=5");
+  const graph500::EngineRegistry registry =
+      graph500::EngineRegistry::with_builtin_engines();
+  const graph500::ScenarioBfsEngine engine =
+      registry.make_scenario_engine("native-hybrid", graph500::EngineConfig{});
+
+  graph500::RunnerOptions opts;
+  opts.num_roots = 8;
+  const graph500::BenchmarkResult serial =
+      graph500::run_scenario_benchmark(s.graph, engine, opts);
+  opts.batch_mode = graph500::BatchMode::kParallelRoots;
+  const graph500::BenchmarkResult parallel =
+      graph500::run_scenario_benchmark(s.graph, engine, opts);
+
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  EXPECT_EQ(serial.validation_failures, 0);
+  EXPECT_EQ(parallel.validation_failures, 0);
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_EQ(serial.runs[i].root, parallel.runs[i].root) << i;
+    EXPECT_EQ(serial.runs[i].reached, parallel.runs[i].reached) << i;
+    EXPECT_EQ(serial.runs[i].edges, parallel.runs[i].edges) << i;
+  }
+}
+
+TEST(ScenarioRunner, ExplicitRootsAreRangeCheckedAndMsbfsRejected) {
+  const Scenario s = parse_scenario("grid:8x8");
+  const graph500::EngineRegistry registry =
+      graph500::EngineRegistry::with_builtin_engines();
+  const graph500::ScenarioBfsEngine engine =
+      registry.make_scenario_engine("native-td", graph500::EngineConfig{});
+
+  graph500::RunnerOptions opts;
+  opts.roots = {0, 63};
+  const graph500::BenchmarkResult res =
+      graph500::run_scenario_benchmark(s.graph, engine, opts);
+  ASSERT_EQ(res.runs.size(), 2u);
+  EXPECT_EQ(res.runs[0].root, 0);
+  EXPECT_EQ(res.runs[1].root, 63);
+  EXPECT_EQ(res.runs[0].reached, 64);
+
+  opts.roots = {64};
+  EXPECT_THROW((void)graph500::run_scenario_benchmark(s.graph, engine, opts),
+               std::invalid_argument);
+  opts.roots = {0};
+  opts.batch_mode = graph500::BatchMode::kMsBfs;
+  EXPECT_THROW((void)graph500::run_scenario_benchmark(s.graph, engine, opts),
+               std::invalid_argument);
+}
+
+TEST(ScenarioEngines, EveryScenarioCapableEngineReachesTheComponent) {
+  const Scenario grid = parse_scenario("grid:16x16");
+  const Scenario puzzle = parse_scenario("npuzzle:2x2");
+  const graph500::EngineRegistry registry =
+      graph500::EngineRegistry::with_builtin_engines();
+  const std::vector<std::string> names = registry.scenario_names();
+  ASSERT_EQ(names.size(), 3u);
+  for (const std::string& name : names) {
+    const graph500::ScenarioBfsEngine engine =
+        registry.make_scenario_engine(name, graph500::EngineConfig{});
+    const graph500::TimedBfs on_grid = engine(grid.graph, 0);
+    EXPECT_EQ(on_grid.result.reached, 256) << name;
+    const graph500::TimedBfs on_puzzle = engine(puzzle.graph, 0);
+    EXPECT_EQ(on_puzzle.result.reached, 12) << name;
+    EXPECT_TRUE(std::visit(
+        [&on_puzzle](const auto& v) {
+          return bfs::validate_bfs(v, 0, on_puzzle.result).ok;
+        },
+        puzzle.graph))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace bfsx::graph

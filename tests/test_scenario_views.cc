@@ -1,0 +1,254 @@
+// Unit tests for the implicit graph views (grid world, n-puzzle) and
+// the --scenario spec parser: degrees and edge counts, deterministic
+// enumeration order, wall handling, id mappings, spec validation, and
+// the did-you-mean diagnostics.
+#include "graph/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/grid_view.h"
+#include "graph/npuzzle_view.h"
+
+namespace bfsx::graph {
+namespace {
+
+GridWorld open_grid(vid_t w, vid_t h, int conn = 4) {
+  GridSpec spec;
+  spec.width = w;
+  spec.height = h;
+  spec.connectivity = conn;
+  return GridWorld(spec);
+}
+
+TEST(GridWorld, FourConnectedDegreesAndEdgeCount) {
+  const GridWorld g = open_grid(3, 3);
+  EXPECT_EQ(g.num_vertices(), 9);
+  EXPECT_EQ(g.out_degree(g.id_of(0, 0)), 2);  // corner
+  EXPECT_EQ(g.out_degree(g.id_of(1, 0)), 3);  // edge
+  EXPECT_EQ(g.out_degree(g.id_of(1, 1)), 4);  // centre
+  EXPECT_EQ(g.num_edges(), 24);               // 4*2 + 4*3 + 1*4
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(GridWorld, EightConnectedDegreesAndEdgeCount) {
+  const GridWorld g = open_grid(3, 3, 8);
+  EXPECT_EQ(g.out_degree(g.id_of(0, 0)), 3);
+  EXPECT_EQ(g.out_degree(g.id_of(1, 0)), 5);
+  EXPECT_EQ(g.out_degree(g.id_of(1, 1)), 8);
+  EXPECT_EQ(g.num_edges(), 40);  // 4*3 + 4*5 + 8
+}
+
+TEST(GridWorld, NeighboursComeInAscendingIdOrder) {
+  for (const int conn : {4, 8}) {
+    const GridWorld g = open_grid(5, 4, conn);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      std::vector<vid_t> ns;
+      g.for_each_out_neighbor(v, [&ns](vid_t w) { ns.push_back(w); });
+      for (std::size_t i = 1; i < ns.size(); ++i) {
+        EXPECT_LT(ns[i - 1], ns[i]) << "conn=" << conn << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(GridWorld, WallsAreIsolatedButKeepTheirIds) {
+  GridSpec spec;
+  spec.width = 16;
+  spec.height = 16;
+  spec.wall_density = 0.4;
+  spec.wall_seed = 11;
+  const GridWorld g(spec);
+  EXPECT_EQ(g.num_vertices(), 256);  // walls stay in the id space
+
+  int walls = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (!g.is_wall(v)) continue;
+    ++walls;
+    EXPECT_EQ(g.out_degree(v), 0) << v;
+  }
+  EXPECT_GT(walls, 0);
+  EXPECT_LT(walls, 256);
+
+  // No live cell ever enumerates a wall as a neighbour.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    g.for_each_out_neighbor(v, [&g](vid_t w) {
+      EXPECT_FALSE(g.is_wall(w)) << w;
+    });
+  }
+
+  // Identical spec => identical walls (deterministic PRNG stream).
+  const GridWorld same(spec);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.is_wall(v), same.is_wall(v)) << v;
+  }
+}
+
+TEST(GridWorld, IdMappingRoundTrips) {
+  const GridWorld g = open_grid(7, 5);
+  for (vid_t y = 0; y < 5; ++y) {
+    for (vid_t x = 0; x < 7; ++x) {
+      const vid_t v = g.id_of(x, y);
+      const auto [rx, ry] = g.coords_of(v);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_TRUE(g.in_bounds(6, 4));
+  EXPECT_FALSE(g.in_bounds(7, 4));
+  EXPECT_FALSE(g.in_bounds(-1, 0));
+}
+
+TEST(GridWorld, RejectsMalformedSpecs) {
+  GridSpec spec;
+  spec.width = 0;
+  spec.height = 4;
+  EXPECT_THROW(GridWorld{spec}, std::invalid_argument);
+  spec.width = 4;
+  spec.connectivity = 6;
+  EXPECT_THROW(GridWorld{spec}, std::invalid_argument);
+  spec.connectivity = 4;
+  spec.wall_density = 1.0;  // would isolate everything almost surely
+  EXPECT_THROW(GridWorld{spec}, std::invalid_argument);
+}
+
+TEST(NPuzzle, TwoByTwoEnumeratesHalfThePermutations) {
+  const NPuzzleSpace p(NPuzzleSpec{2, 2});
+  EXPECT_EQ(p.num_vertices(), 12);  // 4!/2
+  EXPECT_EQ(p.num_edges(), 24);     // every state has exactly 2 moves
+  EXPECT_TRUE(p.is_symmetric());
+  for (vid_t v = 0; v < p.num_vertices(); ++v) {
+    EXPECT_EQ(p.out_degree(v), 2) << v;
+  }
+}
+
+TEST(NPuzzle, SolvedStateIsVertexZero) {
+  const NPuzzleSpace p(NPuzzleSpec{3, 3});
+  EXPECT_EQ(p.num_vertices(), 181440);  // 9!/2
+  EXPECT_EQ(p.id_of(p.solved_state()), 0);
+  EXPECT_EQ(p.state_of(0), p.solved_state());
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_EQ(p.tile_at(p.solved_state(), c), c + 1);
+  }
+  EXPECT_EQ(p.blank_position(p.solved_state()), 8);
+}
+
+TEST(NPuzzle, OddPermutationsGetNoId) {
+  const NPuzzleSpace p(NPuzzleSpec{3, 3});
+  // Swapping two tiles flips parity: 2,1,3,...,8,blank is unreachable.
+  std::uint64_t swapped = p.solved_state();
+  swapped &= ~std::uint64_t{0xFF};  // clear cells 0 and 1
+  swapped |= 0x2u | (0x1u << 4);    // tile 2 at cell 0, tile 1 at cell 1
+  EXPECT_EQ(p.id_of(swapped), kNoVertex);
+}
+
+TEST(NPuzzle, MovesAreMutual) {
+  const NPuzzleSpace p(NPuzzleSpec{3, 2});
+  EXPECT_EQ(p.num_vertices(), 360);  // 6!/2
+  for (vid_t v = 0; v < p.num_vertices(); ++v) {
+    p.for_each_out_neighbor(v, [&p, v](vid_t w) {
+      bool back = false;
+      p.for_each_out_neighbor(w, [&back, v](vid_t u) {
+        if (u == v) back = true;
+      });
+      EXPECT_TRUE(back) << v << " -> " << w;
+    });
+  }
+}
+
+TEST(NPuzzle, RejectsOversizedBoards) {
+  EXPECT_THROW(NPuzzleSpace(NPuzzleSpec{4, 3}), std::invalid_argument);
+  EXPECT_THROW(NPuzzleSpace(NPuzzleSpec{1, 1}), std::invalid_argument);
+}
+
+TEST(ParseScenario, GridDefaultsAndOptionsCanonicalize) {
+  const Scenario s = parse_scenario("grid:8x8");
+  EXPECT_EQ(s.name, "grid:8x8:conn=4:wall-density=0:wall-seed=1");
+  ASSERT_TRUE(std::holds_alternative<GridWorld>(s.graph));
+  EXPECT_EQ(std::get<GridWorld>(s.graph).num_vertices(), 64);
+
+  const Scenario t =
+      parse_scenario("grid:4x6:conn=8:wall-density=0.25:wall-seed=9");
+  EXPECT_EQ(t.name, "grid:4x6:conn=8:wall-density=0.25:wall-seed=9");
+}
+
+TEST(ParseScenario, NPuzzleSpecParses) {
+  const Scenario s = parse_scenario("npuzzle:2x2");
+  EXPECT_EQ(s.name, "npuzzle:2x2");
+  ASSERT_TRUE(std::holds_alternative<NPuzzleSpace>(s.graph));
+  EXPECT_EQ(std::get<NPuzzleSpace>(s.graph).num_vertices(), 12);
+}
+
+TEST(ParseScenario, UnknownKindSuggestsClosest) {
+  try {
+    (void)parse_scenario("gird:8x8");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean 'grid'?"), std::string::npos) << what;
+    EXPECT_NE(what.find("valid scenarios:"), std::string::npos) << what;
+  }
+}
+
+TEST(ParseScenario, UnknownOptionSuggestsClosest) {
+  try {
+    (void)parse_scenario("grid:8x8:wall-densty=0.1");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'wall-density'?"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParseScenario, MalformedSpecsThrow) {
+  EXPECT_THROW((void)parse_scenario("grid"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("grid:8"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("grid:8xq"), std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("grid:8x8:conn=five"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario("npuzzle:3x3:conn=4"),
+               std::invalid_argument);
+}
+
+TEST(RootState, GridCoordinatesRoundTrip) {
+  const Scenario s = parse_scenario("grid:8x8");
+  const vid_t v = resolve_root_state(s.graph, "5,2");
+  EXPECT_EQ(v, 2 * 8 + 5);
+  EXPECT_EQ(format_state(s.graph, v), "5,2");
+  EXPECT_THROW((void)resolve_root_state(s.graph, "8,0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_root_state(s.graph, "1"), std::invalid_argument);
+}
+
+TEST(RootState, GridWallsAreRejected) {
+  const Scenario s = parse_scenario("grid:16x16:wall-density=0.4:wall-seed=11");
+  const auto& g = std::get<GridWorld>(s.graph);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (!g.is_wall(v)) continue;
+    EXPECT_THROW((void)resolve_root_state(s.graph, format_state(s.graph, v)),
+                 std::invalid_argument);
+    return;
+  }
+  FAIL() << "no wall sampled at density 0.4";
+}
+
+TEST(RootState, NPuzzleTileListsRoundTrip) {
+  const Scenario s = parse_scenario("npuzzle:3x3");
+  const vid_t solved = resolve_root_state(s.graph, "1,2,3,4,5,6,7,8,0");
+  EXPECT_EQ(solved, 0);
+  EXPECT_EQ(format_state(s.graph, solved), "1,2,3,4,5,6,7,8,0");
+  // Odd parity, wrong length, and non-permutations are all rejected.
+  EXPECT_THROW((void)resolve_root_state(s.graph, "2,1,3,4,5,6,7,8,0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_root_state(s.graph, "1,2,3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)resolve_root_state(s.graph, "1,1,3,4,5,6,7,8,0"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfsx::graph

@@ -10,7 +10,12 @@ enforces the determinism/race contracts PR 3 established by hand:
                    ``reduction`` clause, an ``omp atomic``/``critical``,
                    or be an index-deterministic store (a subscript that
                    depends on the loop induction variable or a value
-                   derived from it inside the body).
+                   derived from it inside the body). Parameters of
+                   lambdas defined inside the body count as loop-local:
+                   the templated GraphView kernels traverse neighbours
+                   through ``for_each_*`` callbacks, so a callback
+                   parameter plays the role the range-for variable plays
+                   in CSR-style code.
   det-dynamic      Loops annotated ``// det:`` are determinism-critical
                    in *iteration order*; a ``schedule(dynamic)`` there
                    can reorder side effects between runs, so only
@@ -79,6 +84,12 @@ INCDEC_RE = re.compile(
 SUBSCRIPT_ASSIGN_RE = re.compile(
     r"([A-Za-z_][\w.]*(?:->[\w.]*)?)\s*\[([^\]]*)\]\s*"
     r"(?:\+=|-=|\*=|/=|%=|\|=|&=|\^=|<<=|>>=|=(?![=]))")
+
+# A lambda's parameter list: capture clause immediately followed by
+# parentheses. Parameters declared there are iteration-local values fed
+# by whatever the body invokes the lambda on (the GraphView
+# for_each_out_neighbor / for_each_in_neighbor protocol).
+LAMBDA_PARAMS_RE = re.compile(r"\[[^\[\]]*\]\s*\(([^()]*)\)")
 
 REDUCTION_RE = re.compile(r"reduction\s*\(\s*[^:()]+:\s*([^)]*)\)")
 SCHEDULE_RE = re.compile(r"schedule\s*\(\s*(\w+)")
@@ -243,6 +254,11 @@ def _reduction_vars(pragma_text: str) -> set[str]:
 
 def _body_locals(body: str) -> set[str]:
     names = {m.group(1) for m in DECL_RE.finditer(body)}
+    for m in LAMBDA_PARAMS_RE.finditer(body):
+        for param in m.group(1).split(","):
+            idents = IDENT_RE.findall(param)
+            if idents:
+                names.add(idents[-1])  # `vid_t v` declares v
     return names - CONTROL_KEYWORDS
 
 

@@ -125,6 +125,39 @@ void f(std::vector<int>& y, int n) {
 """)
         self.assertEqual(out, [])
 
+    def test_store_via_lambda_parameter_is_clean(self):
+        # The templated GraphView kernels (src/bfs/topdown.h) traverse
+        # neighbours through a callback; its parameter is the per-edge
+        # value the range-for variable used to be.
+        out = lint("""
+void f(const V& g, State& state, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    const int u = queue[i];
+    g.for_each_out_neighbor(u, [&state, u](vid_t v) {
+      state.parent[static_cast<std::size_t>(v)] = u;
+    });
+  }
+}
+""")
+        self.assertEqual(out, [])
+
+    def test_lambda_capture_list_does_not_localize(self):
+        # Captured names are not declarations; a store indexed only by a
+        # captured outer variable is still loop-independent.
+        out = lint("""
+void f(const V& g, int n, int k) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    g.visit([&y, k](int unused) {
+      y[k] = 1;
+    });
+  }
+}
+""")
+        self.assertEqual(rules_of(out), ["shared-write"])
+        self.assertIn("y[k]", out[0].message)
+
     def test_atomic_covered_write_is_clean(self):
         out = lint("""
 void f(int n, int hits) {
