@@ -24,6 +24,7 @@
 #include "graph/builder.h"
 #include "graph/graph_stats.h"
 #include "graph/rmat.h"
+#include "obs/perf_counters.h"
 
 namespace {
 
@@ -63,6 +64,10 @@ struct StageTimes {
   double traverse = 0;
   std::uint64_t edge_hash = 0;
   std::uint64_t csr_hash = 0;
+  /// Hardware counters over build and traverse (invalid where
+  /// perf_event_open is unavailable; columns then read n/a).
+  bfsx::obs::PerfSample build_perf;
+  bfsx::obs::PerfSample traverse_perf;
 
   [[nodiscard]] double ingest() const { return generate + validate + build; }
 };
@@ -84,17 +89,22 @@ StageTimes run_at(int threads, const bfsx::graph::RmatParams& params) {
   graph::validate_edge_list(el);
   st.validate = seconds_since(t0);
 
+  bfsx::obs::PerfCounters counters;
+  counters.start();
   t0 = clock_type::now();
   const graph::CsrGraph g = graph::build_csr(std::move(el));
   st.build = seconds_since(t0);
+  st.build_perf = counters.stop();
   st.csr_hash = hash_csr(g);
 
   const graph::vid_t root = graph::sample_roots(g, 1, params.seed + 1)[0];
   const auto hybrid =
       bfsx::graph500::make_native_hybrid_engine(bfsx::core::HybridPolicy{});
+  counters.start();
   t0 = clock_type::now();
   const auto timed = hybrid(g, root);
   st.traverse = seconds_since(t0);
+  st.traverse_perf = counters.stop();
   std::printf(
       "  threads=%d  generate %.3fs  validate %.3fs  build %.3fs  "
       "traverse %.3fs  (reached %d vertices)\n",
@@ -208,6 +218,19 @@ int main() {
     report.cell("ingest_seconds", st.ingest());
     report.cell("ingest_speedup", speedup);
     report.cell("deterministic", deterministic ? 1 : 0);
+    report.cell("perf_valid",
+                (st.build_perf.valid && st.traverse_perf.valid) ? 1 : 0);
+    report.cell("build_ipc", st.build_perf.ipc());
+    report.cell("build_miss_rate", st.build_perf.cache_miss_rate());
+    report.cell("traverse_ipc", st.traverse_perf.ipc());
+    report.cell("traverse_miss_rate", st.traverse_perf.cache_miss_rate());
+    if (st.build_perf.valid && st.traverse_perf.valid) {
+      std::printf("         build: IPC %.2f, LLC miss %.1f%%; traverse: "
+                  "IPC %.2f, LLC miss %.1f%%\n",
+                  st.build_perf.ipc(), st.build_perf.cache_miss_rate() * 100.0,
+                  st.traverse_perf.ipc(),
+                  st.traverse_perf.cache_miss_rate() * 100.0);
+    }
   }
 
   // Contract-check overhead A/B (BFSX_CHECK tier, budget < 2%).

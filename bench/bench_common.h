@@ -123,6 +123,21 @@ class JsonReport {
   std::vector<obs::JsonObject> rows_;
 };
 
+/// Best-of-N measurement: invokes `run()` `reps` times and returns the
+/// result `score` ranks highest. The perf benches (bench_graphview,
+/// bench_msbfs, bench_mem) take the best pass rather than the mean so
+/// one scheduler hiccup cannot fabricate a regression; `score` is
+/// usually aggregate TEPS.
+template <typename F, typename Score>
+auto best_of(int reps, F&& run, Score&& score) {
+  auto best = run();
+  for (int rep = 1; rep < reps; ++rep) {
+    auto candidate = run();
+    if (score(candidate) > score(best)) best = std::move(candidate);
+  }
+  return best;
+}
+
 /// A quick trainer config that spans the scales the benches evaluate,
 /// so the regression predictor interpolates rather than extrapolates.
 /// `lo..hi` inclusive scale range.

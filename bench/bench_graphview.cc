@@ -38,23 +38,25 @@ double wall_seconds(const std::chrono::steady_clock::time_point& t0) {
 }
 
 /// One timed pass of `kernel` over every root; returns the best of
-/// kRepeats passes by aggregate TEPS (total component edges / wall).
+/// kRepeats passes by aggregate TEPS (total component edges / wall),
+/// via the shared bench::best_of helper.
 template <typename Kernel>
 Measured best_pass(const std::vector<graph::vid_t>& roots, Kernel&& kernel) {
-  Measured best;
-  for (int rep = 0; rep < kRepeats; ++rep) {
-    graph::eid_t edges = 0;
-    const auto t0 = std::chrono::steady_clock::now();
-    for (const graph::vid_t root : roots) {
-      edges += kernel(root).edges_in_component;
-    }
-    Measured m;
-    m.seconds = wall_seconds(t0);
-    m.aggregate_teps =
-        m.seconds > 0.0 ? static_cast<double>(edges) / m.seconds : 0.0;
-    if (m.aggregate_teps > best.aggregate_teps) best = m;
-  }
-  return best;
+  return bench::best_of(
+      kRepeats,
+      [&roots, &kernel] {
+        graph::eid_t edges = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const graph::vid_t root : roots) {
+          edges += kernel(root).edges_in_component;
+        }
+        Measured m;
+        m.seconds = wall_seconds(t0);
+        m.aggregate_teps =
+            m.seconds > 0.0 ? static_cast<double>(edges) / m.seconds : 0.0;
+        return m;
+      },
+      [](const Measured& m) { return m.aggregate_teps; });
 }
 
 void set_threads(int n) {

@@ -25,7 +25,12 @@ void prime_unvisited(vid_t num_vertices, BfsState& state) {
   auto& list = state.unvisited;
   list.clear();
   if (workers == 1) {
-    list.reserve(n);
+    // Exactly the vertices not yet visited will be appended, and
+    // `reached` equals the visited population (a checked invariant), so
+    // this reserve is exact — reserving n would permanently pin ~4|V|
+    // bytes of never-used tail on late-switch traversals
+    // (test_mem_tuning pins the shrink).
+    list.reserve(n - static_cast<std::size_t>(state.reached));
     for (std::size_t v = 0; v < n; ++v) {
       if (!state.visited.test(v)) list.push_back(static_cast<vid_t>(v));
     }
@@ -80,6 +85,11 @@ void prime_unvisited(vid_t num_vertices, BfsState& state) {
 
 BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state) {
   return bottom_up_step(graph::CsrGraphView(g), state);
+}
+
+BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state,
+                             MemTuning tuning) {
+  return bottom_up_step(graph::CsrGraphView(g), state, tuning);
 }
 
 BottomUpStats bottom_up_probe(const CsrGraph& g, const BfsState& state) {

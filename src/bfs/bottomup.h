@@ -18,6 +18,8 @@
 #endif
 
 #include "bfs/frontier.h"
+#include "bfs/hub_cache.h"
+#include "bfs/mem_tuning.h"
 #include "bfs/state.h"
 #include "check/contract.h"
 #include "graph/view.h"
@@ -43,6 +45,13 @@ struct BottomUpStats {
   /// expensive there (97% of GPUBU time in the paper's Table IV).
   eid_t edges_scanned_miss = 0;
   vid_t next_vertices = 0;
+  /// Hub-cache diagnostics (bfs/hub_cache.h); zero unless the tuning
+  /// knob is on. `hub_probes` counts candidates whose hub sub-row was
+  /// consulted, `hub_hits` those that found a frontier hub there and
+  /// skipped the full-width scan. The hit ratio is the cache's whole
+  /// value proposition — bench_mem reports it per level band.
+  vid_t hub_probes = 0;
+  vid_t hub_hits = 0;
 
   [[nodiscard]] eid_t edges_scanned() const noexcept {
     return edges_scanned_hit + edges_scanned_miss;
@@ -71,16 +80,50 @@ void prime_unvisited(vid_t num_vertices, BfsState& state);
 /// iterates state.unvisited — primed with one full scan on the first
 /// bottom-up level, then compacted in place as vertices are discovered —
 /// and reuses state.bu_scratch for the next frontier, so steady-state
-/// levels neither rescan visited vertices nor allocate. All counters
-/// (|V|cq, unvisited, edges-scanned hit/miss, next) are bit-equal to the
-/// full-scan kernel's.
+/// levels neither rescan visited vertices nor allocate. With default
+/// tuning, all counters (|V|cq, unvisited, edges-scanned hit/miss,
+/// next) are bit-equal to the full-scan kernel's.
+///
+/// `tuning` (bfs/mem_tuning.h):
+///   * prefetch.distance d > 0 on a PrefetchableView prefetches the
+///     in-row of unvisited[i + d] while candidate i scans — advisory
+///     only, discovery set and counters unchanged.
+///   * hub_cache non-null consults the candidate's hub sub-row against
+///     an L1-resident k-bit frontier snapshot before the full-width
+///     scan. The *discovered* set per level (hence every distance) is
+///     identical — a hub in-neighbour is an in-neighbour — but on a hub
+///     hit the parent is the first frontier hub (not the first frontier
+///     predecessor in row order) and edges_scanned_hit counts the hub
+///     ranks examined, so parent maps and scan counters may differ from
+///     the stock kernel's. Off by default; the golden trace pins the
+///     stock path.
 template <graph::TransposeView V>
-BottomUpStats bottom_up_step(const V& g, BfsState& state) {
+BottomUpStats bottom_up_step(const V& g, BfsState& state, MemTuning tuning) {
   BottomUpStats stats;
   stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
 
   const std::int32_t next_level = state.current_level + 1;
   if (!state.unvisited_primed) detail::prime_unvisited(g.num_vertices(), state);
+
+  const HubCache* hub = tuning.hub_cache;
+  if (hub != nullptr) {
+    BFSX_CHECK_EQ(hub->num_vertices(), g.num_vertices());
+    if (hub->num_hubs() == 0) {
+      hub = nullptr;  // degenerate cache: nothing to probe
+    } else {
+      // One O(k) snapshot per level, outside the parallel scan, so the
+      // k-bit map is immutable while threads read it. Per-state storage
+      // keeps concurrent traversals sharing one HubCache race-free.
+      hub->snapshot_frontier(state.frontier_bitmap, state.hub_bits);
+    }
+  }
+
+  std::size_t dist = 0;
+  if constexpr (graph::PrefetchableView<V>) {
+    if (tuning.prefetch.enabled()) {
+      dist = static_cast<std::size_t>(tuning.prefetch.distance);
+    }
+  }
   // Reused scratch; all-zero on entry (constructor + the dirty-word
   // wipe at the end of every step maintain the invariant). A dirty
   // scratch silently resurrects a previous frontier into this level's
@@ -100,18 +143,53 @@ BottomUpStats bottom_up_step(const V& g, BfsState& state) {
   eid_t scanned_hit = 0;
   eid_t scanned_miss = 0;
   vid_t found = 0;
+  vid_t hub_probes = 0;
+  vid_t hub_hits = 0;
 
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic, 1024) \
-    reduction(+ : unvisited, scanned_hit, scanned_miss, found)
+    reduction(+ : unvisited, scanned_hit, scanned_miss, found, hub_probes, \
+                  hub_hits)
 #endif
   for (std::size_t i = 0; i < ncand; ++i) {
     const vid_t v = cand[i];
+    if constexpr (graph::PrefetchableView<V>) {
+      // Pull the in-row of the candidate `dist` slots ahead toward the
+      // cache while this one scans; advisory, never changes the scan.
+      if (dist > 0 && i + dist < ncand) g.prefetch_in_row(cand[i + dist]);
+    }
     // Stragglers an interleaved top-down step visited since the list
     // was last compacted; skipping them here keeps every counter equal
     // to the full 0..n scan's.
     if (state.visited.test(static_cast<std::size_t>(v))) continue;
     ++unvisited;
+    if (hub != nullptr) {
+      // Probe the candidate's hub in-neighbours against the k-bit
+      // snapshot first: a hit resolves the whole scan from one or two
+      // L1 lines instead of a random walk over the |V|-bit frontier.
+      const std::span<const std::uint16_t> hrow = hub->hub_in_row(v);
+      if (!hrow.empty()) {
+        ++hub_probes;
+        eid_t hwalked = 0;
+        vid_t hparent = kNoVertex;
+        for (const std::uint16_t r : hrow) {
+          ++hwalked;
+          if (state.hub_bits.test(static_cast<std::size_t>(r))) {
+            hparent = hub->hub(r);
+            break;
+          }
+        }
+        if (hparent != kNoVertex) {
+          state.parent[static_cast<std::size_t>(v)] = hparent;
+          state.level[static_cast<std::size_t>(v)] = next_level;
+          next.set_atomic(static_cast<std::size_t>(v));
+          ++hub_hits;
+          ++found;
+          scanned_hit += hwalked;
+          continue;
+        }
+      }
+    }
     // Algorithm 2 lines 9-12: scan predecessors, adopt the first one
     // found in the current frontier, then stop (callback returns false).
     eid_t walked = 0;
@@ -154,6 +232,8 @@ BottomUpStats bottom_up_step(const V& g, BfsState& state) {
   stats.edges_scanned_hit = scanned_hit;
   stats.edges_scanned_miss = scanned_miss;
   stats.next_vertices = found;
+  stats.hub_probes = hub_probes;
+  stats.hub_hits = hub_hits;
   state.reached += found;
   state.current_level = next_level;
   state.frontier_bitmap.swap(next);
@@ -171,6 +251,13 @@ BottomUpStats bottom_up_step(const V& g, BfsState& state) {
   // source, instead of levels later.
   BFSX_PARANOID(state.assert_invariants(g.num_vertices()));
   return stats;
+}
+
+/// Untuned entry point: default knobs, bit-identical to the historical
+/// kernel (the golden-trace test runs through here).
+template <graph::TransposeView V>
+BottomUpStats bottom_up_step(const V& g, BfsState& state) {
+  return bottom_up_step(g, state, MemTuning{});
 }
 
 /// Counting-only variant: computes exactly the statistics a bottom-up
@@ -263,6 +350,8 @@ template <graph::TransposeView V>
 
 /// CSR entry points: forward through the zero-overhead adapter.
 BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state);
+BottomUpStats bottom_up_step(const CsrGraph& g, BfsState& state,
+                             MemTuning tuning);
 [[nodiscard]] BottomUpStats bottom_up_probe(const CsrGraph& g,
                                             const BfsState& state);
 

@@ -1,0 +1,68 @@
+#include "bfs/hub_cache.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "graph/graph_stats.h"
+
+namespace bfsx::bfs {
+
+HubCache::HubCache(const graph::CsrGraph& g, int k)
+    : num_vertices_(g.num_vertices()) {
+  const int clamped = std::clamp(k, 0, 65535);  // ranks must fit uint16
+  hubs_ = graph::top_out_degree_vertices(g, static_cast<std::size_t>(clamped));
+
+  const auto n = static_cast<std::size_t>(num_vertices_);
+  row_offsets_.assign(n + 1, 0);
+  if (hubs_.empty()) return;
+
+  // rank_of[v] = v's hub rank, or -1. Dense lookup makes the build one
+  // O(E) sweep instead of a binary search per in-edge.
+  std::vector<std::int32_t> rank_of(n, -1);
+  for (std::size_t r = 0; r < hubs_.size(); ++r) {
+    rank_of[static_cast<std::size_t>(hubs_[r])] = static_cast<std::int32_t>(r);
+  }
+
+  // Two-phase like the CSR builder: count per-vertex hub in-neighbours,
+  // prefix-sum, then write each sub-row at its exact offset — identical
+  // layout for any thread count.
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t v = 0; v < n; ++v) {
+    graph::eid_t count = 0;
+    for (const graph::vid_t u : g.in_neighbors(static_cast<graph::vid_t>(v))) {
+      if (rank_of[static_cast<std::size_t>(u)] >= 0) ++count;
+    }
+    row_offsets_[v + 1] = count;  // per-row size; prefix-summed below
+  }
+  for (std::size_t v = 0; v < n; ++v) row_offsets_[v + 1] += row_offsets_[v];
+
+  hub_rows_.resize(static_cast<std::size_t>(row_offsets_[n]));
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::size_t v = 0; v < n; ++v) {
+    std::uint16_t* out = hub_rows_.data() + row_offsets_[v];
+    for (const graph::vid_t u : g.in_neighbors(static_cast<graph::vid_t>(v))) {
+      const std::int32_t r = rank_of[static_cast<std::size_t>(u)];
+      if (r >= 0) *out++ = static_cast<std::uint16_t>(r);
+    }
+  }
+}
+
+void HubCache::snapshot_frontier(const graph::Bitmap& frontier,
+                                 graph::Bitmap& bits) const {
+  if (bits.size() != hubs_.size()) {
+    bits.resize_and_reset(hubs_.size());
+  }
+  for (std::size_t r = 0; r < hubs_.size(); ++r) {
+    if (frontier.test(static_cast<std::size_t>(hubs_[r]))) {
+      bits.set(r);
+    } else {
+      bits.clear(r);
+    }
+  }
+}
+
+}  // namespace bfsx::bfs

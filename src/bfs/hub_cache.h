@@ -1,0 +1,92 @@
+// Hub-cached bottom-up: a compact, L1-resident frontier bitmap over the
+// top-k out-degree vertices ("hubs").
+//
+// Why it helps: in an R-MAT graph a huge fraction of in-edges point at
+// a few hundred hubs, and during the mid-traversal levels (where the
+// combination heuristic runs bottom-up) those hubs are almost always in
+// the frontier. The stock bottom-up scan discovers that by testing
+// `frontier_bitmap[u]` for each in-neighbour u — a random read into an
+// |V|-bit map that misses cache constantly. The hub cache instead
+// precomputes, per vertex, the sub-row of its in-neighbours that are
+// hubs (as 16-bit ranks) and snapshots the hubs' frontier membership
+// into a k-bit side bitmap once per level. A candidate then probes the
+// k-bit map — which fits in one or two cache lines for k ≤ 1024 — and
+// only falls back to the full-width scan when no hub parent is found.
+//
+// Exactness: a hub in-neighbour IS an in-neighbour, so the set of
+// vertices discovered per level (and therefore every distance/level) is
+// identical to the stock kernel's. What may differ is the *parent*
+// chosen (a hub instead of the first frontier predecessor in row order)
+// and the edges-scanned counters (hub probes are counted separately).
+// The flag is off by default; the golden trace runs the stock path.
+//
+// Structure is immutable after construction and shared by concurrent
+// traversals (parallel-roots batches); the per-traversal k-bit snapshot
+// lives in BfsState::hub_bits. DESIGN.md §12.2 documents the sizing
+// rule.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bitmap.h"
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace bfsx::bfs {
+
+class HubCache {
+ public:
+  /// Selects the top-`k` out-degree vertices of `g` (ties toward the
+  /// smaller id, via graph::top_out_degree_vertices — the same rule the
+  /// serve-layer landmark cache uses) and builds the per-vertex hub
+  /// in-neighbour sub-rows. `k` is clamped to [0, 65535] so ranks fit
+  /// in 16 bits.
+  HubCache(const graph::CsrGraph& g, int k);
+
+  [[nodiscard]] std::size_t num_hubs() const noexcept { return hubs_.size(); }
+  [[nodiscard]] graph::vid_t num_vertices() const noexcept {
+    return num_vertices_;
+  }
+
+  /// Hub vertex id for a rank from hub_in_row().
+  [[nodiscard]] graph::vid_t hub(std::uint16_t rank) const noexcept {
+    return hubs_[rank];
+  }
+
+  [[nodiscard]] std::span<const graph::vid_t> hubs() const noexcept {
+    return hubs_;
+  }
+
+  /// Ranks of v's in-neighbours that are hubs, in in-row order (so the
+  /// first frontier hit is the hubbiest-available parent only by row
+  /// position, exactly like the full scan restricted to hubs).
+  [[nodiscard]] std::span<const std::uint16_t> hub_in_row(
+      graph::vid_t v) const noexcept {
+    const auto u = static_cast<std::size_t>(v);
+    return {hub_rows_.data() + row_offsets_[u],
+            static_cast<std::size_t>(row_offsets_[u + 1] - row_offsets_[u])};
+  }
+
+  /// Rebuilds `bits` (resized to num_hubs() if needed) as the hubs'
+  /// current frontier membership: bit r set iff hubs_[r] is in
+  /// `frontier`. O(k); called once per bottom-up level, outside the
+  /// parallel region, so the snapshot is immutable during the scan.
+  void snapshot_frontier(const graph::Bitmap& frontier,
+                         graph::Bitmap& bits) const;
+
+  /// Total ranks stored across all sub-rows (diagnostic; the memory
+  /// cost of the cache is 2 bytes per stored rank + 8 bytes/vertex).
+  [[nodiscard]] std::size_t total_hub_entries() const noexcept {
+    return hub_rows_.size();
+  }
+
+ private:
+  std::vector<graph::vid_t> hubs_;           // rank -> vertex id
+  std::vector<graph::eid_t> row_offsets_;    // n + 1, into hub_rows_
+  std::vector<std::uint16_t> hub_rows_;      // per-vertex hub ranks
+  graph::vid_t num_vertices_ = 0;
+};
+
+}  // namespace bfsx::bfs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/contract.h"
+#include "graph/numa.h"
 
 namespace bfsx::bfs {
 
@@ -10,14 +11,27 @@ void BfsState::reset(vid_t num_vertices, vid_t root) {
   BFSX_CHECK(root >= 0 && root < num_vertices)
       << "BFS root " << root << " out of range [0, " << num_vertices << ")";
   const auto n = static_cast<std::size_t>(num_vertices);
-  parent.assign(n, kNoVertex);
-  level.assign(n, -1);
+  // Pool-reuse path: same-size maps are refilled with a thread-chunked
+  // fill (first-touch-friendly and parallel); the growth path keeps the
+  // plain assign, which must reallocate anyway.
+  if (parent.size() == n) {
+    graph::numa::parallel_fill(parent.data(), n, kNoVertex);
+  } else {
+    parent.assign(n, kNoVertex);
+  }
+  if (level.size() == n) {
+    graph::numa::parallel_fill(level.data(), n, std::int32_t{-1});
+  } else {
+    level.assign(n, -1);
+  }
   visited.resize_and_reset(n);
   frontier_queue.clear();
   frontier_bitmap.resize_and_reset(n);
   unvisited.clear();
   unvisited_primed = false;
   bu_scratch.resize_and_reset(n);
+  for (auto& part : td_local_next) part.clear();
+  td_next.clear();
   current_level = 0;
   parent[static_cast<std::size_t>(root)] = root;
   level[static_cast<std::size_t>(root)] = 0;

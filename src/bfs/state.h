@@ -91,6 +91,23 @@ struct BfsState {
   /// only the words the previous frontier dirtied).
   Bitmap bu_scratch;
 
+  /// Top-down scratch: per-thread discovery buffers and the merged next
+  /// queue, owned by the state so steady-state levels allocate nothing
+  /// (mirror of bu_scratch for the other direction). The kernel sizes
+  /// td_local_next to the team width on first use, clears the parts
+  /// (capacity retained) each level, and swaps td_next with the
+  /// frontier queue — after the first few levels every buffer has
+  /// reached its high-water capacity and stays there.
+  std::vector<std::vector<vid_t>> td_local_next;
+  std::vector<vid_t> td_next;
+
+  /// Hub-cache frontier snapshot (bfs/hub_cache.h): bit r set iff hub
+  /// rank r is in the current frontier. Rebuilt O(k) per bottom-up
+  /// level by HubCache::snapshot_frontier; per-state so concurrent
+  /// traversals sharing one immutable HubCache never race. Empty unless
+  /// the hub-cache tuning knob is on.
+  Bitmap hub_bits;
+
   std::int32_t current_level = 0;
   vid_t reached = 1;
 

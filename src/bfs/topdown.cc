@@ -6,4 +6,9 @@ TopDownStats top_down_step(const CsrGraph& g, BfsState& state) {
   return top_down_step(graph::CsrGraphView(g), state);
 }
 
+TopDownStats top_down_step(const CsrGraph& g, BfsState& state,
+                           MemTuning tuning) {
+  return top_down_step(graph::CsrGraphView(g), state, tuning);
+}
+
 }  // namespace bfsx::bfs

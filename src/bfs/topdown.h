@@ -6,6 +6,12 @@
 // below forwards through the adapter, which keeps every existing call
 // site source-compatible and makes CSR bit-equality structural rather
 // than promised.
+//
+// Scratch discipline: the per-thread discovery buffers and the merged
+// next queue live in BfsState (td_local_next / td_next), so steady-state
+// levels perform no allocation — the buffers reach their high-water
+// capacity after the widest level and are recycled by the
+// queue-swap at the end of each step (test_mem_tuning pins this).
 #pragma once
 
 #include <cstddef>
@@ -16,6 +22,7 @@
 #endif
 
 #include "bfs/frontier.h"
+#include "bfs/mem_tuning.h"
 #include "bfs/state.h"
 #include "check/contract.h"
 #include "graph/view.h"
@@ -36,10 +43,18 @@ struct TopDownStats {
 /// OpenMP; discovered vertices are claimed with an atomic test-and-set
 /// so each vertex gets exactly one parent.
 ///
+/// `tuning.prefetch` (bfs/mem_tuning.h): with distance d > 0 and a
+/// PrefetchableView, each iteration prefetches the adjacency row of
+/// queue[i + d] and — inside the row walk — the visited-bitmap word of
+/// the neighbour d slots ahead, hiding the two dependent random-access
+/// misses of the gather. d == 0 (the default) takes the plain loop;
+/// non-prefetchable views compile the hints out entirely. Prefetching
+/// never changes which vertices are discovered or in what order.
+///
 /// On return the state's frontier (queue + bitmap), visited set, parent
 /// and level maps, current_level, and reached count are all updated.
 template <graph::GraphView V>
-TopDownStats top_down_step(const V& g, BfsState& state) {
+TopDownStats top_down_step(const V& g, BfsState& state, MemTuning tuning) {
   TopDownStats stats;
   stats.frontier_vertices = static_cast<vid_t>(state.frontier_queue.size());
 
@@ -50,14 +65,23 @@ TopDownStats top_down_step(const V& g, BfsState& state) {
   // reduction makes it exact under any schedule.
   eid_t frontier_edges = 0;
 
-  std::vector<vid_t> next;
 #ifdef _OPENMP
   const int num_threads = omp_get_max_threads();
 #else
   const int num_threads = 1;
 #endif
-  std::vector<std::vector<vid_t>> local_next(
-      static_cast<std::size_t>(num_threads));
+  auto& local_next = state.td_local_next;
+  if (local_next.size() < static_cast<std::size_t>(num_threads)) {
+    local_next.resize(static_cast<std::size_t>(num_threads));
+  }
+  for (auto& part : local_next) part.clear();  // capacity retained
+
+  std::size_t dist = 0;
+  if constexpr (graph::PrefetchableView<V>) {
+    if (tuning.prefetch.enabled()) {
+      dist = static_cast<std::size_t>(tuning.prefetch.distance);
+    }
+  }
 
 #ifdef _OPENMP
 #pragma omp parallel reduction(+ : frontier_edges)
@@ -75,7 +99,7 @@ TopDownStats top_down_step(const V& g, BfsState& state) {
     for (std::size_t i = 0; i < queue.size(); ++i) {
       const vid_t u = queue[i];
       frontier_edges += g.out_degree(u);
-      g.for_each_out_neighbor(u, [&state, &mine, u, next_level](vid_t v) {
+      const auto visit = [&state, &mine, u, next_level](vid_t v) {
         // Algorithm 1 line 9: visited check, fused with the claim so two
         // frontier vertices cannot both adopt v.
         if (state.visited.test_and_set_atomic(static_cast<std::size_t>(v))) {
@@ -83,12 +107,34 @@ TopDownStats top_down_step(const V& g, BfsState& state) {
           state.level[static_cast<std::size_t>(v)] = next_level;
           mine.push_back(v);
         }
-      });
+      };
+      if constexpr (graph::PrefetchableView<V>) {
+        if (dist > 0) {
+          // Row-level lookahead: pull queue[i + d]'s adjacency row in
+          // while this row is being walked.
+          if (i + dist < queue.size()) g.prefetch_out_row(queue[i + dist]);
+          // Word-level lookahead inside the row: the visited word of the
+          // neighbour d slots ahead, write intent (test_and_set is next).
+          g.for_each_out_neighbor_ahead(
+              u, static_cast<int>(dist),
+              [&state](vid_t w) {
+                state.visited.prefetch_write(static_cast<std::size_t>(w));
+              },
+              visit);
+          continue;
+        }
+      }
+      g.for_each_out_neighbor(u, visit);
     }
   }
 
   stats.frontier_edges = frontier_edges;
 
+  // Merge in thread-id order into the state-owned next queue, then swap
+  // it with the frontier: the old frontier's storage becomes the next
+  // level's merge target — no allocation once capacities plateau.
+  auto& next = state.td_next;
+  next.clear();
   std::size_t total = 0;
   for (const auto& part : local_next) total += part.size();
   next.reserve(total);
@@ -99,7 +145,7 @@ TopDownStats top_down_step(const V& g, BfsState& state) {
   stats.next_vertices = static_cast<vid_t>(next.size());
   state.reached += stats.next_vertices;
   state.current_level = next_level;
-  state.frontier_queue = std::move(next);
+  state.frontier_queue.swap(next);
   queue_to_bitmap(state.frontier_queue, state.frontier_bitmap);
   // Catches a lost atomic claim (parent written without the level, a
   // double discovery) at the level it happened, including the straggler
@@ -108,7 +154,16 @@ TopDownStats top_down_step(const V& g, BfsState& state) {
   return stats;
 }
 
-/// CSR entry point: forwards through the zero-overhead adapter.
+/// Untuned entry point: default knobs, bit-identical to the historical
+/// kernel (the golden-trace test runs through here).
+template <graph::GraphView V>
+TopDownStats top_down_step(const V& g, BfsState& state) {
+  return top_down_step(g, state, MemTuning{});
+}
+
+/// CSR entry points: forward through the zero-overhead adapter.
 TopDownStats top_down_step(const CsrGraph& g, BfsState& state);
+TopDownStats top_down_step(const CsrGraph& g, BfsState& state,
+                           MemTuning tuning);
 
 }  // namespace bfsx::bfs

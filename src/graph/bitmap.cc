@@ -6,13 +6,22 @@
 
 namespace bfsx::graph {
 
-Bitmap::Bitmap(std::size_t size) : words_((size + 63) / 64, 0), size_(size) {}
+Bitmap::Bitmap(std::size_t size) : size_(size) {
+  words_.resize((size + 63) / 64);  // default-init: no touch yet
+  numa::parallel_fill(words_.data(), words_.size(), std::uint64_t{0});
+}
 
-void Bitmap::reset() noexcept { std::fill(words_.begin(), words_.end(), 0); }
+void Bitmap::reset() noexcept {
+  numa::parallel_fill(words_.data(), words_.size(), std::uint64_t{0});
+}
 
 void Bitmap::resize_and_reset(std::size_t size) {
   size_ = size;
-  words_.assign((size + 63) / 64, 0);
+  // resize leaves new words indeterminate (DefaultInitAllocator); the
+  // parallel zero-fill below is the first touch, chunked like the
+  // kernels' scans so pages land near their readers.
+  words_.resize((size + 63) / 64);
+  numa::parallel_fill(words_.data(), words_.size(), std::uint64_t{0});
 }
 
 void Bitmap::set_atomic(std::size_t pos) noexcept {

@@ -8,8 +8,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "graph/numa.h"
 #include "graph/types.h"
 
 namespace bfsx::graph {
@@ -47,6 +47,19 @@ class Bitmap {
   /// bitmap (one store per frontier vertex instead of an O(n/64) full
   /// reset); callers must own every bit of the word.
   void clear_word(std::size_t pos) noexcept { words_[pos >> 6] = 0; }
+
+  /// Software-prefetch hint for the cache line holding bit `pos`
+  /// (read intent). The prefetch kernels (bfs/mem_tuning.h) issue these
+  /// a configurable distance ahead of the dependent load.
+  void prefetch(std::size_t pos) const noexcept {
+    __builtin_prefetch(words_.data() + (pos >> 6), 0, 3);
+  }
+
+  /// Prefetch with write intent (the line will be claimed exclusive) —
+  /// for bits about to be test_and_set.
+  void prefetch_write(std::size_t pos) const noexcept {
+    __builtin_prefetch(words_.data() + (pos >> 6), 1, 3);
+  }
 
   /// Atomically sets bit `pos`; safe under concurrent writers.
   void set_atomic(std::size_t pos) noexcept;
@@ -95,7 +108,11 @@ class Bitmap {
   }
 
  private:
-  std::vector<std::uint64_t> words_;
+  /// First-touch storage: resize_and_reset grows without writing, then
+  /// zeroes through numa::parallel_fill, so on multi-node machines the
+  /// visited/frontier words land on the nodes of the threads that scan
+  /// them (single-node: identical behaviour, plain fill).
+  numa::vector<std::uint64_t> words_;
   std::size_t size_ = 0;
 };
 

@@ -42,8 +42,8 @@ constexpr std::size_t chunk_begin(std::size_t total, int t, int workers) {
 }
 
 struct CsrArrays {
-  std::vector<eid_t> offsets;
-  std::vector<vid_t> targets;
+  EidArray offsets;
+  VidArray targets;
 };
 
 /// Counting-sort the (src → dst) pairs into CSR arrays, then optionally
@@ -60,8 +60,12 @@ CsrArrays pack(vid_t n, const std::vector<Edge>& edges, bool by_src,
   const Edge* e = edges.data();
   const int workers = worker_count(m);
 
-  std::vector<eid_t> offsets(nu + 1, 0);
-  std::vector<vid_t> targets(m);
+  EidArray offsets(nu + 1, 0);
+  // Allocated untouched (DefaultInitAllocator): the blocked scatter
+  // below performs the first write to every element, so on multi-node
+  // machines each page lands on the NUMA node of the worker that owns
+  // that edge chunk (first-touch placement; graph/numa.h).
+  VidArray targets(m);
   // hist[t][v]: first the number of key-v edges in chunk t, then (after
   // the merge) the number of key-v edges in chunks before t — worker
   // t's starting cursor within row v.
@@ -120,7 +124,7 @@ CsrArrays pack(vid_t n, const std::vector<Edge>& edges, bool by_src,
   }
 
   if (opts.sort_neighbors || opts.deduplicate) {
-    std::vector<eid_t> new_offsets(nu + 1, 0);
+    EidArray new_offsets(nu + 1, 0);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic, 256) num_threads(workers)
 #endif
@@ -137,7 +141,8 @@ CsrArrays pack(vid_t n, const std::vector<Edge>& edges, bool by_src,
       // Dedup removed something: compact rows into a fresh array (rows
       // move left by varying amounts, so in-place compaction would
       // serialise; a parallel copy into disjoint destinations does not).
-      std::vector<vid_t> packed(total);
+      // First touch happens in the parallel row copy below.
+      VidArray packed(total);
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) num_threads(workers)
 #endif

@@ -10,8 +10,8 @@ namespace {
 
 /// Shared structural checks over one adjacency (offsets, targets) pair.
 /// `side` labels failures "out" or "in".
-void check_adjacency(const char* side, const std::vector<eid_t>& offsets,
-                     const std::vector<vid_t>& targets, bool expect_sorted,
+void check_adjacency(const char* side, const EidArray& offsets,
+                     const VidArray& targets, bool expect_sorted,
                      check::CheckReport& report) {
   if (offsets.empty()) {
     report.failf() << side << "-offsets empty (no vertex sentinel)";
@@ -59,8 +59,8 @@ void check_adjacency(const char* side, const std::vector<eid_t>& offsets,
 
 /// True iff `v` appears in the (offsets, targets) row of `u`; binary
 /// search when rows are sorted, linear otherwise.
-bool row_contains(const std::vector<eid_t>& offsets,
-                  const std::vector<vid_t>& targets, vid_t u, vid_t v,
+bool row_contains(const EidArray& offsets,
+                  const VidArray& targets, vid_t u, vid_t v,
                   bool sorted) {
   const auto lo = static_cast<std::size_t>(offsets[static_cast<std::size_t>(u)]);
   const auto hi =
@@ -77,7 +77,7 @@ bool row_contains(const std::vector<eid_t>& offsets,
 
 }  // namespace
 
-CsrGraph::CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> targets)
+CsrGraph::CsrGraph(EidArray offsets, VidArray targets)
     : out_offsets_(std::move(offsets)),
       out_targets_(std::move(targets)),
       symmetric_(true) {
@@ -90,10 +90,8 @@ CsrGraph::CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> targets)
   BFSX_CHECK_EQ(out_offsets_.back(), static_cast<eid_t>(out_targets_.size()));
 }
 
-CsrGraph::CsrGraph(std::vector<eid_t> out_offsets,
-                   std::vector<vid_t> out_targets,
-                   std::vector<eid_t> in_offsets,
-                   std::vector<vid_t> in_targets)
+CsrGraph::CsrGraph(EidArray out_offsets, VidArray out_targets,
+                   EidArray in_offsets, VidArray in_targets)
     : out_offsets_(std::move(out_offsets)),
       out_targets_(std::move(out_targets)),
       in_offsets_(std::move(in_offsets)),

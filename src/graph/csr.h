@@ -12,9 +12,17 @@
 #include <vector>
 
 #include "check/report.h"
+#include "graph/numa.h"
 #include "graph/types.h"
 
 namespace bfsx::graph {
+
+/// CSR adjacency array types. numa::vector so the parallel builder's
+/// blocked scatter performs the first touch (pages land on the nodes of
+/// the threads that later traverse those rows); interchangeable with
+/// std::vector everywhere except the allocator parameter.
+using EidArray = numa::vector<eid_t>;
+using VidArray = numa::vector<vid_t>;
 
 class CsrGraph {
  public:
@@ -22,11 +30,11 @@ class CsrGraph {
 
   /// Builds a symmetric graph: `offsets`/`targets` serve as both the
   /// out- and in-adjacency.
-  CsrGraph(std::vector<eid_t> offsets, std::vector<vid_t> targets);
+  CsrGraph(EidArray offsets, VidArray targets);
 
   /// Builds a directed graph with distinct out- and in-adjacency.
-  CsrGraph(std::vector<eid_t> out_offsets, std::vector<vid_t> out_targets,
-           std::vector<eid_t> in_offsets, std::vector<vid_t> in_targets);
+  CsrGraph(EidArray out_offsets, VidArray out_targets, EidArray in_offsets,
+           VidArray in_targets);
 
   [[nodiscard]] vid_t num_vertices() const noexcept {
     return out_offsets_.empty() ? 0
@@ -70,16 +78,16 @@ class CsrGraph {
   [[nodiscard]] bool has_edge(vid_t u, vid_t v) const noexcept;
 
   /// Raw arrays, exposed for kernels that iterate the whole structure.
-  [[nodiscard]] const std::vector<eid_t>& out_offsets() const noexcept {
+  [[nodiscard]] const EidArray& out_offsets() const noexcept {
     return out_offsets_;
   }
-  [[nodiscard]] const std::vector<vid_t>& out_targets() const noexcept {
+  [[nodiscard]] const VidArray& out_targets() const noexcept {
     return out_targets_;
   }
-  [[nodiscard]] const std::vector<eid_t>& in_offsets() const noexcept {
+  [[nodiscard]] const EidArray& in_offsets() const noexcept {
     return symmetric_ ? out_offsets_ : in_offsets_;
   }
-  [[nodiscard]] const std::vector<vid_t>& in_targets() const noexcept {
+  [[nodiscard]] const VidArray& in_targets() const noexcept {
     return symmetric_ ? out_targets_ : in_targets_;
   }
 
@@ -101,10 +109,10 @@ class CsrGraph {
   void assert_invariants(bool expect_sorted = true) const;
 
  private:
-  std::vector<eid_t> out_offsets_;
-  std::vector<vid_t> out_targets_;
-  std::vector<eid_t> in_offsets_;   // empty when symmetric_
-  std::vector<vid_t> in_targets_;  // empty when symmetric_
+  EidArray out_offsets_;
+  VidArray out_targets_;
+  EidArray in_offsets_;   // empty when symmetric_
+  VidArray in_targets_;  // empty when symmetric_
   bool symmetric_ = true;
 };
 

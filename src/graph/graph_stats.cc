@@ -1,5 +1,6 @@
 #include "graph/graph_stats.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <deque>
@@ -111,6 +112,29 @@ std::vector<vid_t> sample_roots(const CsrGraph& g, int count,
     if (g.out_degree(v) > 0) roots.push_back(v);
   }
   return roots;
+}
+
+std::vector<vid_t> top_out_degree_vertices(const CsrGraph& g,
+                                            std::size_t k) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  const auto hubbier = [&g](vid_t a, vid_t b) {
+    const eid_t da = g.out_degree(a);
+    const eid_t db = g.out_degree(b);
+    return da != db ? da > db : a < b;
+  };
+  const std::size_t want = std::min(k, static_cast<std::size_t>(n));
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(want),
+                    order.end(), hubbier);
+  std::vector<vid_t> hubs;
+  hubs.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    if (g.out_degree(order[i]) == 0) break;  // only isolated ones left
+    hubs.push_back(order[i]);
+  }
+  return hubs;
 }
 
 std::string summarize(const CsrGraph& g) {

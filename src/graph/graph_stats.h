@@ -46,6 +46,13 @@ struct ComponentStats {
 [[nodiscard]] std::vector<vid_t> sample_roots(const CsrGraph& g, int count,
                                               std::uint64_t seed);
 
+/// The (at most) `k` vertices of highest out-degree, ties broken toward
+/// the smaller id, zero-degree vertices excluded. Deterministic, so the
+/// serve-layer landmark set and the bottom-up hub cache pick identical
+/// hubs for the same graph. O(V log k) via partial sort.
+[[nodiscard]] std::vector<vid_t> top_out_degree_vertices(const CsrGraph& g,
+                                                         std::size_t k);
+
 /// One-line human-readable summary ("|V|=65536 |E|=2097152 deg:…").
 [[nodiscard]] std::string summarize(const CsrGraph& g);
 

@@ -1,0 +1,50 @@
+#include "graph/numa.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bfsx::graph::numa {
+namespace {
+
+/// Parses "/sys/devices/system/node/possible" ("0" or "0-3" or
+/// "0,2-3"); returns the node count, or 1 on any parse/IO failure.
+int probe_num_nodes() noexcept {
+  std::FILE* f = std::fopen("/sys/devices/system/node/possible", "r");
+  if (f == nullptr) return 1;
+  char buf[256];
+  const char* line = std::fgets(buf, sizeof buf, f);
+  std::fclose(f);
+  if (line == nullptr) return 1;
+  // Count list entries: each comma-separated token is either a node id
+  // or an inclusive range "a-b".
+  int count = 0;
+  const char* p = buf;
+  while (*p != '\0' && *p != '\n') {
+    char* end = nullptr;
+    const long a = std::strtol(p, &end, 10);
+    if (end == p) return 1;
+    long b = a;
+    p = end;
+    if (*p == '-') {
+      ++p;
+      b = std::strtol(p, &end, 10);
+      if (end == p) return 1;
+      p = end;
+    }
+    if (b < a) return 1;
+    count += static_cast<int>(b - a + 1);
+    if (*p == ',') ++p;
+  }
+  return count > 0 ? count : 1;
+}
+
+}  // namespace
+
+int num_nodes() noexcept {
+  static const int nodes = probe_num_nodes();
+  return nodes;
+}
+
+bool multi_node() noexcept { return num_nodes() > 1; }
+
+}  // namespace bfsx::graph::numa

@@ -1,0 +1,97 @@
+// NUMA-aware first-touch placement helpers.
+//
+// Linux backs freshly mapped pages on the NUMA node of the thread that
+// *first writes* them, so an array serially zero-initialised by the
+// allocating thread lands entirely on one node and every remote reader
+// pays interconnect latency. The fix is structural: allocate without
+// touching (DefaultInitAllocator — default-init is a no-op for trivial
+// element types), then let the parallel loop that will later scan the
+// data perform the first write with the same static chunking
+// (parallel_fill, or the builder's blocked scatter). On a single-node
+// machine the layout is identical either way and the helpers degrade to
+// plain fills — graceful no-op, no libnuma dependency.
+//
+// DESIGN.md §12.4 documents the policy; bench_mem measures it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace bfsx::graph::numa {
+
+/// Number of online NUMA nodes (from /sys/devices/system/node); 1 when
+/// the sysfs probe fails (non-Linux, containers with masked sysfs).
+[[nodiscard]] int num_nodes() noexcept;
+
+/// True on machines where first-touch placement can matter. Purely
+/// informational — the helpers are correct (and cheap) either way.
+[[nodiscard]] bool multi_node() noexcept;
+
+/// Allocator that default-initialises instead of value-initialising:
+/// for trivial element types `vector(n)` / `resize(n)` allocate without
+/// writing, so no page is touched until real data lands. Explicit
+/// constructor arguments still forward normally.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+  using std::allocator<T>::allocator;
+
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+
+  template <typename U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;  // default-init: no store for trivial U
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+/// A std::vector whose untouched tail stays unmapped until first write.
+/// Element reads before the owner's fill/scatter are indeterminate —
+/// only code that provably writes before reading (counting-sort
+/// scatters, parallel_fill) should resize one.
+template <typename T>
+using vector = std::vector<T, DefaultInitAllocator<T>>;
+
+/// Below this many elements a parallel fill costs more than it saves.
+inline constexpr std::size_t kParallelFillThreshold = std::size_t{1} << 16;
+
+/// Fills [data, data+n) with `value`, first-touching pages from the
+/// worker threads in contiguous static chunks — the same chunk map the
+/// traversal kernels' static schedules use, so pages land near their
+/// readers. Falls back to a serial fill for small n, without OpenMP, or
+/// inside an enclosing parallel region (a nested team has 1 thread and
+/// thread-id chunking would skip work; see graph/builder.cc).
+template <typename T>
+void parallel_fill(T* data, std::size_t n, T value) {
+#ifdef _OPENMP
+  if (n >= kParallelFillThreshold && !omp_in_parallel()) {
+    const int workers = std::max(1, omp_get_max_threads());
+#pragma omp parallel num_threads(workers)
+    {
+      const int t = omp_get_thread_num();
+      // det: chunk [lo, hi) is a pure index partition; every element is
+      // written exactly once with the same value for any worker count.
+      const std::size_t lo =
+          n * static_cast<std::size_t>(t) / static_cast<std::size_t>(workers);
+      const std::size_t hi = n * (static_cast<std::size_t>(t) + 1) /
+                             static_cast<std::size_t>(workers);
+      std::fill(data + lo, data + hi, value);
+    }
+    return;
+  }
+#endif
+  std::fill(data, data + n, value);
+}
+
+}  // namespace bfsx::graph::numa

@@ -93,8 +93,8 @@ std::size_t LocalSubgraph::memory_footprint_bytes() const noexcept {
 namespace {
 
 /// Copies rows [first, last) of one adjacency into rebased local arrays.
-void copy_rows(const std::vector<eid_t>& offs, const std::vector<vid_t>& tgts,
-               vid_t first, vid_t last, std::vector<eid_t>& local_offs,
+void copy_rows(const EidArray& offs, const VidArray& tgts, vid_t first,
+               vid_t last, std::vector<eid_t>& local_offs,
                std::vector<vid_t>& local_tgts) {
   const auto lo = offs[static_cast<std::size_t>(first)];
   const auto hi = offs[static_cast<std::size_t>(last)];

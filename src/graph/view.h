@@ -99,6 +99,31 @@ concept EdgeQueryView = GraphView<V> && requires(const V& g, vid_t u, vid_t v) {
 template <typename V>
 concept HybridView = TransposeView<V> && EdgeCountedView<V>;
 
+/// Capability: representation-level software-prefetch hints, consumed
+/// by the kernels' PrefetchConfig path (bfs/mem_tuning.h). A view that
+/// models it promises:
+///   * prefetch_out_row(v) / prefetch_in_row(v) — pull the metadata and
+///     the head of v's adjacency row toward the cache, without reading
+///     any of it architecturally;
+///   * for_each_out_neighbor_ahead(v, d, pf, fn) — enumerate exactly
+///     like for_each_out_neighbor(v, fn), additionally calling `pf` on
+///     the neighbour `d` slots ahead of the one being visited (so the
+///     caller can prefetch per-neighbour side data such as the visited
+///     bitmap word). Views whose neighbours are decoded sequentially
+///     (CompressedCsrView) may legally skip the pf calls — the hint is
+///     advisory and must never change which `fn` calls happen.
+/// Implicit views (grid, n-puzzle) generate neighbours arithmetically —
+/// nothing to prefetch — and simply do not model this concept; the
+/// kernels' `if constexpr` guard compiles the hints out for them.
+template <typename V>
+concept PrefetchableView =
+    GraphView<V> && requires(const V& g, vid_t v, int d,
+                             detail::NeighborSink pf, detail::NeighborSink out) {
+      g.prefetch_out_row(v);
+      g.prefetch_in_row(v);
+      g.for_each_out_neighbor_ahead(v, d, pf, out);
+    };
+
 /// Zero-overhead adapter presenting a CsrGraph through the GraphView
 /// concepts. Holds a pointer only; every accessor forwards to the
 /// inline CSR methods, so kernels instantiated for CsrGraphView compile
@@ -138,6 +163,39 @@ class CsrGraphView {
     }
   }
 
+  /// PrefetchableView: pull v's out-row metadata and head toward the
+  /// cache. The offsets array is ~1/edgefactor the size of targets and
+  /// usually cache-resident, so reading offsets[v] here to form the
+  /// targets address rarely stalls; both prefetches are non-binding.
+  void prefetch_out_row(vid_t v) const noexcept {
+    const auto u = static_cast<std::size_t>(v);
+    const eid_t off = g_->out_offsets()[u];
+    __builtin_prefetch(g_->out_offsets().data() + u + 1, 0, 3);
+    __builtin_prefetch(g_->out_targets().data() + off, 0, 3);
+  }
+
+  void prefetch_in_row(vid_t v) const noexcept {
+    const auto u = static_cast<std::size_t>(v);
+    const eid_t off = g_->in_offsets()[u];
+    __builtin_prefetch(g_->in_offsets().data() + u + 1, 0, 3);
+    __builtin_prefetch(g_->in_targets().data() + off, 0, 3);
+  }
+
+  /// PrefetchableView: enumerate v's out-row, announcing the neighbour
+  /// `distance` slots ahead through `pf` so its visited word can be
+  /// prefetched before the dependent test_and_set reaches it.
+  template <typename Pf, typename Fn>
+  void for_each_out_neighbor_ahead(vid_t v, int distance, Pf&& pf,
+                                   Fn&& fn) const {
+    const std::span<const vid_t> row = g_->out_neighbors(v);
+    const auto d = static_cast<std::size_t>(distance);
+    const std::size_t len = row.size();
+    for (std::size_t j = 0; j < len; ++j) {
+      if (j + d < len) pf(row[j + d]);
+      fn(row[j]);
+    }
+  }
+
   /// The wrapped storage, for callers that need CSR-only features.
   [[nodiscard]] const CsrGraph& csr() const noexcept { return *g_; }
 
@@ -147,6 +205,7 @@ class CsrGraphView {
 
 static_assert(HybridView<CsrGraphView>);
 static_assert(EdgeQueryView<CsrGraphView>);
+static_assert(PrefetchableView<CsrGraphView>);
 // CsrGraph itself deliberately does not model GraphView (it exposes
 // spans, not enumerators); kernels keep exact-match CsrGraph overloads
 // that forward through the adapter.

@@ -208,7 +208,8 @@ EngineRegistry EngineRegistry::with_builtin_engines() {
   r.register_engine(
       {"native-td", "pure top-down on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
-         return make_native_top_down_engine(cfg.sink, cfg.pool);
+         return make_native_top_down_engine(cfg.sink, cfg.pool,
+                                            {cfg.tuning, cfg.compressed});
        },
        {},
        [](const EngineConfig& cfg) {
@@ -217,7 +218,8 @@ EngineRegistry EngineRegistry::with_builtin_engines() {
   r.register_engine(
       {"native-bu", "pure bottom-up on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
-         return make_native_bottom_up_engine(cfg.sink, cfg.pool);
+         return make_native_bottom_up_engine(cfg.sink, cfg.pool,
+                                             {cfg.tuning, cfg.compressed});
        },
        {},
        [](const EngineConfig& cfg) {
@@ -226,7 +228,8 @@ EngineRegistry EngineRegistry::with_builtin_engines() {
   r.register_engine(
       {"native-hybrid", "M/N combination on this host, wall-clock timed",
        [](const EngineConfig& cfg) {
-         return make_native_hybrid_engine(cfg.policy, cfg.sink, cfg.pool);
+         return make_native_hybrid_engine(cfg.policy, cfg.sink, cfg.pool,
+                                          {cfg.tuning, cfg.compressed});
        },
        {},
        [](const EngineConfig& cfg) {

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bfs/mem_tuning.h"
 #include "bfs/state_pool.h"
 #include "core/hybrid_policy.h"
 #include "graph/partition.h"
@@ -23,6 +24,10 @@
 #include "obs/sink.h"
 #include "sim/cluster.h"
 #include "sim/device.h"
+
+namespace bfsx::graph {
+class CompressedCsrView;
+}
 
 namespace bfsx::graph500 {
 
@@ -56,6 +61,14 @@ struct EngineConfig {
   /// off the hot path. Simulated engines ignore it (their state is
   /// modelled, not real).
   bfs::StatePool* pool = nullptr;
+  /// Memory-subsystem knobs for the native engines (--prefetch,
+  /// --hub-cache); everything else ignores them. A referenced HubCache
+  /// is non-owning and must outlive the constructed engine.
+  bfs::MemTuning tuning{};
+  /// Non-null routes the native engines through the compressed
+  /// adjacency view (--compress). Non-owning; must outlive the engine
+  /// and be built from the graph the engine traverses.
+  const graph::CompressedCsrView* compressed = nullptr;
 
   EngineConfig();
 };

@@ -16,34 +16,69 @@ using detail::step_top_down;
 using detail::traced_traversal;
 
 BfsEngine make_native_top_down_engine(obs::TraceSink* sink,
-                                      bfs::StatePool* pool) {
-  return [sink, pool](const graph::CsrGraph& g, graph::vid_t root) {
+                                      bfs::StatePool* pool,
+                                      NativeOptions options) {
+  return [sink, pool, options](const graph::CsrGraph& g, graph::vid_t root) {
+    // --compress: the same templated level loop, instantiated for the
+    // compressed view; results are identical because the kernels only
+    // see the GraphView surface.
+    if (options.compressed != nullptr) {
+      const graph::CompressedCsrView& cg = *options.compressed;
+      return traced_traversal(cg, root, "native-td", sink, pool,
+                              [&cg, &options](bfs::BfsState& s,
+                                              obs::LevelEvent* e) {
+                                step_top_down(cg, s, e, options.tuning);
+                              });
+    }
     return traced_traversal(g, root, "native-td", sink, pool,
-                            [&g](bfs::BfsState& s, obs::LevelEvent* e) {
-                              step_top_down(g, s, e);
+                            [&g, &options](bfs::BfsState& s,
+                                           obs::LevelEvent* e) {
+                              step_top_down(g, s, e, options.tuning);
                             });
   };
 }
 
 BfsEngine make_native_bottom_up_engine(obs::TraceSink* sink,
-                                       bfs::StatePool* pool) {
-  return [sink, pool](const graph::CsrGraph& g, graph::vid_t root) {
+                                       bfs::StatePool* pool,
+                                       NativeOptions options) {
+  return [sink, pool, options](const graph::CsrGraph& g, graph::vid_t root) {
+    if (options.compressed != nullptr) {
+      const graph::CompressedCsrView& cg = *options.compressed;
+      return traced_traversal(cg, root, "native-bu", sink, pool,
+                              [&cg, &options](bfs::BfsState& s,
+                                              obs::LevelEvent* e) {
+                                step_bottom_up(cg, s, e, options.tuning);
+                              });
+    }
     return traced_traversal(g, root, "native-bu", sink, pool,
-                            [&g](bfs::BfsState& s, obs::LevelEvent* e) {
-                              step_bottom_up(g, s, e);
+                            [&g, &options](bfs::BfsState& s,
+                                           obs::LevelEvent* e) {
+                              step_bottom_up(g, s, e, options.tuning);
                             });
   };
 }
 
 BfsEngine make_native_hybrid_engine(core::HybridPolicy policy,
                                     obs::TraceSink* sink,
-                                    bfs::StatePool* pool) {
+                                    bfs::StatePool* pool,
+                                    NativeOptions options) {
   policy.validate();
-  return [policy, sink, pool](const graph::CsrGraph& g, graph::vid_t root) {
+  return [policy, sink, pool, options](const graph::CsrGraph& g,
+                                       graph::vid_t root) {
+    if (options.compressed != nullptr) {
+      const graph::CompressedCsrView& cg = *options.compressed;
+      return traced_traversal(cg, root, "native-hybrid", sink, pool,
+                              [&cg, &policy, &options](bfs::BfsState& s,
+                                                       obs::LevelEvent* e) {
+                                detail::step_hybrid(cg, policy, s, e,
+                                                    options.tuning);
+                              });
+    }
     return traced_traversal(g, root, "native-hybrid", sink, pool,
-                            [&g, &policy](bfs::BfsState& s,
-                                          obs::LevelEvent* e) {
-                              detail::step_hybrid(g, policy, s, e);
+                            [&g, &policy, &options](bfs::BfsState& s,
+                                                    obs::LevelEvent* e) {
+                              detail::step_hybrid(g, policy, s, e,
+                                                  options.tuning);
                             });
   };
 }

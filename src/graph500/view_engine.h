@@ -78,24 +78,30 @@ TimedBfs traced_traversal(const G& g, graph::vid_t root, const char* engine,
   return timed;
 }
 
+/// The trailing `tuning` parameter on every step helper defaults to the
+/// inert MemTuning{} (bfs/mem_tuning.h), so existing call sites run the
+/// historical code path untouched; the native engines forward the knobs
+/// from NativeOptions.
 template <typename G>
-void step_top_down(const G& g, bfs::BfsState& s, obs::LevelEvent* e) {
+void step_top_down(const G& g, bfs::BfsState& s, obs::LevelEvent* e,
+                   bfs::MemTuning tuning = {}) {
   if (e == nullptr) {
-    bfs::top_down_step(g, s);
+    bfs::top_down_step(g, s, tuning);
     return;
   }
   e->level = s.current_level;
   e->direction = bfs::Direction::kTopDown;
-  const bfs::TopDownStats stats = bfs::top_down_step(g, s);
+  const bfs::TopDownStats stats = bfs::top_down_step(g, s, tuning);
   e->frontier_vertices = stats.frontier_vertices;
   e->frontier_edges = stats.frontier_edges;
   e->next_vertices = stats.next_vertices;
 }
 
 template <typename G>
-void step_bottom_up(const G& g, bfs::BfsState& s, obs::LevelEvent* e) {
+void step_bottom_up(const G& g, bfs::BfsState& s, obs::LevelEvent* e,
+                    bfs::MemTuning tuning = {}) {
   if (e == nullptr) {
-    bfs::bottom_up_step(g, s);
+    bfs::bottom_up_step(g, s, tuning);
     return;
   }
   e->level = s.current_level;
@@ -104,7 +110,7 @@ void step_bottom_up(const G& g, bfs::BfsState& s, obs::LevelEvent* e) {
   // every engine family carry the same per-level counters.
   e->frontier_vertices = static_cast<graph::vid_t>(s.frontier_queue.size());
   e->frontier_edges = bfs::frontier_out_edges(g, s.frontier_queue);
-  const bfs::BottomUpStats stats = bfs::bottom_up_step(g, s);
+  const bfs::BottomUpStats stats = bfs::bottom_up_step(g, s, tuning);
   e->bu_edges_hit = stats.edges_scanned_hit;
   e->bu_edges_miss = stats.edges_scanned_miss;
   e->next_vertices = stats.next_vertices;
@@ -115,14 +121,15 @@ void step_bottom_up(const G& g, bfs::BfsState& s, obs::LevelEvent* e) {
 /// chosen direction.
 template <typename G>
 void step_hybrid(const G& g, const core::HybridPolicy& policy,
-                 bfs::BfsState& s, obs::LevelEvent* e) {
+                 bfs::BfsState& s, obs::LevelEvent* e,
+                 bfs::MemTuning tuning = {}) {
   const graph::eid_t e_cq = bfs::frontier_out_edges(g, s.frontier_queue);
   const auto v_cq = static_cast<graph::vid_t>(s.frontier_queue.size());
   if (policy.decide(e_cq, v_cq, g.num_edges(), g.num_vertices()) ==
       bfs::Direction::kTopDown) {
-    step_top_down(g, s, e);
+    step_top_down(g, s, e, tuning);
   } else {
-    step_bottom_up(g, s, e);
+    step_bottom_up(g, s, e, tuning);
   }
 }
 

@@ -1,0 +1,134 @@
+#include "obs/perf_counters.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define BFSX_HAVE_PERF_EVENT 1
+#endif
+
+#ifdef BFSX_HAVE_PERF_EVENT
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace bfsx::obs {
+namespace {
+
+/// glibc exposes no wrapper for perf_event_open; raw syscall per the
+/// man page.
+int perf_open(perf_event_attr* attr, int group_fd) noexcept {
+  return static_cast<int>(::syscall(SYS_perf_event_open, attr, /*pid=*/0,
+                                    /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+/// The five events, leader first. Index order matches the PerfSample
+/// fields filled in stop().
+constexpr std::uint64_t kEventConfig[] = {
+    PERF_COUNT_HW_CPU_CYCLES,       PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+}  // namespace
+
+PerfCounters::PerfCounters() noexcept {
+  for (int i = 0; i < kMaxEvents; ++i) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = kEventConfig[i];
+    attr.disabled = (i == 0) ? 1 : 0;  // group toggled through the leader
+    attr.exclude_kernel = 1;           // works under perf_event_paranoid=2
+    attr.exclude_hv = 1;
+    attr.inherit = 1;  // follow the OpenMP workers this thread spawns
+    attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    const int fd = perf_open(&attr, i == 0 ? -1 : leader_fd_);
+    if (fd < 0) {
+      if (i == 0) return;  // no leader, no group: stay inert
+      continue;            // a missing member just reads as zero
+    }
+    std::uint64_t id = 0;
+    if (::ioctl(fd, PERF_EVENT_IOC_ID, &id) < 0) {
+      ::close(fd);
+      if (i == 0) return;
+      continue;
+    }
+    if (i == 0) leader_fd_ = fd;
+    fds_[i] = fd;
+    ids_[i] = id;
+    opened_[i] = true;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (int i = kMaxEvents - 1; i >= 0; --i) {
+    if (fds_[i] >= 0) ::close(fds_[i]);
+  }
+}
+
+void PerfCounters::start() noexcept {
+  if (leader_fd_ < 0) return;
+  ::ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ::ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample PerfCounters::stop() noexcept {
+  PerfSample sample;
+  if (leader_fd_ < 0) return sample;
+  ::ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, then
+  // (value, id) per member.
+  std::uint64_t buf[3 + 2 * kMaxEvents] = {};
+  const auto got = ::read(leader_fd_, buf, sizeof(buf));
+  if (got < static_cast<long>(3 * sizeof(std::uint64_t))) return sample;
+
+  const std::uint64_t nr = buf[0];
+  const std::uint64_t enabled = buf[1];
+  const std::uint64_t running = buf[2];
+  std::uint64_t values[kMaxEvents] = {};
+  for (std::uint64_t e = 0; e < nr && e < kMaxEvents; ++e) {
+    const std::uint64_t value = buf[3 + 2 * e];
+    const std::uint64_t id = buf[3 + 2 * e + 1];
+    for (int i = 0; i < kMaxEvents; ++i) {
+      if (opened_[i] && ids_[i] == id) {
+        // Undo kernel multiplexing: extrapolate to the full enabled
+        // window (the same scaling `perf stat` applies).
+        values[i] = (running > 0 && running != enabled)
+                        ? static_cast<std::uint64_t>(
+                              static_cast<double>(value) *
+                              (static_cast<double>(enabled) /
+                               static_cast<double>(running)))
+                        : value;
+        break;
+      }
+    }
+  }
+  sample.valid = true;
+  sample.cycles = values[0];
+  sample.instructions = values[1];
+  sample.cache_references = values[2];
+  sample.cache_misses = values[3];
+  sample.branch_misses = values[4];
+  return sample;
+}
+
+}  // namespace bfsx::obs
+
+#else  // !BFSX_HAVE_PERF_EVENT
+
+namespace bfsx::obs {
+
+PerfCounters::PerfCounters() noexcept = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() noexcept {}
+PerfSample PerfCounters::stop() noexcept { return {}; }
+
+}  // namespace bfsx::obs
+
+#endif  // BFSX_HAVE_PERF_EVENT

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bfs/msbfs.h"
+#include "graph/graph_stats.h"
 
 namespace bfsx::serve {
 
@@ -16,27 +17,9 @@ LandmarkCache::LandmarkCache(const graph::CsrGraph& g, std::uint64_t epoch,
   lane_of_.assign(static_cast<std::size_t>(num_vertices_), -1);
   if (k == 0 || num_vertices_ == 0) return;
 
-  // Top-k by out-degree, ties to the smaller id. A full sort of the
-  // vertex ids is O(V log V) — fine on the publish path, which already
-  // paid an O(V+E) rebuild.
-  std::vector<graph::vid_t> order(static_cast<std::size_t>(num_vertices_));
-  for (graph::vid_t v = 0; v < num_vertices_; ++v) {
-    order[static_cast<std::size_t>(v)] = v;
-  }
-  const auto hubbier = [&g](graph::vid_t a, graph::vid_t b) {
-    const graph::eid_t da = g.out_degree(a);
-    const graph::eid_t db = g.out_degree(b);
-    return da != db ? da > db : a < b;
-  };
-  const std::size_t want = std::min(static_cast<std::size_t>(k),
-                                    static_cast<std::size_t>(num_vertices_));
-  std::partial_sort(order.begin(),
-                    order.begin() + static_cast<std::ptrdiff_t>(want),
-                    order.end(), hubbier);
-  for (std::size_t i = 0; i < want; ++i) {
-    if (g.out_degree(order[i]) == 0) break;  // only isolated ones left
-    landmarks_.push_back(order[i]);
-  }
+  // Top-k by out-degree, ties to the smaller id — the shared hub
+  // selection (graph_stats.h), also used by the bottom-up hub cache.
+  landmarks_ = graph::top_out_degree_vertices(g, static_cast<std::size_t>(k));
   if (landmarks_.empty()) return;
 
   const bfs::MsBfsResult pass = bfs::ms_bfs(g, landmarks_);
