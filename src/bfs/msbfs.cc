@@ -50,12 +50,21 @@ void ms_top_down_step(const CsrGraph& g, const std::vector<vid_t>& active,
     for (const vid_t w : g.out_neighbors(v)) {
       const auto wi = static_cast<std::size_t>(w);
       std::atomic_ref<std::uint64_t> seen_w(s.seen[wi]);
+      // mem-order: relaxed — advisory pre-filter only; a stale load can
+      // merely let a lane through to the fetch_or below, which
+      // re-validates, so no ordering is consumed from this read.
       std::uint64_t cand = mask & ~seen_w.load(std::memory_order_relaxed);
       if (cand == 0) continue;  // stale-load misses retry via fetch_or
+      // mem-order: relaxed — the RMW's atomicity elects one winner per
+      // lane bit; the winner's parent/level stores are read by other
+      // threads only after the parallel-for's implicit barrier, which
+      // already sequences them (no acquire/release needed).
       const std::uint64_t old =
           seen_w.fetch_or(cand, std::memory_order_relaxed);
       std::uint64_t won = cand & ~old;
       if (won == 0) continue;
+      // mem-order: relaxed — independent bit accumulation; visit_next
+      // is only swapped into the read role after the level barrier.
       std::atomic_ref<std::uint64_t>(s.visit_next[wi])
           .fetch_or(won, std::memory_order_relaxed);
       while (won != 0) {

@@ -18,13 +18,12 @@ using graph::eid_t;
 using graph::kNoVertex;
 using graph::vid_t;
 
-/// The two traversal directions the combination technique switches
-/// between (paper Section II).
-enum class Direction { kTopDown, kBottomUp };
-
-[[nodiscard]] constexpr const char* to_string(Direction d) noexcept {
-  return d == Direction::kTopDown ? "TD" : "BU";
-}
+/// The traversal direction pair lives in graph/types.h (shared
+/// vocabulary — the trace schema and simulators name it without
+/// depending on the kernel layer); re-exported here so kernel code
+/// keeps writing bfs::Direction.
+using graph::Direction;
+using graph::to_string;
 
 /// Final output of a BFS: the paper's predecessor map and level map
 /// ("The general output of BFS is a predecessor map and a level map",

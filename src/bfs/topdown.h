@@ -88,6 +88,10 @@ TopDownStats top_down_step(const V& g, BfsState& state, MemTuning tuning) {
 #endif
   {
 #ifdef _OPENMP
+    // analyze: allow(nested-chunking) tid only selects this thread's
+    // private scratch slot; in a nested 1-thread team tid is 0 and the
+    // slot count (omp_get_max_threads, taken outside) stays an upper
+    // bound, so no work is partitioned by a stale team size.
     const int tid = omp_get_thread_num();
 #else
     const int tid = 0;

@@ -83,6 +83,9 @@ struct Voidify {
 /// Whether BFSX_CHECK / BFSX_DCHECK / BFSX_PARANOID sites evaluate.
 /// Defaults to true for the process lifetime.
 inline bool checks_enabled() noexcept {
+  // mem-order: relaxed — process-wide kill-switch; no data is guarded
+  // by the flag, a check site that reads a momentarily stale value just
+  // evaluates (or skips) one redundant predicate.
   return detail::g_checks_enabled.load(std::memory_order_relaxed);
 }
 
@@ -91,9 +94,17 @@ inline bool checks_enabled() noexcept {
 /// threads.
 class ScopedDisableChecks {
  public:
+  // mem-order: relaxed — same kill-switch contract as checks_enabled():
+  // the flag carries no payload, and the class is documented
+  // single-threaded, so the seq_cst default would buy fences for an
+  // ordering nobody observes.
   ScopedDisableChecks() noexcept
-      : previous_(detail::g_checks_enabled.exchange(false)) {}
-  ~ScopedDisableChecks() { detail::g_checks_enabled.store(previous_); }
+      : previous_(detail::g_checks_enabled.exchange(
+            false, std::memory_order_relaxed)) {}
+  ~ScopedDisableChecks() {
+    // mem-order: relaxed — restore mirrors the exchange above.
+    detail::g_checks_enabled.store(previous_, std::memory_order_relaxed);
+  }
   ScopedDisableChecks(const ScopedDisableChecks&) = delete;
   ScopedDisableChecks& operator=(const ScopedDisableChecks&) = delete;
 

@@ -26,12 +26,20 @@ void Bitmap::resize_and_reset(std::size_t size) {
 
 void Bitmap::set_atomic(std::size_t pos) noexcept {
   std::atomic_ref<std::uint64_t> word(words_[pos >> 6]);
+  // mem-order: relaxed — the bit itself is the entire message; no other
+  // data is published through it, and readers in the same parallel
+  // region only act on it after the level-step barrier orders all of
+  // these RMWs anyway.
   word.fetch_or(1ULL << (pos & 63), std::memory_order_relaxed);
 }
 
 bool Bitmap::test_and_set_atomic(std::size_t pos) noexcept {
   const std::uint64_t mask = 1ULL << (pos & 63);
   std::atomic_ref<std::uint64_t> word(words_[pos >> 6]);
+  // mem-order: relaxed — RMW atomicity alone elects exactly one winner
+  // per bit; the winner's dependent parent/level stores become visible
+  // to other threads only past the OpenMP barrier that ends the level,
+  // so no acquire/release pairing is needed here.
   return (word.fetch_or(mask, std::memory_order_relaxed) & mask) == 0;
 }
 

@@ -17,4 +17,15 @@ using eid_t = std::int64_t;
 /// (the paper's Pred[v] = -1).
 inline constexpr vid_t kNoVertex = -1;
 
+/// The two traversal directions the combination technique switches
+/// between (paper Section II). Shared vocabulary: the kernels act on
+/// it, the observability schema records it, and the simulators cost
+/// it, so it lives with the fundamental types rather than in
+/// `bfs/state.h` (which would drag the kernel layer into `src/obs`).
+enum class Direction { kTopDown, kBottomUp };
+
+[[nodiscard]] constexpr const char* to_string(Direction d) noexcept {
+  return d == Direction::kTopDown ? "TD" : "BU";
+}
+
 }  // namespace bfsx::graph

@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <string>
 
-#include "bfs/state.h"
 #include "graph/types.h"
 
 namespace bfsx::obs {
@@ -50,7 +49,7 @@ struct LevelEvent {
 
   Kind kind = Kind::kLevel;
   std::int32_t level = 0;        // the level being expanded
-  bfs::Direction direction = bfs::Direction::kTopDown;
+  graph::Direction direction = graph::Direction::kTopDown;
   std::string device;            // executing device (handoff: the target)
 
   // The M/N policy's decision inputs for this level (|V|cq, |E|cq; the

@@ -55,7 +55,7 @@ void JsonlWriter::on_level(const LevelEvent& e) {
                .field("event", to_string(e.kind))
                .field("run", run_index())
                .field("level", e.level)
-               .field("direction", bfs::to_string(e.direction))
+               .field("direction", graph::to_string(e.direction))
                .field("device", e.device)
                .field("frontier_vertices", i64(e.frontier_vertices))
                .field("frontier_edges", i64(e.frontier_edges))
@@ -131,7 +131,7 @@ void CsvWriter::on_run_begin(const RunEvent& e) {
 void CsvWriter::on_level(const LevelEvent& e) {
   out() << kTraceSchema << ',' << to_string(e.kind) << ',' << run_index()
         << ",,,,"  // engine, root, vertices, edges
-        << ',' << e.level << ',' << bfs::to_string(e.direction) << ','
+        << ',' << e.level << ',' << graph::to_string(e.direction) << ','
         << csv_cell(e.device) << ',' << i64(e.frontier_vertices) << ','
         << i64(e.frontier_edges) << ',' << i64(e.bu_edges_hit) << ','
         << i64(e.bu_edges_miss) << ',' << i64(e.next_vertices) << ','

@@ -7,6 +7,9 @@
 namespace bfsx::serve {
 
 void GraphEpochs::Pin::release() noexcept {
+  // analyze: allow(raw-unpin) Pin::release IS the RAII unpin: the one
+  // blessed caller. Every other path holds a Pin and funnels through
+  // here from its destructor or an explicit release().
   if (owner_ != nullptr) owner_->unpin(epoch_);
   owner_ = nullptr;
   graph_ = nullptr;

@@ -1,0 +1,107 @@
+"""Analysis backends: libclang when importable, token-level otherwise.
+
+Every pass in this framework has a token-level implementation — that is
+the contract that keeps CI honest on machines without clang: the
+analyzer *degrades in precision, never in coverage*. When the
+``clang.cindex`` bindings are importable (and can locate a
+libclang.so), the driver upgrades the include-graph used by the
+layering pass from the quoted-include regex to clang's resolved include
+edges; everything else stays token-level by design (the atomics /
+lifecycle / determinism rules are project-idiom checks, not general
+dataflow, and their token form is the documented semantics the selftest
+corpus pins down).
+
+``compile_commands.json`` is consumed for translation-unit discovery:
+it tells the driver which .cc files the build actually compiles, so a
+file that falls out of the build cannot silently fall out of analysis
+(the driver reports TUs missing from its scan).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+def detect_backend(requested: str = "auto"):
+    """Returns (name, handle): ("clang", cindex-module) or
+    ("tokens", None). ``requested`` is "auto", "tokens" or "clang";
+    asking for clang when it is unusable raises RuntimeError rather
+    than silently downgrading."""
+    if requested == "tokens":
+        return "tokens", None
+    try:
+        from clang import cindex  # type: ignore
+        # Importable is not usable: the bindings need a libclang.so.
+        try:
+            cindex.Index.create()
+        except Exception:
+            raise ImportError("clang.cindex present but libclang missing")
+        return "clang", cindex
+    except ImportError:
+        if requested == "clang":
+            raise RuntimeError(
+                "--backend clang requested but the clang.cindex bindings "
+                "(python3-clang + libclang) are not usable here")
+        return "tokens", None
+
+
+def translation_units(compile_commands_path: str) -> list[str]:
+    """Absolute paths of every TU in the compilation database."""
+    with open(compile_commands_path, encoding="utf-8") as f:
+        db = json.load(f)
+    out = []
+    for entry in db:
+        p = entry.get("file", "")
+        if not os.path.isabs(p):
+            p = os.path.join(entry.get("directory", ""), p)
+        out.append(os.path.normpath(p))
+    return sorted(set(out))
+
+
+def check_tu_coverage(repo: str, compile_commands_path: str,
+                      scanned_rels: set[str],
+                      scope_dirs: list[str]) -> list[str]:
+    """Repo-relative TUs that the build compiles, that live inside the
+    analyzer's scope, but that the scan did not load — each one is a
+    coverage hole worth failing on."""
+    missing = []
+    for tu in translation_units(compile_commands_path):
+        rel = os.path.relpath(tu, repo).replace(os.sep, "/")
+        if rel.startswith(".."):
+            continue  # outside the repo (system/generated sources)
+        if not any(rel.startswith(d + "/") for d in scope_dirs):
+            continue
+        if rel not in scanned_rels:
+            missing.append(rel)
+    return sorted(missing)
+
+
+def clang_include_edges(cindex, compile_commands_path: str, repo: str):
+    """Resolved include edges {including-rel: set(included-rel)} from
+    libclang, restricted to in-repo files. Used by the layering pass to
+    replace the quoted-include regex when the real frontend is
+    available."""
+    db_dir = os.path.dirname(compile_commands_path)
+    comp_db = cindex.CompilationDatabase.fromDirectory(db_dir)
+    index = cindex.Index.create()
+    edges: dict[str, set[str]] = {}
+    for tu_path in translation_units(compile_commands_path):
+        cmds = comp_db.getCompileCommands(tu_path)
+        if not cmds:
+            continue
+        args = [a for a in list(cmds[0].arguments)[1:-1]
+                if a not in ("-c", "-o")]
+        try:
+            tu = index.parse(tu_path, args=args)
+        except cindex.TranslationUnitLoadError:
+            continue
+        for inc in tu.get_includes():
+            src = os.path.normpath(str(inc.location.file))
+            dst = os.path.normpath(str(inc.include))
+            sr = os.path.relpath(src, repo).replace(os.sep, "/")
+            dr = os.path.relpath(dst, repo).replace(os.sep, "/")
+            if sr.startswith("..") or dr.startswith(".."):
+                continue
+            edges.setdefault(sr, set()).add(dr)
+    return edges

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""bfsx-analyze: unified multi-pass static analysis for the bfsx repo.
+
+Runs the pass suite (layering, atomics, lifecycle, determinism, omp —
+see tools/analyze/passes/) over the repository sources, applies
+in-source ``// analyze: allow(rule) reason`` suppressions and the
+committed baseline, and reports what remains.
+
+Usage::
+
+    bfsx_analyze.py                      # full scan, all passes
+    bfsx_analyze.py --passes atomics src/bfs/msbfs.cc
+    bfsx_analyze.py --sarif out.sarif    # emit SARIF 2.1.0 for CI
+    bfsx_analyze.py --list-rules
+
+Exit codes::
+
+    0  clean (no unbaselined, unsuppressed findings)
+    1  findings
+    2  configuration / usage error (broken layers.toml, bad baseline,
+       unusable requested backend)
+    3  baseline drift (an entry in baseline.json matches nothing — the
+       baseline may only shrink; regenerate with --write-baseline)
+
+``compile_commands.json`` (default: <repo>/build/compile_commands.json
+when present) is used for translation-unit coverage: a TU the build
+compiles inside the analyzer's scope that the scan did not load is
+reported as ``missing-tu`` — a file must not fall out of analysis by
+falling out of a directory glob.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import backends  # noqa: E402
+import engine  # noqa: E402
+import sarif  # noqa: E402
+from passes import all_passes, known_rules  # noqa: E402
+from passes.layering import ConfigError, LayerConfig  # noqa: E402
+
+DEFAULT_REPO = os.path.dirname(os.path.dirname(HERE))
+
+
+def parse_args(argv):
+    p = argparse.ArgumentParser(
+        prog="bfsx-analyze",
+        description="multi-pass static analysis for the bfsx repository")
+    p.add_argument("paths", nargs="*",
+                   help="explicit files/directories to scan (default: each "
+                        "pass's declared scope)")
+    p.add_argument("--repo", default=DEFAULT_REPO,
+                   help="repository root (default: two levels above this "
+                        "script)")
+    p.add_argument("--passes", default="all",
+                   help="comma-separated pass names, or 'all'")
+    p.add_argument("--backend", default="auto",
+                   choices=("auto", "tokens", "clang"),
+                   help="'clang' fails rather than downgrade when libclang "
+                        "is unusable; 'auto' upgrades when it can")
+    p.add_argument("--baseline", default=os.path.join(HERE, "baseline.json"),
+                   help="baseline file (default: tools/analyze/baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline (every finding is 'new')")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="rewrite the baseline to the current finding set "
+                        "and exit 0")
+    p.add_argument("--sarif", metavar="PATH",
+                   help="write a SARIF 2.1.0 report to PATH")
+    p.add_argument("--compile-commands", metavar="PATH",
+                   help="compilation database for TU-coverage checking "
+                        "(default: <repo>/build/compile_commands.json when "
+                        "present)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("-q", "--quiet", action="store_true",
+                   help="summary line only")
+    return p.parse_args(argv)
+
+
+def select_passes(spec: str):
+    available = {p.name: p for p in all_passes()}
+    if spec == "all":
+        return list(available.values())
+    out = []
+    for name in spec.split(","):
+        name = name.strip()
+        if name not in available:
+            raise ConfigError(
+                f"unknown pass '{name}' (available: "
+                f"{', '.join(sorted(available))})")
+        out.append(available[name])
+    return out
+
+
+def rule_catalog(selected) -> dict[str, str]:
+    cat = {
+        "bad-suppression":
+            "malformed // analyze: allow annotation (unknown rule or "
+            "missing reason)",
+        "missing-tu":
+            "translation unit compiled by the build but not loaded by "
+            "the analyzer scan",
+    }
+    for p in selected:
+        cat.update(p.rules)
+    return cat
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv if argv is not None else sys.argv[1:])
+    repo = os.path.abspath(args.repo)
+
+    try:
+        selected = select_passes(args.passes)
+        cfg = LayerConfig.load(os.path.join(HERE, "layers.toml"))
+        backend_name, backend = backends.detect_backend(args.backend)
+    except (ConfigError, RuntimeError, ValueError) as e:
+        print(f"bfsx-analyze: error: {e}", file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for p in selected:
+            for rid, desc in sorted(p.rules.items()):
+                print(f"{p.name}/{rid}: {desc}")
+        print(f"framework/bad-suppression: "
+              f"{rule_catalog([])['bad-suppression']}")
+        print(f"framework/missing-tu: {rule_catalog([])['missing-tu']}")
+        return 0
+
+    # ---- collect sources --------------------------------------------------
+    explicit = [os.path.join(repo, p) if not os.path.isabs(p) else p
+                for p in args.paths]
+    scope_union: list[str] = []
+    for p in selected:
+        for d in p.scope:
+            if d not in scope_union:
+                scope_union.append(d)
+    files = engine.collect_files(repo, scope_union, explicit or None)
+    by_rel = {sf.rel: sf for sf in files}
+
+    # ---- run passes -------------------------------------------------------
+    findings: list[engine.Finding] = []
+    clang_edges = None
+    cc_path = args.compile_commands or os.path.join(
+        repo, "build", "compile_commands.json")
+    if backend_name == "clang" and os.path.exists(cc_path):
+        clang_edges = backends.clang_include_edges(backend, cc_path, repo)
+    for p in selected:
+        if explicit:
+            scoped = files
+        else:
+            scoped = [sf for sf in files
+                      if any(sf.rel == d or sf.rel.startswith(d + "/")
+                             for d in p.scope)]
+        ctx = engine.PassContext(repo, scoped, cfg, backend_name, backend)
+        if clang_edges is not None:
+            ctx.clang_edges = clang_edges
+        findings.extend(p.run(ctx))
+
+    # ---- TU coverage ------------------------------------------------------
+    if not explicit and os.path.exists(cc_path):
+        for rel in backends.check_tu_coverage(
+                repo, cc_path, set(by_rel), scope_union):
+            findings.append(engine.Finding(
+                pass_name="framework", rule="missing-tu", path=rel, line=1,
+                message=(f"the build compiles '{rel}' but the analyzer scan "
+                         f"did not load it; widen the scan scope so the "
+                         f"file cannot escape analysis"),
+                snippet=rel))
+
+    # ---- suppressions, baseline -------------------------------------------
+    kept, suppressed, ann = engine.apply_suppressions(
+        findings, by_rel, known_rules() | {"missing-tu"})
+    kept.extend(ann)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if args.write_baseline:
+        baseline = engine.Baseline(path=args.baseline)
+        baseline.save(kept)
+        print(f"bfsx-analyze: baseline rewritten with {len(kept)} "
+              f"entr{'y' if len(kept) == 1 else 'ies'} -> "
+              f"{args.baseline}")
+        return 0
+
+    baseline = engine.Baseline(path=args.baseline)
+    if not args.no_baseline:
+        try:
+            baseline = engine.Baseline.load(args.baseline)
+        except ValueError as e:
+            print(f"bfsx-analyze: error: {e}", file=sys.stderr)
+            return 2
+    new, old, stale = baseline.partition(kept)
+
+    report = engine.AnalysisReport(
+        new_findings=new, suppressed=suppressed, baselined=old,
+        stale_baseline=stale, files_scanned=len(files),
+        backend_name=backend_name, passes_run=[p.name for p in selected])
+
+    # ---- output -----------------------------------------------------------
+    if not args.quiet:
+        for f in report.new_findings:
+            print(f)
+        for f in report.baselined:
+            print(f"{f}  [baselined]")
+        for e in report.stale_baseline:
+            print(f"{e['path']}: [baseline/{e['rule']}] stale entry "
+                  f"{e['fingerprint']} matches no finding; the baseline "
+                  f"may only shrink — remove it (or --write-baseline)")
+    print(report.summary())
+
+    if args.sarif:
+        reasons = {}
+        for f in report.suppressed:
+            sf = by_rel.get(f.path)
+            if sf is None:
+                continue
+            for s in sf.suppressions:
+                if f.rule in s.rules and \
+                        f.line - engine.SUPPRESS_WINDOW <= s.line <= f.line:
+                    reasons[(f.rule, f.path, f.line)] = s.reason
+                    break
+        doc = sarif.build(report, rule_catalog(selected), reasons)
+        problems = sarif.validate(doc)
+        if problems:
+            for p in problems:
+                print(f"bfsx-analyze: sarif: {p}", file=sys.stderr)
+            return 2
+        sarif.write(doc, args.sarif)
+        if not args.quiet:
+            print(f"bfsx-analyze: sarif report -> {args.sarif}")
+
+    if report.stale_baseline:
+        return 3
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

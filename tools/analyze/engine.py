@@ -1,0 +1,356 @@
+"""Core of bfsx-analyze: the multi-pass static-analysis framework.
+
+This module owns everything the individual passes share:
+
+  * ``SourceFile`` — one parsed source file: raw lines, comment/string
+    stripped ``code_lines`` (same line numbering, so findings map back
+    exactly), and the parsed ``// analyze: allow(rule) reason``
+    suppression annotations.
+  * ``Finding`` — one diagnostic: (pass, rule, path, line, message)
+    plus a content fingerprint that survives line drift, used by the
+    committed baseline.
+  * ``Baseline`` — load/match/drift logic for
+    ``tools/analyze/baseline.json``: a finding matching a baseline
+    entry is reported but does not fail the run; a baseline entry that
+    matches nothing is *stale* and fails the drift check (the baseline
+    may only shrink).
+  * ``run_passes`` — the driver loop: collect files, run every pass,
+    apply suppressions and the baseline, and produce an
+    ``AnalysisReport``.
+
+Suppressions
+------------
+A finding at line L is suppressed by an annotation on line L or up to
+``SUPPRESS_WINDOW`` lines above::
+
+    // analyze: allow(raw-unpin) Pin::release is the single blessed
+    // caller; every other path holds the RAII handle.
+
+The annotation must name a known rule and carry a non-empty reason;
+malformed annotations are themselves findings (rule
+``bad-suppression`` of the ``framework`` pseudo-pass). The OpenMP pass
+keeps its historical ``// omp-lint: allow(rule)`` spelling — the
+migration must not invalidate the annotations PR 4 put in the tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+SOURCE_SUFFIXES = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+#: Lines above a finding in which an allow() annotation is honoured.
+SUPPRESS_WINDOW = 4
+
+ALLOW_RE = re.compile(r"//\s*analyze:\s*allow\(([\w,\s-]+)\)\s*(.*)")
+
+
+# ---------------------------------------------------------------------------
+# Source model
+
+
+def strip_comments(lines: list[str]) -> list[str]:
+    """Returns lines with // and /* */ comments and string/char literal
+    contents blanked (delimiters kept), preserving line count and
+    column positions so findings keep exact locations."""
+    out: list[str] = []
+    in_block = False
+    for line in lines:
+        buf: list[str] = []
+        i, n = 0, len(line)
+        in_str: str | None = None
+        while i < n:
+            ch = line[i]
+            if in_block:
+                if ch == "*" and i + 1 < n and line[i + 1] == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                    continue
+                buf.append(" ")
+                i += 1
+                continue
+            if in_str:
+                if ch == "\\" and i + 1 < n:
+                    buf.append("  ")
+                    i += 2
+                    continue
+                if ch == in_str:
+                    in_str = None
+                    buf.append(ch)
+                else:
+                    buf.append(" ")
+                i += 1
+                continue
+            if ch in "\"'":
+                in_str = ch
+                buf.append(ch)
+                i += 1
+                continue
+            if ch == "/" and i + 1 < n and line[i + 1] == "/":
+                break
+            if ch == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+                continue
+            buf.append(ch)
+            i += 1
+        out.append("".join(buf).rstrip())
+    return out
+
+
+@dataclass
+class Suppression:
+    line: int           # 1-based annotation line
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    path: str           # absolute
+    rel: str            # repo-relative, '/'-separated
+    lines: list[str]    # raw text, no trailing newlines
+    code_lines: list[str]
+    suppressions: list[Suppression]
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+    @property
+    def code_text(self) -> str:
+        return "\n".join(self.code_lines)
+
+
+def load_source(path: str, rel: str) -> SourceFile:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().split("\n")
+    suppressions = []
+    for i, line in enumerate(lines):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = tuple(r.strip() for r in m.group(1).split(",") if r.strip())
+            suppressions.append(
+                Suppression(line=i + 1, rules=rules, reason=m.group(2).strip()))
+    return SourceFile(path=path, rel=rel, lines=lines,
+                      code_lines=strip_comments(lines),
+                      suppressions=suppressions)
+
+
+# ---------------------------------------------------------------------------
+# Findings
+
+
+@dataclass
+class Finding:
+    pass_name: str
+    rule: str
+    path: str        # repo-relative
+    line: int        # 1-based
+    message: str
+    snippet: str = ""   # normalized source line, feeds the fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        basis = f"{self.rule}|{self.path}|{' '.join(self.snippet.split())}"
+        return hashlib.sha1(basis.encode()).hexdigest()[:16]
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}: [{self.pass_name}/{self.rule}] "
+                f"{self.message}")
+
+
+class PassContext:
+    """What a pass sees: the repo root, the per-pass file list, and the
+    shared configuration (parsed layers.toml, backend handle)."""
+
+    def __init__(self, repo: str, files: list[SourceFile], config,
+                 backend_name: str, backend=None):
+        self.repo = repo
+        self.files = files
+        self.config = config
+        self.backend_name = backend_name
+        self.backend = backend
+
+    def finding(self, pass_name: str, rule: str, sf: SourceFile, line: int,
+                message: str) -> Finding:
+        snippet = sf.lines[line - 1] if 0 < line <= len(sf.lines) else ""
+        return Finding(pass_name=pass_name, rule=rule, path=sf.rel,
+                       line=line, message=message, snippet=snippet)
+
+
+# ---------------------------------------------------------------------------
+# File collection
+
+
+def collect_files(repo: str, scope_dirs: list[str],
+                  explicit: list[str] | None = None) -> list[SourceFile]:
+    """Loads every C++ source under the scope directories (repo-relative),
+    or the explicit path list when given. Deterministic order."""
+    paths: list[tuple[str, str]] = []
+    if explicit:
+        for p in explicit:
+            ap = os.path.abspath(p)
+            if os.path.isdir(ap):
+                for root, dirs, names in os.walk(ap):
+                    dirs.sort()
+                    for name in sorted(names):
+                        if name.endswith(SOURCE_SUFFIXES):
+                            full = os.path.join(root, name)
+                            paths.append((full, os.path.relpath(full, repo)))
+            elif ap.endswith(SOURCE_SUFFIXES):
+                paths.append((ap, os.path.relpath(ap, repo)))
+    else:
+        for d in scope_dirs:
+            base = os.path.join(repo, d)
+            if not os.path.isdir(base):
+                continue
+            for root, dirs, names in os.walk(base):
+                dirs.sort()
+                for name in sorted(names):
+                    if name.endswith(SOURCE_SUFFIXES):
+                        full = os.path.join(root, name)
+                        paths.append((full, os.path.relpath(full, repo)))
+    return [load_source(p, rel.replace(os.sep, "/")) for p, rel in paths]
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+
+
+@dataclass
+class Baseline:
+    path: str
+    entries: list[dict] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls(path=path, entries=[])
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+        if not isinstance(data, dict) or data.get("version") != 1 \
+                or not isinstance(data.get("entries"), list):
+            raise ValueError(
+                f"{path}: baseline must be {{\"version\": 1, \"entries\": "
+                f"[...]}}")
+        for e in data["entries"]:
+            if not {"rule", "path", "fingerprint"} <= set(e):
+                raise ValueError(
+                    f"{path}: every baseline entry needs rule/path/"
+                    f"fingerprint, got {sorted(e)}")
+        return cls(path=path, entries=data["entries"])
+
+    def save(self, findings: list[Finding]) -> None:
+        entries = [{"rule": f.rule, "path": f.path,
+                    "fingerprint": f.fingerprint,
+                    "message": f.message} for f in findings]
+        with open(self.path, "w", encoding="utf-8") as f:
+            json.dump({"version": 1, "entries": entries}, f, indent=2,
+                      sort_keys=True)
+            f.write("\n")
+
+    def partition(self, findings: list[Finding]):
+        """Splits findings into (new, baselined) and returns the stale
+        baseline entries (matched by nothing) third."""
+        keys = {(e["rule"], e["path"], e["fingerprint"]): False
+                for e in self.entries}
+        new, old = [], []
+        for f in findings:
+            k = (f.rule, f.path, f.fingerprint)
+            if k in keys:
+                keys[k] = True
+                old.append(f)
+            else:
+                new.append(f)
+        stale = [e for e in self.entries
+                 if not keys[(e["rule"], e["path"], e["fingerprint"])]]
+        return new, old, stale
+
+
+# ---------------------------------------------------------------------------
+# Suppression application
+
+
+def apply_suppressions(findings: list[Finding],
+                       files: dict[str, SourceFile],
+                       known_rules: set[str]):
+    """Returns (kept, suppressed, annotation_findings). A finding whose
+    rule appears in an allow() annotation within SUPPRESS_WINDOW lines
+    above it (or on its own line) is moved to `suppressed`; annotations
+    with no reason or naming unknown rules yield `bad-suppression`
+    findings."""
+    kept, suppressed = [], []
+    for f in findings:
+        sf = files.get(f.path)
+        hit = None
+        if sf is not None:
+            for s in sf.suppressions:
+                if f.rule in s.rules and \
+                        f.line - SUPPRESS_WINDOW <= s.line <= f.line:
+                    hit = s
+                    break
+        if hit is not None and hit.reason:
+            hit.used = True
+            suppressed.append(f)
+        elif hit is not None:
+            hit.used = True
+            kept.append(f)   # reasonless allow() does not suppress
+        else:
+            kept.append(f)
+    ann: list[Finding] = []
+    for sf in files.values():
+        for s in sf.suppressions:
+            unknown = [r for r in s.rules if r not in known_rules]
+            if unknown:
+                ann.append(Finding(
+                    pass_name="framework", rule="bad-suppression",
+                    path=sf.rel, line=s.line,
+                    message=(f"allow({', '.join(unknown)}) names unknown "
+                             f"rule(s); known rules: "
+                             f"{', '.join(sorted(known_rules))}"),
+                    snippet=sf.lines[s.line - 1]))
+            if not s.reason:
+                ann.append(Finding(
+                    pass_name="framework", rule="bad-suppression",
+                    path=sf.rel, line=s.line,
+                    message=(f"allow({', '.join(s.rules)}) carries no "
+                             f"reason; a suppression must argue why the "
+                             f"rule is wrong here"),
+                    snippet=sf.lines[s.line - 1]))
+    return kept, suppressed, ann
+
+
+# ---------------------------------------------------------------------------
+# Report
+
+
+@dataclass
+class AnalysisReport:
+    new_findings: list[Finding]
+    suppressed: list[Finding]
+    baselined: list[Finding]
+    stale_baseline: list[dict]
+    files_scanned: int
+    backend_name: str
+    passes_run: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_findings
+
+    def summary(self) -> str:
+        return (f"bfsx-analyze: backend={self.backend_name} "
+                f"passes={','.join(self.passes_run)} "
+                f"files={self.files_scanned} | "
+                f"{len(self.new_findings)} new, "
+                f"{len(self.suppressed)} suppressed, "
+                f"{len(self.baselined)} baselined, "
+                f"{len(self.stale_baseline)} stale-baseline")

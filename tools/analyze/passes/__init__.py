@@ -1,0 +1,26 @@
+"""Pass registry for bfsx-analyze.
+
+Each pass module exposes a ``PASS`` object with:
+  * ``name``   — pass id used in finding labels and --passes selection
+  * ``rules``  — {rule-id: one-line description}, feeds --list-rules
+    and the SARIF rule catalog
+  * ``scope``  — repo-relative directories the pass scans by default
+  * ``run(ctx)`` — returns a list of engine.Finding
+
+Order matters only for output stability; passes are independent.
+"""
+
+from __future__ import annotations
+
+
+def all_passes():
+    from . import atomics, determinism, layering, lifecycle, omp
+    return [layering.PASS, atomics.PASS, lifecycle.PASS,
+            determinism.PASS, omp.PASS]
+
+
+def known_rules() -> set[str]:
+    rules = {"bad-suppression"}
+    for p in all_passes():
+        rules.update(p.rules)
+    return rules

@@ -1,0 +1,207 @@
+"""Atomics / memory-order pass.
+
+The repository's lock-free surface is small and deliberate: bitmap
+claim words, the MS-BFS lane masks, and the contract kill-switch. Every
+one of those sites went through a hand-written happens-before argument
+in review — this pass makes that argument a checked artifact instead of
+tribal memory.
+
+Rules
+-----
+seq-cst-default       an atomic operation relies on the defaulted
+                      ``std::memory_order_seq_cst``. On hot paths the
+                      default buys fences nobody asked for; on cold
+                      paths it hides the fact that nobody thought about
+                      the ordering at all. Spell the order out.
+mem-order-comment     an atomic operation with an explicit memory
+                      order has no justifying ``// mem-order:`` comment
+                      on the same line or within 6 lines above (wide
+                      enough that a thorough multi-line argument is not
+                      penalized). The comment must carry the
+                      happens-before argument (see the MS-BFS fetch_or
+                      sites for the idiom).
+relaxed-guard-write   the result of a relaxed load guards a dependent
+                      non-atomic write with no intervening RMW
+                      (fetch_*/compare_exchange/store) on the same
+                      atomic to re-validate the claim — the PR 5 lane
+                      protocol is safe *because* the fetch_or
+                      re-checks; a bare relaxed load is not a claim.
+
+Token-level semantics (the selftest corpus pins these): an operation
+counts as atomic when its method name is atomic-specific (fetch_*,
+compare_exchange_*) or when its receiver is visibly atomic — declared
+``std::atomic<...>``/``std::atomic_ref<...>`` in the same file, or an
+inline ``std::atomic_ref<T>(...)`` temporary.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Methods that only exist on atomics — always classified.
+STRONG_METHODS = r"fetch_(?:or|and|add|sub|xor)|compare_exchange_(?:weak|strong)"
+# Methods that need a visibly-atomic receiver to classify.
+WEAK_METHODS = r"load|store|exchange"
+
+OP_RE = re.compile(
+    rf"\.\s*({STRONG_METHODS}|{WEAK_METHODS})\s*\(")
+
+ATOMIC_DECL_RE = re.compile(
+    r"std::atomic(?:_ref)?\s*<[^<>;]*(?:<[^<>]*>)?[^<>;]*>\s+(\w+)\s*[({=;]")
+
+MEM_ORDER_RE = re.compile(r"memory_order")
+MEM_ORDER_COMMENT_RE = re.compile(r"//.*mem-order:")
+RELAXED_LOAD_RE = re.compile(
+    r"(?:^|[^\w.])(\w+)\s*=[^=;]*?([\w.\->]*|\))\s*\.\s*load\s*\(\s*"
+    r"std::memory_order_relaxed")
+SUBSCRIPT_WRITE_RE = re.compile(
+    r"[\w.\]\->]+\s*\[[^\]]*\]\s*(?:[|&^+\-]|<<|>>)?=(?!=)")
+
+#: Lines above an op in which a // mem-order: comment counts. Wider
+#: than the engine's allow() window: justification comments are often
+#: several lines long and the marker sits on the first of them.
+COMMENT_WINDOW = 6
+#: Lines after a relaxed load scanned for an unguarded dependent write.
+GUARD_WINDOW = 20
+
+
+def _declared_atomics(code_text: str) -> set[str]:
+    return {m.group(1) for m in ATOMIC_DECL_RE.finditer(code_text)}
+
+
+def _receiver_before(line: str, dot_pos: int) -> str:
+    """Identifier chain ending just before the '.' of a method call."""
+    i = dot_pos - 1
+    while i >= 0 and (line[i].isalnum() or line[i] in "_.:]["):
+        i -= 1
+    return line[i + 1:dot_pos]
+
+
+def _args_text(lines: list[str], row: int, open_col: int) -> str:
+    """Argument-list text from the '(' at (row, open_col) through its
+    balancing ')'."""
+    depth = 0
+    collected: list[str] = []
+    r, c = row, open_col
+    while r < len(lines):
+        line = lines[r]
+        start = c
+        while c < len(line):
+            ch = line[c]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    collected.append(line[start:c + 1])
+                    return "\n".join(collected)
+            c += 1
+        collected.append(line[start:])
+        r, c = r + 1, 0
+    return "\n".join(collected)
+
+
+class AtomicsPass:
+    name = "atomics"
+    rules = {
+        "seq-cst-default":
+            "atomic operation relies on the defaulted seq_cst memory "
+            "order; state the order explicitly",
+        "mem-order-comment":
+            "atomic operation lacks a justifying // mem-order: comment "
+            "with the happens-before argument",
+        "relaxed-guard-write":
+            "relaxed load guards a dependent non-atomic write without "
+            "an intervening RMW on the same atomic to re-validate",
+    }
+    scope = ("src", "bench")
+
+    def run(self, ctx):
+        findings = []
+        for sf in ctx.files:
+            declared = _declared_atomics(sf.code_text)
+            findings.extend(self._scan_ops(ctx, sf, declared))
+            findings.extend(self._scan_relaxed_guards(ctx, sf))
+        return findings
+
+    def _scan_ops(self, ctx, sf, declared):
+        out = []
+        for i, line in enumerate(sf.code_lines):
+            for m in OP_RE.finditer(line):
+                method = m.group(1)
+                receiver = _receiver_before(line, m.start())
+                strong = re.fullmatch(STRONG_METHODS, method) is not None
+                if not strong:
+                    root = receiver.split(".")[0].split("->")[0]
+                    ctx_text = line if i == 0 else \
+                        sf.code_lines[i - 1] + " " + line
+                    visibly_atomic = (
+                        root in declared
+                        or receiver.split(".")[-1] in declared
+                        or "atomic_ref" in ctx_text
+                        or "atomic<" in ctx_text)
+                    # `load`/`store`/`exchange` on non-atomics (file IO,
+                    # std::exchange is a free function and never matches
+                    # the `.method(` form) are skipped here.
+                    if not visibly_atomic:
+                        continue
+                args = _args_text(sf.code_lines, i, m.end() - 1)
+                site = i + 1
+                if not MEM_ORDER_RE.search(args):
+                    out.append(ctx.finding(
+                        self.name, "seq-cst-default", sf, site,
+                        f"`{receiver or '<expr>'}.{method}(...)` uses the "
+                        f"defaulted seq_cst order; pass an explicit "
+                        f"std::memory_order and justify it with a "
+                        f"// mem-order: comment"))
+                    continue
+                window = sf.lines[max(0, i - COMMENT_WINDOW): i + 1]
+                if not any(MEM_ORDER_COMMENT_RE.search(w) for w in window):
+                    out.append(ctx.finding(
+                        self.name, "mem-order-comment", sf, site,
+                        f"`{receiver or '<expr>'}.{method}(...)` picks an "
+                        f"explicit memory order but gives no "
+                        f"// mem-order: justification within "
+                        f"{COMMENT_WINDOW} lines; write down the "
+                        f"happens-before argument"))
+        return out
+
+    def _scan_relaxed_guards(self, ctx, sf):
+        out = []
+        lines = sf.code_lines
+        for i, line in enumerate(lines):
+            m = RELAXED_LOAD_RE.search(line)
+            if not m:
+                continue
+            # Receiver of the load: identifier chain before ".load".
+            dot = line.find(".load", m.start())
+            receiver = _receiver_before(line, dot)
+            root = receiver.split(".")[0].split("->")[0] if receiver else ""
+            for j in range(i + 1, min(len(lines), i + 1 + GUARD_WINDOW)):
+                nxt = lines[j]
+                if root and re.search(
+                        rf"\b{re.escape(root)}\b\s*\.\s*"
+                        rf"(?:fetch_|compare_exchange|store)", nxt):
+                    break  # re-validated by an RMW/store on the atomic
+                if not root and re.search(
+                        r"\.\s*(?:fetch_|compare_exchange)", nxt):
+                    # Inline atomic_ref temporaries: any RMW between the
+                    # load and the write counts as the re-validation.
+                    break
+                if SUBSCRIPT_WRITE_RE.search(nxt):
+                    out.append(ctx.finding(
+                        self.name, "relaxed-guard-write", sf, i + 1,
+                        f"result of relaxed load on "
+                        f"`{receiver or '<atomic>'}` guards the non-atomic "
+                        f"write at line {j + 1} with no intervening RMW on "
+                        f"the same atomic; a stale relaxed load is not a "
+                        f"claim — confirm with fetch_*/compare_exchange "
+                        f"before writing"))
+                    break
+                if nxt.strip().startswith("}") and not nxt.strip("} ;"):
+                    # Likely end of the enclosing block; stop the scan.
+                    break
+        return out
+
+
+PASS = AtomicsPass()

@@ -1,0 +1,141 @@
+"""Determinism pass: kernels and benchmarks must be replayable.
+
+Graph500 validation, the trace-replay tests, and every perf comparison
+in bench/ assume that a run is a pure function of (graph, source,
+seed). Three things quietly break that:
+
+  * C random/time primitives — ``rand()`` has global hidden state and
+    platform-defined sequences; ``time()``/``clock()`` as a seed makes
+    two runs incomparable. The repo's contract is xoshiro/splitmix
+    seeded explicitly (src/graph/generators, bench harness).
+  * Address-ordered iteration — iterating an unordered container keyed
+    by pointers visits elements in ASLR order; any output derived from
+    that order differs run to run.
+  * The PR 5 nested-parallelism bug class — chunking work by
+    ``omp_get_thread_num()`` against a team size read *inside* a region
+    that can be a nested 1-thread team silently serialises or, worse,
+    double-assigns chunks. Files that partition by thread id must
+    consult ``omp_in_parallel()`` (or take the team size outside the
+    region) and say so.
+
+Rules
+-----
+banned-random    rand()/srand()/random()/drand48() in kernel or bench
+                 code.
+banned-time     time()/clock()/gettimeofday() used as a value source
+                 in kernel or bench code (omp_get_wtime and
+                 steady_clock for *measurement* are fine and do not
+                 match).
+addr-ordered    unordered_map/unordered_set keyed by a pointer type —
+                 iteration order is address order.
+nested-chunking  file partitions work by omp_get_thread_num() but
+                 never consults omp_in_parallel()/omp_get_level() —
+                 the exact shape of the PR 5 bug.
+"""
+
+from __future__ import annotations
+
+import re
+
+RANDOM_RE = re.compile(r"\b(?:s?rand|random|drand48|lrand48)\s*\(")
+TIME_RE = re.compile(r"\b(?:time|clock|gettimeofday)\s*\(")
+ADDR_ORDERED_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*")
+TID_RE = re.compile(r"\bomp_get_thread_num\s*\(\s*\)")
+NESTED_AWARE_RE = re.compile(
+    r"\bomp_(?:in_parallel|get_level|get_active_level)\s*\(")
+#: tid used for *partitioning* (arithmetic on the tid), as opposed to
+#: indexing a per-thread slot — `scratch[tid]` is fine, `tid * chunk`
+#: is the bug shape.
+TID_PARTITION_RE = re.compile(
+    r"\bomp_get_thread_num\s*\(\s*\)\s*[*+]|"
+    r"[*+]\s*omp_get_thread_num\s*\(\s*\)|"
+    r"\btid\s*\*|\*\s*tid\b|\btid\s*\+\s*1\b")
+
+#: Kernel/bench scope — src dirs whose outputs feed validation or
+#: timing comparisons. obs/serve/tools are deliberately out: telemetry
+#: may timestamp, the CLI may wall-clock.
+KERNEL_DIRS = ("src/bfs", "src/graph", "src/graph500", "src/core",
+               "src/dist", "src/sim", "bench")
+
+
+def _in_scope(rel: str) -> bool:
+    return any(rel == d or rel.startswith(d + "/") for d in KERNEL_DIRS)
+
+
+class DeterminismPass:
+    name = "determinism"
+    rules = {
+        "banned-random":
+            "C random primitive in kernel/bench code; use the seeded "
+            "xoshiro/splitmix generators",
+        "banned-time":
+            "wall-clock value source in kernel/bench code; runs must "
+            "be a pure function of (graph, source, seed)",
+        "addr-ordered":
+            "unordered container keyed by pointer; iteration order is "
+            "address order and differs run to run",
+        "nested-chunking":
+            "work partitioned by omp_get_thread_num() with no "
+            "omp_in_parallel()/omp_get_level() awareness — the PR 5 "
+            "nested-team bug shape",
+    }
+    scope = ("src", "bench")
+
+    def run(self, ctx):
+        findings = []
+        for sf in ctx.files:
+            if not _in_scope(sf.rel):
+                continue
+            findings.extend(self._scan_lines(ctx, sf))
+            findings.extend(self._scan_nested_chunking(ctx, sf))
+        return findings
+
+    def _scan_lines(self, ctx, sf):
+        out = []
+        for i, line in enumerate(sf.code_lines):
+            m = RANDOM_RE.search(line)
+            if m:
+                out.append(ctx.finding(
+                    self.name, "banned-random", sf, i + 1,
+                    f"`{m.group(0).rstrip('(').strip()}()` has hidden "
+                    f"global state and platform-defined sequences; draw "
+                    f"from the explicitly-seeded generator instead"))
+            m = TIME_RE.search(line)
+            if m:
+                out.append(ctx.finding(
+                    self.name, "banned-time", sf, i + 1,
+                    f"`{m.group(0).rstrip('(').strip()}()` makes the run "
+                    f"depend on the wall clock; kernel/bench outputs must "
+                    f"replay bit-identically from the seed"))
+            m = ADDR_ORDERED_RE.search(line)
+            if m:
+                out.append(ctx.finding(
+                    self.name, "addr-ordered", sf, i + 1,
+                    "unordered container keyed by a pointer iterates in "
+                    "address (ASLR) order; key by a stable id, or use an "
+                    "ordered container"))
+        return out
+
+    def _scan_nested_chunking(self, ctx, sf):
+        # File-granularity rule: if any tid-arithmetic partitioning
+        # exists and the file never consults nesting state, every
+        # partitioning site is reported (each needs its own reasoning).
+        if NESTED_AWARE_RE.search(sf.code_text):
+            return []
+        if not TID_RE.search(sf.code_text):
+            return []
+        out = []
+        for i, line in enumerate(sf.code_lines):
+            if TID_PARTITION_RE.search(line):
+                out.append(ctx.finding(
+                    self.name, "nested-chunking", sf, i + 1,
+                    "work is partitioned by thread id, but nothing here "
+                    "checks omp_in_parallel()/omp_get_level(); inside a "
+                    "nested 1-thread team this chunking collapses (the "
+                    "PR 5 bug class) — either handle nesting or annotate "
+                    "why the partition is nesting-safe"))
+        return out
+
+
+PASS = DeterminismPass()

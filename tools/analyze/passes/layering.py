@@ -1,0 +1,197 @@
+"""Layering pass: enforce the subsystem dependency DAG from #include
+edges.
+
+The DAG is declared in ``tools/analyze/layers.toml`` — checked in, so a
+new edge is a reviewed architectural decision, not an accident of
+whoever needed a symbol first. A layer is (by default) a directory
+under the configured root (``src``); every quoted include of the form
+``"other_layer/header.h"`` is an edge, and the edge must appear in the
+including layer's ``deps`` list.
+
+Rules
+-----
+layering-violation   file in layer A includes a header of layer B, but
+                     B is not in A's declared deps.
+unmapped-file        file under the root belongs to no declared layer
+                     (and no override names one) — it would otherwise
+                     escape the DAG entirely.
+
+With the clang backend, include edges come pre-resolved from the
+frontend (transitive includes excluded — only direct edges are layer
+decisions); the token fallback scans ``#include "..."`` lines, which in
+this repo is exact because all intra-project includes are quoted and
+root-relative.
+
+Config errors (unknown dep names, cycles in the declared DAG, a
+missing root) abort the run with a ConfigError — a broken contract
+must not be reported as a mere finding.
+"""
+
+from __future__ import annotations
+
+import os
+import tomllib
+
+
+class ConfigError(Exception):
+    pass
+
+
+INCLUDE_RE_TEXT = r'^\s*#\s*include\s+"([^"]+)"'
+
+
+class LayerConfig:
+    def __init__(self, root: str, layers: dict[str, list[str]],
+                 virtual: set[str], overrides: dict[str, str]):
+        self.root = root                  # e.g. "src"
+        self.layers = layers              # name -> allowed dep names
+        self.virtual = virtual            # layers with no directory
+        self.overrides = overrides        # rel path -> layer name
+
+    @classmethod
+    def load(cls, path: str) -> "LayerConfig":
+        with open(path, "rb") as f:
+            data = tomllib.load(f)
+        root = data.get("settings", {}).get("root", "src")
+        raw = data.get("layers", {})
+        if not raw:
+            raise ConfigError(f"{path}: no [layers.*] tables")
+        layers: dict[str, list[str]] = {}
+        virtual: set[str] = set()
+        for name, spec in raw.items():
+            deps = spec.get("deps", [])
+            if not isinstance(deps, list):
+                raise ConfigError(f"{path}: layers.{name}.deps must be a list")
+            layers[name] = deps
+            if spec.get("virtual", False):
+                virtual.add(name)
+        for name, deps in layers.items():
+            for d in deps:
+                if d != "*" and d not in layers:
+                    raise ConfigError(
+                        f"{path}: layers.{name} depends on undeclared "
+                        f"layer '{d}'")
+        overrides = dict(data.get("overrides", {}))
+        for p, layer in overrides.items():
+            if layer not in layers:
+                raise ConfigError(
+                    f"{path}: override '{p}' maps to undeclared layer "
+                    f"'{layer}'")
+        cfg = cls(root=root, layers=layers, virtual=virtual,
+                  overrides=overrides)
+        cfg._check_acyclic(path)
+        return cfg
+
+    def _check_acyclic(self, path: str) -> None:
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(n: str, trail: list[str]) -> None:
+            if state.get(n) == 1:
+                return
+            if state.get(n) == 0:
+                cyc = trail[trail.index(n):] + [n]
+                raise ConfigError(
+                    f"{path}: declared layer graph has a cycle: "
+                    f"{' -> '.join(cyc)}")
+            state[n] = 0
+            for d in self.layers[n]:
+                if d != "*":
+                    visit(d, trail + [n])
+            state[n] = 1
+
+        for n in self.layers:
+            visit(n, [])
+
+    def layer_of(self, rel: str) -> str | None:
+        """Layer a repo-relative file belongs to, or None if outside
+        the root / not mapped."""
+        if rel in self.overrides:
+            return self.overrides[rel]
+        prefix = self.root + "/"
+        if not rel.startswith(prefix):
+            return None
+        rest = rel[len(prefix):]
+        top = rest.split("/", 1)[0]
+        return top if top in self.layers and top not in self.virtual else None
+
+    def include_target_layer(self, include_path: str) -> str | None:
+        """Layer an include string like "serve/engine.h" points at."""
+        if "/" not in include_path:
+            return None  # same-directory include
+        top = include_path.split("/", 1)[0]
+        return top if top in self.layers and top not in self.virtual else None
+
+    def allowed(self, src_layer: str, dst_layer: str) -> bool:
+        if src_layer == dst_layer:
+            return True
+        deps = self.layers[src_layer]
+        return "*" in deps or dst_layer in deps
+
+
+class LayeringPass:
+    name = "layering"
+    rules = {
+        "layering-violation":
+            "include edge not in the declared subsystem dependency DAG "
+            "(tools/analyze/layers.toml)",
+        "unmapped-file":
+            "file under the layer root belongs to no declared layer",
+    }
+    scope = ("src",)
+
+    def run(self, ctx):
+        import re
+        cfg: LayerConfig = ctx.config
+        inc_re = re.compile(INCLUDE_RE_TEXT)
+        findings = []
+
+        clang_edges = None
+        if ctx.backend_name == "clang" and ctx.backend is not None \
+                and getattr(ctx, "clang_edges", None):
+            clang_edges = ctx.clang_edges
+
+        for sf in ctx.files:
+            src_layer = cfg.layer_of(sf.rel)
+            if src_layer is None:
+                if sf.rel.startswith(cfg.root + "/") \
+                        and sf.rel not in cfg.overrides:
+                    findings.append(ctx.finding(
+                        self.name, "unmapped-file", sf, 1,
+                        f"'{sf.rel}' is under {cfg.root}/ but belongs to "
+                        f"no layer declared in layers.toml; add a "
+                        f"[layers.*] entry or an override"))
+                continue
+            if clang_edges is not None and sf.rel in clang_edges:
+                # Resolved edges (clang backend): map each included file
+                # back to a layer by path.
+                for dst_rel in sorted(clang_edges[sf.rel]):
+                    dst_layer = cfg.layer_of(dst_rel)
+                    if dst_layer is None or cfg.allowed(src_layer, dst_layer):
+                        continue
+                    findings.append(ctx.finding(
+                        self.name, "layering-violation", sf, 1,
+                        self._msg(src_layer, dst_layer, dst_rel)))
+                continue
+            # Raw lines, not code_lines: the include path lives inside
+            # string quotes, which the comment/string stripper blanks.
+            for i, line in enumerate(sf.lines):
+                m = inc_re.match(line)
+                if not m:
+                    continue
+                dst_layer = cfg.include_target_layer(m.group(1))
+                if dst_layer is None or cfg.allowed(src_layer, dst_layer):
+                    continue
+                findings.append(ctx.finding(
+                    self.name, "layering-violation", sf, i + 1,
+                    self._msg(src_layer, dst_layer, m.group(1))))
+        return findings
+
+    @staticmethod
+    def _msg(src_layer: str, dst_layer: str, target: str) -> str:
+        return (f"layer '{src_layer}' must not include '{target}': "
+                f"'{dst_layer}' is not in its declared deps — either the "
+                f"code belongs elsewhere, or the edge is a real "
+                f"architectural decision that belongs in layers.toml")
+
+
+PASS = LayeringPass()

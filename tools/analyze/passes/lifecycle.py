@@ -1,0 +1,177 @@
+"""Lifecycle pass: paired-resource protocols must not leak through
+early returns.
+
+The repository has three hand-rolled acquire/release protocols whose
+release is NOT enforced by the type system at every site:
+
+  * GraphEpochs pin/unpin        (src/serve/epochs.h) — a leaked pin
+    wedges snapshot reclamation forever; the RAII ``Pin`` exists
+    precisely so nobody calls ``unpin`` by hand.
+  * StatePool lease/return       (src/bfs/state_pool.h) — same shape;
+    ``Lease`` is the only sanctioned door.
+  * perf_event_open/::close      (src/obs/perf_counters.cc) — raw fds
+    from a raw syscall; between ``perf_open`` and the member store
+    there is a window where an early return leaks the fd.
+
+Rules
+-----
+raw-unpin        a direct ``.unpin(`` / ``->unpin(`` call outside the
+                 class that owns the protocol. Holding a ``Pin`` is the
+                 API; calling unpin by hand defeats the refcount's
+                 exception/early-return safety.
+raw-lease-call   same for ``.release_state(`` / ``->release_state(``
+                 outside StatePool/Lease — returning a lease by hand.
+open-escape      a raw fd from ``perf_event_open``/``perf_open``/
+                 ``::open`` reaches a ``return`` (other than a
+                 failure-guard ``if (fd < 0) return...``) before being
+                 stored into a member / closed — the fd leaks on that
+                 path.
+manual-lock      a bare ``.lock()`` / ``.unlock()`` on a receiver that
+                 is not a declared guard object (``unique_lock``,
+                 ``lock_guard``, ``scoped_lock``, ``shared_lock``) in
+                 the same file. Guards exist; raw mutex choreography is
+                 how the serve engine's condition-variable dance would
+                 rot into a deadlock.
+
+All rules are token-level by design: the protocols are project idioms,
+and each has exactly one sanctioned implementation site that carries an
+``// analyze: allow(...)`` annotation explaining why it is the one
+place allowed to touch the raw operation.
+"""
+
+from __future__ import annotations
+
+import re
+
+UNPIN_RE = re.compile(r"(?:\.|->)\s*unpin\s*\(")
+LEASE_RET_RE = re.compile(r"(?:\.|->)\s*release_state\s*\(")
+OPEN_RE = re.compile(
+    r"\b(?:int|auto)\s+(\w+)\s*=\s*(?:perf_event_open|perf_open|::open)\s*\(")
+RETURN_RE = re.compile(r"\breturn\b")
+LOCK_CALL_RE = re.compile(r"(\w[\w.\->]*)\s*\.\s*(lock|unlock)\s*\(\s*\)")
+GUARD_DECL_RE = re.compile(
+    r"\b(?:std::)?(?:unique_lock|lock_guard|scoped_lock|shared_lock)\s*"
+    r"<[^>]*>\s+(\w+)")
+
+#: Lines scanned after a raw open for the fd's fate.
+OPEN_WINDOW = 16
+#: A failure guard must test the fd within this many lines of a return.
+GUARD_LOOKBACK = 2
+
+#: Files that implement a protocol are allowed to touch its raw half —
+#: the destructor/release method has to call the real thing. (Findings
+#: there would force annotations on the definition itself, which is
+#: noise; the rule targets *callers*.)
+PROTOCOL_IMPL_FILES = {
+    "raw-unpin": ("src/serve/epochs.h",),
+    "raw-lease-call": ("src/bfs/state_pool.h",),
+}
+
+
+def _is_definition_line(line: str) -> bool:
+    """True for the declaration/definition of the method itself
+    (``void GraphEpochs::unpin(...)`` / ``void unpin(...) {``) as
+    opposed to a call — definitions never match because the regexes
+    require a preceding ``.``/``->``, but out-of-class definitions use
+    ``::`` which this catches."""
+    return bool(re.search(r"\b\w+::(?:unpin|release_state)\s*\(", line)) \
+        or bool(re.match(r"\s*(?:void|auto)\s+(?:unpin|release_state)\s*\(",
+                         line))
+
+
+class LifecyclePass:
+    name = "lifecycle"
+    rules = {
+        "raw-unpin":
+            "direct unpin() call outside the epoch protocol owner; "
+            "hold a GraphEpochs::Pin instead",
+        "raw-lease-call":
+            "direct release_state() call outside StatePool/Lease; "
+            "return leases by destroying the Lease",
+        "open-escape":
+            "raw fd from perf_event_open/::open can leak through a "
+            "non-failure return before being stored or closed",
+        "manual-lock":
+            "bare lock()/unlock() on a non-guard receiver; use "
+            "unique_lock/lock_guard so early returns unlock",
+    }
+    scope = ("src", "bench")
+
+    def run(self, ctx):
+        findings = []
+        for sf in ctx.files:
+            findings.extend(self._scan_raw_calls(ctx, sf))
+            findings.extend(self._scan_open_escape(ctx, sf))
+            findings.extend(self._scan_manual_lock(ctx, sf))
+        return findings
+
+    def _scan_raw_calls(self, ctx, sf):
+        out = []
+        for rule, pat in (("raw-unpin", UNPIN_RE),
+                          ("raw-lease-call", LEASE_RET_RE)):
+            if sf.rel in PROTOCOL_IMPL_FILES.get(rule, ()):
+                continue
+            for i, line in enumerate(sf.code_lines):
+                if not pat.search(line) or _is_definition_line(line):
+                    continue
+                what = "unpin" if rule == "raw-unpin" else "release_state"
+                out.append(ctx.finding(
+                    self.name, rule, sf, i + 1,
+                    f"direct `{what}()` call bypasses the RAII protocol; "
+                    f"an exception or early return on this path leaks the "
+                    f"{'pin' if rule == 'raw-unpin' else 'lease'} — hold "
+                    f"the guard object instead"))
+        return out
+
+    def _scan_open_escape(self, ctx, sf):
+        out = []
+        lines = sf.code_lines
+        for i, line in enumerate(lines):
+            m = OPEN_RE.search(line)
+            if not m:
+                continue
+            fd = m.group(1)
+            for j in range(i + 1, min(len(lines), i + 1 + OPEN_WINDOW)):
+                nxt = lines[j]
+                # Settled: stored into a member/container, or closed.
+                if re.search(rf"(?:\w+(?:\[[^\]]*\])?\s*(?:=|\.push_back\(|"
+                             rf"\.emplace_back\()\s*{re.escape(fd)}\b"
+                             rf"|close\s*\(\s*{re.escape(fd)}\s*\))", nxt):
+                    break
+                if RETURN_RE.search(nxt):
+                    guard = any(
+                        re.search(rf"if\s*\(\s*{re.escape(fd)}\s*<\s*0",
+                                  lines[k])
+                        for k in range(max(i, j - GUARD_LOOKBACK), j + 1))
+                    if guard:
+                        continue  # failure path: fd is invalid, no leak
+                    out.append(ctx.finding(
+                        self.name, "open-escape", sf, j + 1,
+                        f"`return` at line {j + 1} can leak fd `{fd}` "
+                        f"opened at line {i + 1}: the fd is neither stored "
+                        f"nor closed on this path"))
+                    break
+        return out
+
+    def _scan_manual_lock(self, ctx, sf):
+        guards = {m.group(1) for m in GUARD_DECL_RE.finditer(sf.code_text)}
+        out = []
+        for i, line in enumerate(sf.code_lines):
+            for m in LOCK_CALL_RE.finditer(line):
+                receiver, method = m.group(1), m.group(2)
+                root = receiver.split(".")[0].split("->")[0]
+                if root in guards or receiver in guards:
+                    # unique_lock::unlock() before a notify is the
+                    # sanctioned condition-variable idiom — the guard
+                    # still unlocks on every other path.
+                    continue
+                out.append(ctx.finding(
+                    self.name, "manual-lock", sf, i + 1,
+                    f"bare `{receiver}.{method}()` on a non-guard "
+                    f"receiver; wrap the mutex in std::unique_lock/"
+                    f"lock_guard so early returns and exceptions "
+                    f"unlock it"))
+        return out
+
+
+PASS = LifecyclePass()

@@ -1,0 +1,185 @@
+"""SARIF v2.1.0 emission for bfsx-analyze.
+
+One run, one driver, the full rule catalog (so GitHub code scanning can
+render rule help even for rules with zero results this run). Findings
+map to ``results``:
+
+  * new + baselined findings are plain results (baselined ones carry
+    ``baselineState: "unchanged"`` so the UI can tell them apart);
+  * in-source suppressed findings are emitted with a ``suppressions``
+    record quoting the annotation's justification — code scanning hides
+    them but keeps the audit trail.
+
+``partialFingerprints`` carries the same content fingerprint the
+committed baseline uses, so the SARIF result and the baseline entry for
+one finding are trivially joinable.
+
+``validate`` is a structural checker (required properties, types,
+location sanity) used by the selftests — the point is catching emitter
+regressions without a jsonschema dependency, not re-implementing the
+spec.
+"""
+
+from __future__ import annotations
+
+import json
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "bfsx-analyze"
+TOOL_VERSION = "1.0.0"
+FINGERPRINT_KEY = "bfsxAnalyze/v1"
+
+
+def _rule_descriptor(rule_id: str, description: str) -> dict:
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": description},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding, baseline_state: str | None = None,
+            justification: str | None = None) -> dict:
+    r = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": f"[{finding.pass_name}] {finding.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {"startLine": max(1, finding.line)},
+            },
+        }],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint},
+    }
+    if baseline_state is not None:
+        r["baselineState"] = baseline_state
+    if justification is not None:
+        r["suppressions"] = [{
+            "kind": "inSource",
+            "justification": justification,
+        }]
+    return r
+
+
+def build(report, rule_catalog: dict[str, str],
+          suppression_reasons: dict[tuple, str] | None = None) -> dict:
+    """``rule_catalog`` is {rule-id: description} for every known rule;
+    ``suppression_reasons`` maps (rule, path, line) to the annotation
+    reason for suppressed findings."""
+    reasons = suppression_reasons or {}
+    results = []
+    for f in report.new_findings:
+        results.append(_result(f, baseline_state="new"))
+    for f in report.baselined:
+        results.append(_result(f, baseline_state="unchanged"))
+    for f in report.suppressed:
+        just = reasons.get((f.rule, f.path, f.line),
+                           "suppressed by // analyze: allow annotation")
+        results.append(_result(f, justification=just))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri":
+                        "https://github.com/bfsx/bfsx/tree/main/tools/analyze",
+                    "rules": [
+                        _rule_descriptor(rid, desc)
+                        for rid, desc in sorted(rule_catalog.items())
+                    ],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def write(doc: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def validate(doc: dict) -> list[str]:
+    """Structural SARIF check; returns a list of problems (empty =
+    valid as far as this checker sees)."""
+    errs: list[str] = []
+
+    def need(obj, key, typ, where):
+        if not isinstance(obj, dict) or key not in obj:
+            errs.append(f"{where}: missing '{key}'")
+            return None
+        if not isinstance(obj[key], typ):
+            errs.append(f"{where}.{key}: expected {typ.__name__}, got "
+                        f"{type(obj[key]).__name__}")
+            return None
+        return obj[key]
+
+    if need(doc, "version", str, "$") != SARIF_VERSION:
+        errs.append(f"$.version: must be '{SARIF_VERSION}'")
+    runs = need(doc, "runs", list, "$")
+    if not runs:
+        if runs is not None:
+            errs.append("$.runs: must contain at least one run")
+        return errs
+    for ri, run in enumerate(runs):
+        where = f"$.runs[{ri}]"
+        tool = need(run, "tool", dict, where)
+        driver = need(tool, "driver", dict, f"{where}.tool") if tool else None
+        rule_ids: set[str] = set()
+        if driver:
+            need(driver, "name", str, f"{where}.tool.driver")
+            rules = need(driver, "rules", list, f"{where}.tool.driver") or []
+            for qi, rd in enumerate(rules):
+                rid = need(rd, "id", str,
+                           f"{where}.tool.driver.rules[{qi}]")
+                if rid:
+                    rule_ids.add(rid)
+        results = need(run, "results", list, where)
+        if results is None:
+            continue
+        for si, res in enumerate(results):
+            rwhere = f"{where}.results[{si}]"
+            rid = need(res, "ruleId", str, rwhere)
+            if rid and rule_ids and rid not in rule_ids:
+                errs.append(f"{rwhere}.ruleId: '{rid}' not in the driver "
+                            f"rule catalog")
+            msg = need(res, "message", dict, rwhere)
+            if msg is not None:
+                need(msg, "text", str, f"{rwhere}.message")
+            locs = need(res, "locations", list, rwhere) or []
+            for li, loc in enumerate(locs):
+                phys = need(loc, "physicalLocation", dict,
+                            f"{rwhere}.locations[{li}]")
+                if not phys:
+                    continue
+                art = need(phys, "artifactLocation", dict,
+                           f"{rwhere}.locations[{li}].physicalLocation")
+                if art:
+                    uri = need(art, "uri", str,
+                               f"{rwhere}.locations[{li}]"
+                               f".physicalLocation.artifactLocation")
+                    if uri and (uri.startswith("/") or ".." in uri):
+                        errs.append(
+                            f"{rwhere}: artifact uri '{uri}' must be "
+                            f"relative and inside the repo")
+                region = phys.get("region")
+                if isinstance(region, dict):
+                    sl = region.get("startLine")
+                    if not isinstance(sl, int) or sl < 1:
+                        errs.append(f"{rwhere}: region.startLine must be a "
+                                    f"positive integer")
+    return errs

@@ -1,0 +1,24 @@
+// Fixture: explicit memory orders with no // mem-order: justification,
+// next to a correctly-annotated site that must stay silent.
+#include <atomic>
+#include <cstdint>
+
+namespace bfsx {
+
+std::atomic<std::uint64_t> g_word{0};
+
+void publish(std::uint64_t bits) {
+  g_word.store(bits, std::memory_order_release);  // EXPECT(mem-order-comment)
+}
+
+std::uint64_t consume() {
+  return g_word.load(std::memory_order_acquire);  // EXPECT(mem-order-comment)
+}
+
+std::uint64_t documented() {
+  // mem-order: relaxed — statistics counter; the value is only read
+  // after the join, which already synchronizes.
+  return g_word.load(std::memory_order_relaxed);
+}
+
+}  // namespace bfsx

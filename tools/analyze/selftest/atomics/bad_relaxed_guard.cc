@@ -1,0 +1,31 @@
+// Fixture: a relaxed load used as a claim guarding a dependent
+// non-atomic write, with no re-validating RMW in between — plus the
+// safe shape (load, fetch_or, then write) that must stay silent.
+#include <atomic>
+#include <cstdint>
+
+namespace bfsx {
+
+std::atomic<std::uint64_t> g_seen{0};
+
+void racy(std::uint64_t bit, std::uint64_t* parent, std::uint64_t v) {
+  // mem-order: relaxed — (fixture prose; the bug is the missing RMW).
+  std::uint64_t cur = g_seen.load(std::memory_order_relaxed);  // EXPECT(relaxed-guard-write)
+  if ((cur & bit) == 0) {
+    parent[bit] = v;
+  }
+}
+
+void safe(std::uint64_t bit, std::uint64_t* parent, std::uint64_t v) {
+  // mem-order: relaxed — advisory pre-filter; the fetch_or below
+  // re-validates the claim before the dependent store.
+  std::uint64_t cur = g_seen.load(std::memory_order_relaxed);
+  if ((cur & bit) != 0) return;
+  // mem-order: relaxed — RMW atomicity elects the winner.
+  std::uint64_t old = g_seen.fetch_or(bit, std::memory_order_relaxed);
+  if ((old & bit) == 0) {
+    parent[bit] = v;
+  }
+}
+
+}  // namespace bfsx

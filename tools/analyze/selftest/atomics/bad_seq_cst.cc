@@ -1,0 +1,22 @@
+// Fixture: atomic ops that ride the defaulted seq_cst order.
+#include <atomic>
+#include <cstdint>
+
+namespace bfsx {
+
+std::atomic<std::uint64_t> g_counter{0};
+std::atomic<bool> g_flag{false};
+
+void bump() {
+  g_counter.fetch_add(1);  // EXPECT(seq-cst-default)
+}
+
+void raise_flag() {
+  g_flag.store(true);  // EXPECT(seq-cst-default)
+}
+
+bool peek() {
+  return g_flag.load();  // EXPECT(seq-cst-default)
+}
+
+}  // namespace bfsx

@@ -1,0 +1,15 @@
+// Fixture: a pointer-keyed unordered container — iteration is ASLR
+// order. The id-keyed map below it must stay silent.
+#include <cstdint>
+#include <unordered_map>
+
+namespace bfsx {
+
+struct Node {
+  std::uint32_t id;
+};
+
+std::unordered_map<Node*, int> g_by_addr;  // EXPECT(addr-ordered)
+std::unordered_map<std::uint32_t, int> g_by_id;
+
+}  // namespace bfsx

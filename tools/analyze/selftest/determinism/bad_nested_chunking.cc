@@ -1,0 +1,22 @@
+// Fixture: the PR 5 bug shape — work partitioned by thread id with no
+// nesting awareness anywhere in the file. In a nested 1-thread team
+// this chunking collapses.
+#include <cstddef>
+#include <omp.h>
+
+namespace bfsx {
+
+void process(const double* data, double* out, std::size_t n) {
+#pragma omp parallel
+  {
+    const int tid = omp_get_thread_num();
+    const std::size_t chunk = n / static_cast<std::size_t>(
+                                      omp_get_num_threads());
+    const std::size_t begin = tid * chunk;  // EXPECT(nested-chunking)
+    for (std::size_t i = begin; i < begin + chunk; ++i) {
+      out[i] = data[i] * 2.0;
+    }
+  }
+}
+
+}  // namespace bfsx

@@ -1,0 +1,11 @@
+// Fixture: C random primitives in kernel code.
+#include <cstdlib>
+
+namespace bfsx {
+
+unsigned pick_source() {
+  std::srand(42);                              // EXPECT(banned-random)
+  return static_cast<unsigned>(std::rand());   // EXPECT(banned-random)
+}
+
+}  // namespace bfsx

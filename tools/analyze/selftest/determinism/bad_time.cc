@@ -1,0 +1,18 @@
+// Fixture: wall-clock value source in kernel code. omp_get_wtime for
+// *measurement* must stay silent (word boundary: 'wtime' != 'time').
+#include <ctime>
+#include <omp.h>
+
+namespace bfsx {
+
+unsigned long long seed_from_clock() {
+  return static_cast<unsigned long long>(time(nullptr));  // EXPECT(banned-time)
+}
+
+double measure() {
+  const double t0 = omp_get_wtime();
+  const double t1 = omp_get_wtime();
+  return t1 - t0;
+}
+
+}  // namespace bfsx

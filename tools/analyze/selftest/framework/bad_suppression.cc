@@ -1,0 +1,17 @@
+// Fixture: malformed // analyze: allow annotations — one naming an
+// unknown rule, one with no reason. A correct annotation (known rule,
+// real reason) must stay silent.
+#include <cstdint>
+
+namespace bfsx {
+
+// analyze: allow(definitely-not-a-rule) the rule name is wrong  EXPECT(bad-suppression)
+std::uint64_t a = 0;
+
+// analyze: allow(raw-unpin)
+std::uint64_t b = 0;  // EXPECT(bad-suppression) reasonless above
+
+// analyze: allow(manual-lock) fixture-only: documented fine annotation
+std::uint64_t c = 0;
+
+}  // namespace bfsx

@@ -1,0 +1,12 @@
+// REL: src/graph/bad_cross_include.cc
+// Fixture: the storage layer reaching up into the query engine — the
+// canonical inverted edge the DAG exists to forbid.
+#include "graph/csr.h"
+#include "serve/engine.h"  // EXPECT(layering-violation)
+#include "check/contract.h"
+
+namespace bfsx::graph {
+
+void touch() {}
+
+}  // namespace bfsx::graph

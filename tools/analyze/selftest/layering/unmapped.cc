@@ -1,0 +1,11 @@
+// REL: src/quarantine/unmapped.cc
+// Fixture: a file under src/ in a directory no [layers.*] table
+// declares — it would escape the DAG entirely.
+// EXPECT(unmapped-file)
+#include "graph/csr.h"
+
+namespace bfsx {
+
+void orphan() {}
+
+}  // namespace bfsx

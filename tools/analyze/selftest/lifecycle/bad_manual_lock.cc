@@ -1,0 +1,28 @@
+// Fixture: bare mutex choreography vs. the sanctioned guard idiom
+// (unique_lock::unlock() before a notify stays silent).
+#include <condition_variable>
+#include <mutex>
+
+namespace bfsx {
+
+struct Queue {
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int depth_ = 0;
+
+  void racy_push() {
+    mu_.lock();  // EXPECT(manual-lock)
+    ++depth_;
+    mu_.unlock();  // EXPECT(manual-lock)
+    cv_.notify_one();
+  }
+
+  void guarded_push() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++depth_;
+    lock.unlock();
+    cv_.notify_one();
+  }
+};
+
+}  // namespace bfsx

@@ -1,0 +1,36 @@
+// Fixture: a raw fd that can leak through a non-failure early return —
+// next to the sanctioned shape (failure guard, then member store).
+#include <unistd.h>
+
+#include <vector>
+
+struct perf_event_attr;
+extern int perf_event_open(perf_event_attr* attr, int pid, int cpu,
+                           int group, unsigned long flags);
+
+namespace bfsx {
+
+struct Counters {
+  std::vector<int> fds_;
+  bool config_bad_ = false;
+
+  bool leaky(perf_event_attr* attr) {
+    int fd = perf_event_open(attr, 0, -1, -1, 0);
+    if (config_bad_) {
+      return false;  // EXPECT(open-escape)
+    }
+    fds_.push_back(fd);
+    return true;
+  }
+
+  bool careful(perf_event_attr* attr) {
+    int fd = perf_event_open(attr, 0, -1, -1, 0);
+    if (fd < 0) {
+      return false;
+    }
+    fds_.push_back(fd);
+    return true;
+  }
+};
+
+}  // namespace bfsx

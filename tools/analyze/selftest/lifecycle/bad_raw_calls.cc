@@ -1,0 +1,19 @@
+// Fixture: hand-rolled release calls that bypass the RAII protocols.
+#include <cstddef>
+
+namespace bfsx {
+
+struct Epochs {
+  void unpin(std::size_t e);
+};
+struct Pool {
+  void release_state(std::size_t idx);
+};
+
+void leak_prone(Epochs* epochs, Pool& pool, std::size_t e,
+                std::size_t idx) {
+  epochs->unpin(e);         // EXPECT(raw-unpin)
+  pool.release_state(idx);  // EXPECT(raw-lease-call)
+}
+
+}  // namespace bfsx

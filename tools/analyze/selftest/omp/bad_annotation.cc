@@ -1,0 +1,18 @@
+// Fixture: a reasonless omp-lint suppression — the annotation itself
+// is the violation.
+#include <cstddef>
+
+namespace bfsx {
+
+double sloppy(const double* data, std::size_t n) {
+  double total = 0.0;
+  // omp-lint: allow(shared-write)
+  // EXPECT(bad-annotation)
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    total += data[i];
+  }
+  return total;
+}
+
+}  // namespace bfsx

@@ -1,0 +1,17 @@
+// Fixture: a determinism-critical loop (// det:) scheduled dynamic.
+#include <cstddef>
+
+namespace bfsx {
+
+void stamp_order(std::size_t* order, std::size_t n) {
+  std::size_t cursor = 0;
+  // det: visit order is part of the replay contract
+  // EXPECT(det-dynamic)
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t i = 0; i < n; ++i) {
+#pragma omp critical
+    order[i] = cursor++;
+  }
+}
+
+}  // namespace bfsx

@@ -1,0 +1,19 @@
+// Fixture: a function that computes a `workers` override, then opens a
+// parallel region without num_threads(workers).
+#include <cstddef>
+
+namespace bfsx {
+
+int pick_workers(std::size_t n);
+
+void scaled_fill(double* out, std::size_t n) {
+  const int workers = pick_workers(n);
+  (void)workers;
+// EXPECT(missing-workers)
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = 0.0;
+  }
+}
+
+}  // namespace bfsx

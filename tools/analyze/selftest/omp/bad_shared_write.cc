@@ -1,0 +1,26 @@
+// Fixture: a worksharing loop accumulating into a shared variable with
+// no reduction clause — next to the reduction shape that stays silent.
+#include <cstddef>
+
+namespace bfsx {
+
+double racy_sum(const double* data, std::size_t n) {
+  double total = 0.0;
+// EXPECT(shared-write)
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    total += data[i];
+  }
+  return total;
+}
+
+double reduced_sum(const double* data, std::size_t n) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total)
+  for (std::size_t i = 0; i < n; ++i) {
+    total += data[i];
+  }
+  return total;
+}
+
+}  // namespace bfsx
