@@ -19,11 +19,19 @@
 // are).
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bfs/state.h"
+#include "check/contract.h"
+#include "graph/view.h"
 
 namespace bfsx::bfs {
 
@@ -79,10 +87,294 @@ struct MsBfsResult {
   int direction_switches = 0;
 };
 
-/// Traverses up to kMsBfsMaxLanes roots simultaneously. Throws
-/// std::invalid_argument on an empty or oversized batch or an
-/// out-of-range root. Levels, counters, and reached/edge totals are
-/// bit-identical for every OMP_NUM_THREADS.
+namespace detail {
+
+/// Per-pass working set. Lane l of every mask word is root l's
+/// traversal; `seen` is the 64-lane visited map, `visit` the current
+/// frontier, `visit_next` the one under construction. Parent/level
+/// pointers index straight into the caller-visible per-root results so
+/// discovery writes the final maps with no extraction pass.
+struct MsLaneState {
+  std::vector<std::uint64_t> seen;
+  std::vector<std::uint64_t> visit;
+  std::vector<std::uint64_t> visit_next;
+  std::vector<graph::vid_t*> parent;  // parent[l] = per_root[l].parent.data()
+  std::vector<std::int32_t*> level;   // level[l] = per_root[l].level.data()
+  std::uint64_t full = 0;             // mask of the lanes in use
+};
+
+/// Expands the union frontier top-down. Threads race to claim lanes of
+/// a neighbour with one fetch_or on its `seen` word; the winner of each
+/// bit — and only the winner — writes that lane's parent/level entry,
+/// so the stores are per-(lane, vertex) exclusive. Which thread wins is
+/// schedule-dependent, but *whether* a lane is claimed at this level is
+/// not: a lane bit is claimable iff some frontier vertex carries it,
+/// which is fixed before the step starts. Levels and counters are
+/// therefore thread-count invariant (parents tie-break like the
+/// single-source top-down kernel).
+template <graph::GraphView V>
+void ms_top_down_step(const V& g, const std::vector<graph::vid_t>& active,
+                      MsLaneState& s, std::int32_t next_level) {
+  const auto count = static_cast<std::int64_t>(active.size());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = 0; i < count; ++i) {
+    const graph::vid_t v = active[static_cast<std::size_t>(i)];
+    const std::uint64_t mask = s.visit[static_cast<std::size_t>(v)];
+    g.for_each_out_neighbor(v, [&](graph::vid_t w) {
+      const auto wi = static_cast<std::size_t>(w);
+      std::atomic_ref<std::uint64_t> seen_w(s.seen[wi]);
+      // mem-order: relaxed — advisory pre-filter only; a stale load can
+      // merely let a lane through to the fetch_or below, which
+      // re-validates, so no ordering is consumed from this read.
+      std::uint64_t cand = mask & ~seen_w.load(std::memory_order_relaxed);
+      if (cand == 0) return;  // stale-load misses retry via fetch_or
+      // mem-order: relaxed — the RMW's atomicity elects one winner per
+      // lane bit; the winner's parent/level stores are read by other
+      // threads only after the parallel-for's implicit barrier, which
+      // already sequences them (no acquire/release needed).
+      const std::uint64_t old =
+          seen_w.fetch_or(cand, std::memory_order_relaxed);
+      std::uint64_t won = cand & ~old;
+      if (won == 0) return;
+      // mem-order: relaxed — independent bit accumulation; visit_next
+      // is only swapped into the read role after the level barrier.
+      std::atomic_ref<std::uint64_t>(s.visit_next[wi])
+          .fetch_or(won, std::memory_order_relaxed);
+      while (won != 0) {
+        const int l = std::countr_zero(won);
+        won &= won - 1;
+        s.parent[static_cast<std::size_t>(l)][wi] = v;
+        s.level[static_cast<std::size_t>(l)][wi] = next_level;
+      }
+    });
+  }
+}
+
+/// Expands bottom-up: every not-fully-seen candidate scans its
+/// in-neighbours and adopts, per still-missing lane, the first one
+/// carrying that lane's frontier bit. Each iteration owns its candidate
+/// exclusively — `seen`/`visit_next` writes need no atomics, and with
+/// the in-adjacency enumerated in the view's deterministic (sorted)
+/// order the chosen parents are fully deterministic.
+template <graph::TransposeView V>
+void ms_bottom_up_step(const V& g,
+                       const std::vector<graph::vid_t>& candidates,
+                       MsLaneState& s, std::int32_t next_level) {
+  const auto count = static_cast<std::int64_t>(candidates.size());
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::int64_t i = 0; i < count; ++i) {
+    const graph::vid_t w = candidates[static_cast<std::size_t>(i)];
+    const auto wi = static_cast<std::size_t>(w);
+    std::uint64_t rem = s.full & ~s.seen[wi];
+    if (rem == 0) continue;  // straggler a previous level completed
+    std::uint64_t acc = 0;
+    g.for_each_in_neighbor(w, [&](graph::vid_t u) {
+      std::uint64_t got = s.visit[static_cast<std::size_t>(u)] & rem;
+      if (got == 0) return true;
+      acc |= got;
+      rem &= ~got;
+      while (got != 0) {
+        const int l = std::countr_zero(got);
+        got &= got - 1;
+        s.parent[static_cast<std::size_t>(l)][wi] = u;
+        s.level[static_cast<std::size_t>(l)][wi] = next_level;
+      }
+      return rem != 0;  // all lanes adopted: stop the scan early
+    });
+    if (acc != 0) {
+      s.visit_next[wi] = acc;
+      s.seen[wi] |= acc;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Traverses up to kMsBfsMaxLanes roots simultaneously over any
+/// HybridView (CSR via the adapter overload below, delta-CSR epochs,
+/// compressed CSR). Throws std::invalid_argument on an empty or
+/// oversized batch or an out-of-range root. Levels, counters, and
+/// reached/edge totals are bit-identical for every OMP_NUM_THREADS —
+/// and, for views enumerating identical sorted adjacency, across
+/// representations.
+template <graph::HybridView V>
+[[nodiscard]] MsBfsResult ms_bfs(const V& g,
+                                 std::span<const graph::vid_t> roots,
+                                 const MsBfsOptions& opts = {}) {
+  using graph::eid_t;
+  using graph::vid_t;
+
+  const vid_t n = g.num_vertices();
+  const auto lanes = static_cast<int>(roots.size());
+  if (lanes < 1 || lanes > kMsBfsMaxLanes) {
+    throw std::invalid_argument("ms_bfs: batch of " +
+                                std::to_string(roots.size()) +
+                                " roots (want 1.." +
+                                std::to_string(kMsBfsMaxLanes) + ")");
+  }
+  for (const vid_t r : roots) {
+    if (r < 0 || r >= n) {
+      throw std::invalid_argument("ms_bfs: root " + std::to_string(r) +
+                                  " out of range [0, " + std::to_string(n) +
+                                  ")");
+    }
+  }
+  BFSX_CHECK(opts.m > 0.0 && opts.n > 0.0)
+      << "ms_bfs: switching parameters must be positive (M = " << opts.m
+      << ", N = " << opts.n << ")";
+
+  const auto nn = static_cast<std::size_t>(n);
+  MsBfsResult out;
+  out.per_root.resize(static_cast<std::size_t>(lanes));
+  out.lane_levels.resize(static_cast<std::size_t>(lanes));
+
+  detail::MsLaneState s;
+  s.seen.assign(nn, 0);
+  s.visit.assign(nn, 0);
+  s.visit_next.assign(nn, 0);
+  s.parent.resize(static_cast<std::size_t>(lanes));
+  s.level.resize(static_cast<std::size_t>(lanes));
+  s.full = lanes == kMsBfsMaxLanes ? ~std::uint64_t{0}
+                                   : (std::uint64_t{1} << lanes) - 1;
+
+  for (int l = 0; l < lanes; ++l) {
+    auto& r = out.per_root[static_cast<std::size_t>(l)];
+    r.parent.assign(nn, kNoVertex);
+    r.level.assign(nn, -1);
+    s.parent[static_cast<std::size_t>(l)] = r.parent.data();
+    s.level[static_cast<std::size_t>(l)] = r.level.data();
+    const auto ri =
+        static_cast<std::size_t>(roots[static_cast<std::size_t>(l)]);
+    r.parent[ri] = static_cast<vid_t>(ri);
+    r.level[ri] = 0;
+    s.seen[ri] |= std::uint64_t{1} << l;
+    s.visit[ri] |= std::uint64_t{1} << l;
+  }
+
+  // Union frontier as a vertex list. Duplicate roots share one entry —
+  // their lanes simply ride the same mask bits' word.
+  std::vector<vid_t> active(roots.begin(), roots.end());
+  std::sort(active.begin(), active.end());
+  active.erase(std::unique(active.begin(), active.end()), active.end());
+
+  // Bottom-up candidate list: vertices some lane has not seen yet.
+  // Primed lazily on the first bottom-up level, then compacted like the
+  // single-source kernel's zero-rescan list.
+  std::vector<vid_t> candidates;
+  bool candidates_primed = false;
+
+  std::array<vid_t, kMsBfsMaxLanes> lane_vcq{};
+  std::array<eid_t, kMsBfsMaxLanes> lane_ecq{};
+  bool have_prev_dir = false;
+  Direction prev_dir = Direction::kTopDown;
+
+  while (!active.empty()) {
+    // Per-lane |V|cq / |E|cq and the union |E|cq, all read off the
+    // frontier masks before the step runs — the same quantities a
+    // single-source LevelTrace records per root.
+    lane_vcq.fill(0);
+    lane_ecq.fill(0);
+    eid_t union_ecq = 0;
+    for (const vid_t v : active) {
+      const eid_t deg = g.out_degree(v);
+      union_ecq += deg;
+      std::uint64_t bits = s.visit[static_cast<std::size_t>(v)];
+      while (bits != 0) {
+        const int l = std::countr_zero(bits);
+        bits &= bits - 1;
+        lane_vcq[static_cast<std::size_t>(l)] += 1;
+        lane_ecq[static_cast<std::size_t>(l)] += deg;
+      }
+    }
+    for (int l = 0; l < lanes; ++l) {
+      if (lane_vcq[static_cast<std::size_t>(l)] == 0) continue;
+      out.lane_levels[static_cast<std::size_t>(l)].push_back(
+          {out.depth, lane_vcq[static_cast<std::size_t>(l)],
+           lane_ecq[static_cast<std::size_t>(l)], 0});
+    }
+
+    Direction dir = Direction::kTopDown;
+    switch (opts.mode) {
+      case MsBfsOptions::Mode::kTopDown:
+        break;
+      case MsBfsOptions::Mode::kBottomUp:
+        dir = Direction::kBottomUp;
+        break;
+      case MsBfsOptions::Mode::kAuto:
+        // The paper's M/N rule on the union frontier: it is the union,
+        // not any single lane, that the batched step will expand.
+        if (!(static_cast<double>(union_ecq) <
+                  static_cast<double>(g.num_edges()) / opts.m &&
+              static_cast<double>(active.size()) <
+                  static_cast<double>(n) / opts.n)) {
+          dir = Direction::kBottomUp;
+        }
+        break;
+    }
+    if (have_prev_dir && dir != prev_dir) ++out.direction_switches;
+    have_prev_dir = true;
+    prev_dir = dir;
+
+    const std::int32_t next_level = out.depth + 1;
+    if (dir == Direction::kTopDown) {
+      detail::ms_top_down_step(g, active, s, next_level);
+    } else {
+      if (!candidates_primed) {
+        candidates.clear();
+        for (vid_t v = 0; v < n; ++v) {
+          if (s.seen[static_cast<std::size_t>(v)] != s.full) {
+            candidates.push_back(v);
+          }
+        }
+        candidates_primed = true;
+      }
+      detail::ms_bottom_up_step(g, candidates, s, next_level);
+      std::erase_if(candidates, [&s](vid_t v) {
+        return s.seen[static_cast<std::size_t>(v)] == s.full;
+      });
+    }
+
+    out.levels.push_back({out.depth, dir,
+                          static_cast<vid_t>(active.size()), union_ecq, 0});
+
+    s.visit.swap(s.visit_next);
+    std::fill(s.visit_next.begin(), s.visit_next.end(), 0);
+    active.clear();
+    for (vid_t v = 0; v < n; ++v) {
+      if (s.visit[static_cast<std::size_t>(v)] != 0) active.push_back(v);
+    }
+    out.levels.back().next_vertices = static_cast<vid_t>(active.size());
+    ++out.depth;
+  }
+
+  // A lane's level log is gapless (its frontier never revives), so each
+  // entry's discovery count is simply the next entry's frontier size.
+  for (auto& log : out.lane_levels) {
+    for (std::size_t i = 0; i + 1 < log.size(); ++i) {
+      log[i].next_vertices = log[i + 1].frontier_vertices;
+    }
+  }
+
+  // det: per-lane finalisation writes only lane l's own result slot.
+#pragma omp parallel for schedule(static)
+  for (int l = 0; l < lanes; ++l) {
+    auto& r = out.per_root[static_cast<std::size_t>(l)];
+    vid_t reached = 0;
+    eid_t directed = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (r.parent[static_cast<std::size_t>(v)] != kNoVertex) {
+        ++reached;
+        directed += g.out_degree(v);
+      }
+    }
+    r.reached = reached;
+    r.edges_in_component = g.is_symmetric() ? directed / 2 : directed;
+  }
+  return out;
+}
+
+/// CSR entry point: forwards through the zero-overhead CsrGraphView
+/// adapter — the historical signature every existing caller keeps.
 [[nodiscard]] MsBfsResult ms_bfs(const graph::CsrGraph& g,
                                  std::span<const graph::vid_t> roots,
                                  const MsBfsOptions& opts = {});

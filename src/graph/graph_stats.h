@@ -2,11 +2,13 @@
 // summary numbers that feed regression features and experiment logs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "graph/csr.h"
+#include "graph/view.h"
 
 namespace bfsx::graph {
 
@@ -52,6 +54,33 @@ struct ComponentStats {
 /// hubs for the same graph. O(V log k) via partial sort.
 [[nodiscard]] std::vector<vid_t> top_out_degree_vertices(const CsrGraph& g,
                                                          std::size_t k);
+
+/// The same hub selection over any GraphView (delta-CSR epochs, grid
+/// worlds) — identical degree/tie semantics, so a landmark set chosen
+/// on a delta epoch matches one chosen on its flat rebuild.
+template <GraphView V>
+[[nodiscard]] std::vector<vid_t> top_out_degree_vertices(const V& g,
+                                                         std::size_t k) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> order(static_cast<std::size_t>(n));
+  for (vid_t v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  const auto hubbier = [&g](vid_t a, vid_t b) {
+    const eid_t da = g.out_degree(a);
+    const eid_t db = g.out_degree(b);
+    return da != db ? da > db : a < b;
+  };
+  const std::size_t want = std::min(k, static_cast<std::size_t>(n));
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(want),
+                    order.end(), hubbier);
+  std::vector<vid_t> hubs;
+  hubs.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    if (g.out_degree(order[i]) == 0) break;  // only isolated ones left
+    hubs.push_back(order[i]);
+  }
+  return hubs;
+}
 
 /// One-line human-readable summary ("|V|=65536 |E|=2097152 deg:…").
 [[nodiscard]] std::string summarize(const CsrGraph& g);

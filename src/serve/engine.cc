@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "graph500/view_engine.h"
+
 namespace bfsx::serve {
 namespace {
 
@@ -40,11 +42,54 @@ void fill_answer(QueryResult& r,
   }
 }
 
+/// Single-source dispatch for epochs without a flat CSR. The override
+/// name maps onto its direction family (td / bu / everything-else →
+/// M/N hybrid), so a query answered on a delta epoch reports the same
+/// distances the named engine would on the flat rebuild; simulated
+/// engine timing models don't apply to overlays.
+template <typename V>
+graph500::TimedBfs run_single_on_view(const V& g, const std::string& name,
+                                      graph::vid_t root,
+                                      const core::HybridPolicy& policy,
+                                      bfs::StatePool* pool) {
+  namespace d = graph500::detail;
+  if (name == "td" || name.ends_with("-td") || name == "ref") {
+    return d::traced_traversal(
+        g, root, name.c_str(), nullptr, pool,
+        [&g](bfs::BfsState& s, obs::LevelEvent* e) { d::step_top_down(g, s, e); });
+  }
+  if (name == "bu" || name.ends_with("-bu")) {
+    return d::traced_traversal(
+        g, root, name.c_str(), nullptr, pool,
+        [&g](bfs::BfsState& s, obs::LevelEvent* e) { d::step_bottom_up(g, s, e); });
+  }
+  return d::traced_traversal(g, root, name.c_str(), nullptr, pool,
+                             [&g, &policy](bfs::BfsState& s,
+                                           obs::LevelEvent* e) {
+                               d::step_hybrid(g, policy, s, e);
+                             });
+}
+
+/// The publish-duration histogram's log-scale upper bounds (seconds);
+/// the last bucket is +inf.
+constexpr std::array<double, 5> kPublishBounds = {0.001, 0.01, 0.1, 1.0,
+                                                  10.0};
+
+std::size_t publish_bucket(double seconds) {
+  for (std::size_t i = 0; i < kPublishBounds.size(); ++i) {
+    if (seconds <= kPublishBounds[i]) return i;
+  }
+  return kPublishBounds.size();
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(graph::EdgeList edges, ServeOptions opts)
     : opts_(std::move(opts)),
-      epochs_(std::move(edges)),
+      epochs_(std::move(edges),
+              EpochOptions{.build = {},
+                           .delta_publish = opts_.delta_publish,
+                           .compact_threshold = opts_.compact_threshold}),
       registry_(graph500::EngineRegistry::with_builtin_engines()) {
   opts_.workers = std::max(opts_.workers, 1);
   opts_.batch_max = std::clamp(opts_.batch_max, 1, bfs::kMsBfsMaxLanes);
@@ -156,6 +201,11 @@ std::future<QueryResult> QueryEngine::submit(Query q) {
   e.stage = obs::QueryEvent::Stage::kEnqueue;
   e.query_id = id;
   e.detail = to_string(kind);
+  // Stamp the epoch the query was admitted against; the dispatch /
+  // complete events carry the (equal or newer) epoch it was answered
+  // on, so a trace shows exactly how admission and service interleave
+  // with publishes.
+  e.epoch = epochs_.current_epoch();
   emit(e);
   return reject_future;
 }
@@ -163,14 +213,38 @@ std::future<QueryResult> QueryEngine::submit(Query q) {
 void QueryEngine::insert_edge(graph::vid_t u, graph::vid_t v) {
   epochs_.buffer_insert(u, v);
   const std::lock_guard<std::mutex> lock(mu_);
+  pending_insert_log_.push_back({u, v});
   ++stats_.edges_inserted;
 }
 
+void QueryEngine::remove_edge(graph::vid_t u, graph::vid_t v) {
+  epochs_.buffer_remove(u, v);
+  const std::lock_guard<std::mutex> lock(mu_);
+  pending_had_removes_ = true;
+  ++stats_.edges_removed;
+}
+
 std::uint64_t QueryEngine::publish_inserts() {
+  std::vector<graph::Edge> inserted;
+  bool had_removes = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    inserted.swap(pending_insert_log_);
+    had_removes = pending_had_removes_;
+    pending_had_removes_ = false;
+  }
   const std::uint64_t epoch = epochs_.publish();
-  rebuild_cache();
+  const PublishInfo info = epochs_.last_publish();
+  rearm_cache(inserted, had_removes, epoch);
   const std::lock_guard<std::mutex> lock(mu_);
   ++stats_.epochs_published;
+  if (info.delta) {
+    ++stats_.delta_publishes;
+  } else {
+    ++stats_.full_publishes;
+  }
+  publish_seconds_total_ += info.seconds;
+  ++publish_hist_[publish_bucket(info.seconds)];
   return epoch;
 }
 
@@ -294,8 +368,16 @@ void QueryEngine::serve_single(Pending pending, const GraphEpochs::Pin& pin) {
   emit(e);
 
   try {
-    const graph500::BfsEngine engine = single_engine(name, nullptr);
-    graph500::TimedBfs timed = engine(pin.graph(), pending.query.source);
+    // Flat epochs take the historical path — the named engine from
+    // the registry, simulated families included. Delta epochs have no
+    // CSR to hand those closures, so the override runs its direction
+    // family directly over the overlay view.
+    graph500::TimedBfs timed =
+        pin.graph().flat() != nullptr
+            ? single_engine(name, nullptr)(*pin.graph().flat(),
+                                           pending.query.source)
+            : run_single_on_view(*pin.graph().delta(), name,
+                                 pending.query.source, opts_.policy, &pool_);
     QueryResult r = skeleton(pending.query);
     r.epoch = pin.epoch();
     fill_answer(r, std::make_shared<const bfs::BfsResult>(
@@ -336,7 +418,8 @@ void QueryEngine::serve_msbfs(std::vector<Pending> batch,
   mopts.n = opts_.policy.n;
   bfs::MsBfsResult pass;
   try {
-    pass = bfs::ms_bfs(pin.graph(), roots, mopts);
+    pass = pin.graph().visit(
+        [&](const auto& g) { return bfs::ms_bfs(g, roots, mopts); });
   } catch (...) {
     for (Pending& p : batch) {
       p.promise.set_exception(std::current_exception());
@@ -398,10 +481,77 @@ void QueryEngine::emit(const obs::QueryEvent& e) {
 void QueryEngine::rebuild_cache() {
   if (!opts_.cache_enabled) return;
   const GraphEpochs::Pin pin = epochs_.pin();
-  auto fresh = std::make_shared<const LandmarkCache>(
-      pin.graph(), pin.epoch(), opts_.num_landmarks);
+  auto fresh =
+      std::make_shared<const LandmarkCache>(pin.graph().visit([&](const auto& g) {
+        return LandmarkCache::build(g, pin.epoch(), opts_.num_landmarks);
+      }));
   const std::lock_guard<std::mutex> lock(mu_);
   cache_ = std::move(fresh);
+  ++stats_.cache_rebuilds;
+}
+
+void QueryEngine::rearm_cache(const std::vector<graph::Edge>& inserted,
+                              bool had_removes, std::uint64_t epoch) {
+  if (!opts_.cache_enabled) return;
+  std::shared_ptr<const LandmarkCache> old;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    old = cache_;
+  }
+  // Repair is sound only for the exact insert-only step from the
+  // cache's epoch to this one: removals can grow distances (repair
+  // only shrinks them), and an epoch gap means this batch is not the
+  // whole difference. Everything else falls back to a full rebuild.
+  const bool repairable = opts_.repair_cache && !had_removes &&
+                          old != nullptr && old->epoch() + 1 == epoch &&
+                          !old->landmarks().empty();
+  if (!repairable) {
+    rebuild_cache();
+    return;
+  }
+  const GraphEpochs::Pin pin = epochs_.pin();
+  RepairStats rs;
+  auto fresh =
+      std::make_shared<const LandmarkCache>(pin.graph().visit([&](const auto& g) {
+        return old->repaired(g, inserted, epoch, &rs);
+      }));
+  const std::lock_guard<std::mutex> lock(mu_);
+  cache_ = std::move(fresh);
+  last_repair_ = rs;
+  ++stats_.cache_repairs;
+}
+
+RepairStats QueryEngine::last_repair() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return last_repair_;
+}
+
+void QueryEngine::export_metrics(obs::Registry& registry) const {
+  registry.add("serve.epochs.live",
+               static_cast<std::int64_t>(epochs_.live_epochs()));
+  registry.add("serve.epochs.retired",
+               static_cast<std::int64_t>(epochs_.retired_epochs()));
+  registry.add("serve.epochs.pending_inserts",
+               static_cast<std::int64_t>(epochs_.pending_inserts()));
+  registry.add("serve.epochs.pending_removes",
+               static_cast<std::int64_t>(epochs_.pending_removes()));
+  const std::lock_guard<std::mutex> lock(mu_);
+  registry.add("serve.publish.delta", stats_.delta_publishes);
+  registry.add("serve.publish.full", stats_.full_publishes);
+  registry.add("serve.cache.repairs", stats_.cache_repairs);
+  registry.add("serve.cache.rebuilds", stats_.cache_rebuilds);
+  registry.add("serve.cache.repair.seeds",
+               static_cast<std::int64_t>(last_repair_.seeds));
+  registry.add("serve.cache.repair.relaxed",
+               static_cast<std::int64_t>(last_repair_.relaxed));
+  registry.record_seconds("serve.publish", publish_seconds_total_);
+  constexpr std::array<const char*, 6> kBucketNames = {
+      "serve.publish.le_1ms", "serve.publish.le_10ms",
+      "serve.publish.le_100ms", "serve.publish.le_1s",
+      "serve.publish.le_10s", "serve.publish.le_inf"};
+  for (std::size_t i = 0; i < kBucketNames.size(); ++i) {
+    registry.add(kBucketNames[i], publish_hist_[i]);
+  }
 }
 
 }  // namespace bfsx::serve

@@ -22,12 +22,17 @@
 // dispatch are reported through obs::TraceSink::on_query; calls are
 // serialised by the engine, so any sink works unsynchronised.
 //
-// Writes: insert_edge buffers, publish_inserts rebuilds into the next
-// epoch and re-arms the landmark cache. In-flight batches keep serving
-// the epoch they pinned — an answer is always bit-equal to
-// reference_bfs on its own epoch's graph, never a blend.
+// Writes: insert_edge / remove_edge buffer, publish_inserts emits the
+// next epoch — a DeltaCsr overlay sharing unchanged rows with its base
+// when the policy allows (see epochs.h) — and re-arms the landmark
+// cache, incrementally when the batch was insert-only (distances only
+// decrease, so the old rows relax down; see landmark_cache.h) and from
+// scratch when it removed edges. In-flight batches keep serving the
+// epoch they pinned — an answer is always bit-equal to reference_bfs
+// on its own epoch's graph, never a blend.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -45,6 +50,7 @@
 #include "bfs/state_pool.h"
 #include "core/hybrid_policy.h"
 #include "graph500/engine_registry.h"
+#include "obs/registry.h"
 #include "obs/sink.h"
 #include "serve/epochs.h"
 #include "serve/landmark_cache.h"
@@ -77,6 +83,14 @@ struct ServeOptions {
   /// Construct with the scheduler paused (tests/benches submit a full
   /// workload first, then resume() — guarantees maximal coalescing).
   bool start_paused = false;
+  /// Publish policy (epochs.h): delta overlays vs full rebuilds, and
+  /// the patched-row fraction at which an overlay folds back flat.
+  bool delta_publish = true;
+  double compact_threshold = 0.25;
+  /// Incremental landmark re-arm after insert-only publishes; false
+  /// rebuilds the cache from scratch every publish (the baseline
+  /// bench_serve's repair column compares against).
+  bool repair_cache = true;
 };
 
 /// Monotonic engine counters; snapshot via QueryEngine::stats().
@@ -93,7 +107,12 @@ struct ServeStats {
   std::int64_t single_queries = 0;    // served by a single-source engine
   std::int64_t max_batch = 0;         // largest tick
   std::int64_t edges_inserted = 0;
+  std::int64_t edges_removed = 0;
   std::int64_t epochs_published = 0;
+  std::int64_t delta_publishes = 0;   // epochs published as overlays
+  std::int64_t full_publishes = 0;    // epochs folded to a flat CSR
+  std::int64_t cache_repairs = 0;     // landmark re-arms done in place
+  std::int64_t cache_rebuilds = 0;    // landmark re-arms from scratch
 };
 
 class QueryEngine {
@@ -115,9 +134,16 @@ class QueryEngine {
   /// GraphEpochs.
   void insert_edge(graph::vid_t u, graph::vid_t v);
 
-  /// Publishes buffered insertions as the next epoch and rebuilds the
-  /// landmark cache over it. Queries already dispatched keep their
-  /// pinned epoch. Returns the new epoch id.
+  /// Buffers one edge removal; invisible until publish_inserts().
+  /// Removing an absent edge is a publish-time no-op. Any removal in a
+  /// batch forces the landmark cache to rebuild from scratch (repair
+  /// is insert-only).
+  void remove_edge(graph::vid_t u, graph::vid_t v);
+
+  /// Publishes buffered writes as the next epoch (delta or flat, per
+  /// ServeOptions) and re-arms the landmark cache — repaired in place
+  /// for insert-only batches, rebuilt otherwise. Queries already
+  /// dispatched keep their pinned epoch. Returns the new epoch id.
   std::uint64_t publish_inserts();
 
   /// Blocks until the queue is empty and no batch is in flight.
@@ -132,6 +158,19 @@ class QueryEngine {
   /// Stops the scheduler: queued-but-unserved queries resolve with
   /// kShutdown, workers join. Idempotent; the destructor calls it.
   void shutdown();
+
+  /// Epoch and publish health for dashboards: live/retired epoch
+  /// counts, pending write-buffer depths, per-kind publish counters,
+  /// cumulative repair work, and a log-scale publish-duration
+  /// histogram ("serve.publish.le_<bound>" bucket counters plus the
+  /// "serve.publish" timer). Counters are written as absolute values
+  /// into a caller-owned registry snapshot; the registry is not
+  /// thread-safe, so call this from the control thread.
+  void export_metrics(obs::Registry& registry) const;
+
+  /// Repair stats of the most recent incremental cache re-arm (zeroes
+  /// until one happens).
+  [[nodiscard]] RepairStats last_repair() const;
 
   [[nodiscard]] ServeStats stats() const;
   [[nodiscard]] std::uint64_t current_epoch() const;
@@ -158,6 +197,8 @@ class QueryEngine {
                                                  obs::TraceSink* sink);
   void emit(const obs::QueryEvent& e);
   void rebuild_cache();
+  void rearm_cache(const std::vector<graph::Edge>& inserted,
+                   bool had_removes, std::uint64_t epoch);
 
   ServeOptions opts_;
   GraphEpochs epochs_;
@@ -170,6 +211,16 @@ class QueryEngine {
   std::deque<Pending> queue_;
   std::shared_ptr<const LandmarkCache> cache_;
   ServeStats stats_;
+  RepairStats last_repair_;
+  /// Writer-side log of buffered inserts since the last publish —
+  /// the seed list for landmark repair. Raw (pre-dedup) is fine:
+  /// duplicate seeds relax to no-ops.
+  std::vector<graph::Edge> pending_insert_log_;
+  bool pending_had_removes_ = false;
+  /// Publish-duration histogram: log-scale upper bounds
+  /// {1ms, 10ms, 100ms, 1s, 10s, +inf}, counts per bucket.
+  std::array<std::int64_t, 6> publish_hist_{};
+  double publish_seconds_total_ = 0.0;
   int in_flight_ = 0;
   bool paused_ = false;
   bool stopping_ = false;

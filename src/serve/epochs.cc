@@ -1,10 +1,27 @@
 #include "serve/epochs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 namespace bfsx::serve {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point start) {
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+std::uint64_t op_key(graph::vid_t u, graph::vid_t v) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+         static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
 
 void GraphEpochs::Pin::release() noexcept {
   // analyze: allow(raw-unpin) Pin::release IS the RAII unpin: the one
@@ -15,14 +32,21 @@ void GraphEpochs::Pin::release() noexcept {
   graph_ = nullptr;
 }
 
-GraphEpochs::GraphEpochs(graph::EdgeList edges,
-                         const graph::BuildOptions& opts)
-    : edges_(std::move(edges)), build_opts_(opts) {
-  // build_csr consumes its edge list; keep ours for future publishes.
-  auto g = std::make_unique<const graph::CsrGraph>(
-      graph::build_csr(edges_, build_opts_));
-  records_.push_back({0, std::move(g), 0});
+GraphEpochs::GraphEpochs(graph::EdgeList edges, const EpochOptions& opts)
+    : opts_(opts) {
+  const auto start = clock::now();
+  base_ = std::make_shared<const graph::CsrGraph>(
+      graph::build_csr(std::move(edges), opts_.build));
+  records_.push_back({0, std::make_unique<const EpochGraph>(base_), 0});
+  ++full_publishes_;
+  last_publish_.epoch = 0;
+  last_publish_.compacted = true;
+  last_publish_.seconds = seconds_since(start);
 }
+
+GraphEpochs::GraphEpochs(graph::EdgeList edges,
+                         const graph::BuildOptions& build)
+    : GraphEpochs(std::move(edges), EpochOptions{.build = build}) {}
 
 GraphEpochs::Pin GraphEpochs::pin() {
   const std::lock_guard<std::mutex> lock(mu_);
@@ -47,39 +71,112 @@ void GraphEpochs::buffer_insert(graph::vid_t u, graph::vid_t v) {
                                 std::to_string(u) + ", " + std::to_string(v) +
                                 ")");
   }
-  pending_.push_back({u, v});
+  pending_.push_back({{u, v}, /*remove=*/false});
+  ++pending_inserts_;
 }
 
-std::size_t GraphEpochs::pending_inserts() const { return pending_.size(); }
+void GraphEpochs::buffer_remove(graph::vid_t u, graph::vid_t v) {
+  if (u < 0 || v < 0) {
+    throw std::invalid_argument("GraphEpochs: negative vertex in remove (" +
+                                std::to_string(u) + ", " + std::to_string(v) +
+                                ")");
+  }
+  pending_.push_back({{u, v}, /*remove=*/true});
+  ++pending_removes_;
+}
 
-std::uint64_t GraphEpochs::publish() {
-  for (const graph::Edge& e : pending_) {
-    edges_.num_vertices =
-        std::max({edges_.num_vertices, e.src + 1, e.dst + 1});
-    edges_.edges.push_back(e);
+std::size_t GraphEpochs::pending_inserts() const { return pending_inserts_; }
+std::size_t GraphEpochs::pending_removes() const { return pending_removes_; }
+
+std::uint64_t GraphEpochs::publish() { return publish_impl(false); }
+std::uint64_t GraphEpochs::publish_full() { return publish_impl(true); }
+
+std::uint64_t GraphEpochs::publish_impl(bool force_full) {
+  const auto start = clock::now();
+  PublishInfo info;
+  info.raw_ops = pending_.size();
+
+  // Canonicalise: the last op on each directed edge wins. A churn
+  // trace that inserts the same edge five times, or inserts then
+  // removes it, contributes at most one op — duplicates never inflate
+  // the delta's patch count.
+  std::unordered_map<std::uint64_t, std::size_t> last;
+  last.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    last[op_key(pending_[i].edge.src, pending_[i].edge.dst)] = i;
+  }
+  std::vector<graph::Edge> inserts;
+  std::vector<graph::Edge> removes;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const PendingOp& op = pending_[i];
+    if (last.at(op_key(op.edge.src, op.edge.dst)) != i) continue;
+    (op.remove ? removes : inserts).push_back(op.edge);
   }
   pending_.clear();
-  // The rebuild happens outside the lock: readers keep pinning the old
-  // epoch while the new CSR is under construction.
-  auto fresh = std::make_unique<const graph::CsrGraph>(
-      graph::build_csr(edges_, build_opts_));
+  pending_inserts_ = 0;
+  pending_removes_ = 0;
+  info.applied_inserts = inserts.size();
+  info.applied_removes = removes.size();
+  info.deduped_ops = info.raw_ops - inserts.size() - removes.size();
+
+  // The current record is the one entry unpin() never erases, and
+  // publishing is single-writer, so its overlay pointer stays valid
+  // for the whole apply without holding the lock.
+  const graph::DeltaCsr* prev = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    prev = records_.back().graph->delta();
+  }
+
+  graph::DeltaCsr next =
+      graph::DeltaCsr::apply(base_, prev, inserts, removes, opts_.build);
+  info.patched_rows = next.patched_rows();
+  info.patched_fraction = next.patched_fraction();
+
+  const bool fold = force_full || !opts_.delta_publish ||
+                    next.patched_fraction() >= opts_.compact_threshold;
+  std::unique_ptr<const EpochGraph> fresh;
+  if (fold) {
+    // Fold the overlay's effective adjacency back into a flat CSR:
+    // removed edges' storage is reclaimed here, and the flat graph
+    // becomes the base future overlays patch against. The list is
+    // already canonical, so the rebuild's symmetrize/dedup passes are
+    // idempotent.
+    auto flat = std::make_shared<const graph::CsrGraph>(
+        graph::build_csr(next.materialize_edges(), opts_.build));
+    base_ = flat;
+    fresh = std::make_unique<const EpochGraph>(std::move(flat));
+    info.compacted = true;
+    ++full_publishes_;
+  } else {
+    fresh = std::make_unique<const EpochGraph>(std::move(next));
+    info.delta = true;
+    ++delta_publishes_;
+  }
 
   const std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t next = records_.back().epoch + 1;
-  records_.push_back({next, std::move(fresh), 0});
+  const std::uint64_t next_epoch = records_.back().epoch + 1;
+  records_.push_back({next_epoch, std::move(fresh), 0});
   // Retire every superseded, unpinned epoch (the newly published
   // record is last and never considered).
   const auto stale = [&](const Record& r) {
-    return r.epoch != next && r.pins == 0;
+    return r.epoch != next_epoch && r.pins == 0;
   };
-  const auto removed =
-      std::count_if(records_.begin(), records_.end(), stale);
-  records_.erase(
-      std::remove_if(records_.begin(), records_.end(), stale),
-      records_.end());
+  const auto removed = std::count_if(records_.begin(), records_.end(), stale);
+  records_.erase(std::remove_if(records_.begin(), records_.end(), stale),
+                 records_.end());
   retired_ += static_cast<std::uint64_t>(removed);
-  return next;
+
+  info.epoch = next_epoch;
+  info.seconds = seconds_since(start);
+  last_publish_ = info;
+  return next_epoch;
 }
+
+PublishInfo GraphEpochs::last_publish() const { return last_publish_; }
+
+std::uint64_t GraphEpochs::delta_publishes() const { return delta_publishes_; }
+std::uint64_t GraphEpochs::full_publishes() const { return full_publishes_; }
 
 std::size_t GraphEpochs::live_epochs() const {
   const std::lock_guard<std::mutex> lock(mu_);

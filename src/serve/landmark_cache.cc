@@ -1,39 +1,10 @@
 #include "serve/landmark_cache.h"
 
-#include <algorithm>
-#include <utility>
-
-#include "bfs/msbfs.h"
-#include "graph/graph_stats.h"
-
 namespace bfsx::serve {
 
 LandmarkCache::LandmarkCache(const graph::CsrGraph& g, std::uint64_t epoch,
                              int num_landmarks)
-    : epoch_(epoch),
-      symmetric_(g.is_symmetric()),
-      num_vertices_(g.num_vertices()) {
-  const int k = std::clamp(num_landmarks, 0, bfs::kMsBfsMaxLanes);
-  lane_of_.assign(static_cast<std::size_t>(num_vertices_), -1);
-  if (k == 0 || num_vertices_ == 0) return;
-
-  // Top-k by out-degree, ties to the smaller id — the shared hub
-  // selection (graph_stats.h), also used by the bottom-up hub cache.
-  landmarks_ = graph::top_out_degree_vertices(g, static_cast<std::size_t>(k));
-  if (landmarks_.empty()) return;
-
-  const bfs::MsBfsResult pass = bfs::ms_bfs(g, landmarks_);
-  dist_.resize(landmarks_.size() * static_cast<std::size_t>(num_vertices_));
-  for (std::size_t lane = 0; lane < landmarks_.size(); ++lane) {
-    lane_of_[static_cast<std::size_t>(landmarks_[lane])] =
-        static_cast<std::int32_t>(lane);
-    const std::vector<std::int32_t>& level = pass.per_root[lane].level;
-    std::copy(level.begin(), level.end(),
-              dist_.begin() +
-                  static_cast<std::ptrdiff_t>(
-                      lane * static_cast<std::size_t>(num_vertices_)));
-  }
-}
+    : LandmarkCache(build(graph::CsrGraphView(g), epoch, num_landmarks)) {}
 
 bool LandmarkCache::is_landmark(graph::vid_t v) const noexcept {
   return v >= 0 && v < num_vertices_ &&

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <future>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -72,8 +73,9 @@ std::vector<TraceOp> load_trace(std::istream& in) {
       op.query.source = parse_vertex(take("source"), line);
       op.query.target = parse_vertex(take("target"), line);
       maybe_engine();
-    } else if (verb == "insert") {
-      op.kind = TraceOp::Kind::kInsert;
+    } else if (verb == "insert" || verb == "remove") {
+      op.kind = verb == "insert" ? TraceOp::Kind::kInsert
+                                 : TraceOp::Kind::kRemove;
       op.u = parse_vertex(take("u"), line);
       op.v = parse_vertex(take("v"), line);
     } else if (verb == "publish") {
@@ -114,6 +116,9 @@ void save_trace(const std::vector<TraceOp>& ops, std::ostream& out) {
         break;
       case TraceOp::Kind::kInsert:
         out << "insert " << op.u << ' ' << op.v << '\n';
+        break;
+      case TraceOp::Kind::kRemove:
+        out << "remove " << op.u << ' ' << op.v << '\n';
         break;
       case TraceOp::Kind::kPublish:
         out << "publish\n";
@@ -187,6 +192,23 @@ std::vector<TraceOp> generate_query_trace(const graph::CsrGraph& g,
       ins.v = any_vertex();
       ops.push_back(ins);
     }
+    if (opts.remove_every > 0 && (i + 1) % opts.remove_every == 0) {
+      // Remove a real edge of the base graph so the op has an effect;
+      // a handful of draws finds a non-isolated vertex on any graph
+      // with edges.
+      graph::vid_t u = any_vertex();
+      for (int tries = 0; g.out_degree(u) == 0 && tries < 64; ++tries) {
+        u = any_vertex();
+      }
+      if (g.out_degree(u) > 0) {
+        const std::span<const graph::vid_t> row = g.out_neighbors(u);
+        TraceOp rem;
+        rem.kind = TraceOp::Kind::kRemove;
+        rem.u = u;
+        rem.v = row[rng.next_bounded(row.size())];
+        ops.push_back(rem);
+      }
+    }
     if (opts.publish_every > 0 && (i + 1) % opts.publish_every == 0) {
       TraceOp pub;
       pub.kind = TraceOp::Kind::kPublish;
@@ -211,10 +233,20 @@ ReplaySummary replay_trace(QueryEngine& engine,
         engine.insert_edge(op.u, op.v);
         ++summary.inserts;
         break;
-      case TraceOp::Kind::kPublish:
+      case TraceOp::Kind::kRemove:
+        engine.remove_edge(op.u, op.v);
+        ++summary.removes;
+        break;
+      case TraceOp::Kind::kPublish: {
+        const auto pub_start = std::chrono::steady_clock::now();
         engine.publish_inserts();
+        summary.publish_wall_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          pub_start)
+                .count();
         ++summary.publishes;
         break;
+      }
     }
   }
   for (std::future<QueryResult>& f : futures) {
@@ -225,6 +257,68 @@ ReplaySummary replay_trace(QueryEngine& engine,
       summary.latencies.push_back(r.latency_seconds);
     } else {
       ++summary.rejected;
+    }
+  }
+  summary.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  return summary;
+}
+
+ReplaySummary replay_trace_lockstep(QueryEngine& engine,
+                                    const std::vector<TraceOp>& ops) {
+  ReplaySummary summary;
+  const auto start = std::chrono::steady_clock::now();
+  for (const TraceOp& op : ops) {
+    switch (op.kind) {
+      case TraceOp::Kind::kQuery: {
+        const QueryResult r = engine.submit(op.query).get();
+        ++summary.queries;
+        ReplayAnswer a;
+        a.ok = r.ok;
+        a.kind = r.kind;
+        a.epoch = r.epoch;
+        if (r.ok) {
+          ++summary.served;
+          if (r.cache_hit) ++summary.cache_hits;
+          summary.latencies.push_back(r.latency_seconds);
+          a.distance = r.distance;
+          a.reachable = r.reachable;
+          if (r.traversal != nullptr) {
+            // FNV-1a over the level map: any cell differing between
+            // two replays flips the checksum.
+            std::uint64_t h = 1469598103934665603ULL;
+            for (const std::int32_t level : r.traversal->level) {
+              h ^= static_cast<std::uint64_t>(
+                  static_cast<std::uint32_t>(level));
+              h *= 1099511628211ULL;
+            }
+            a.bfs_checksum = h;
+          }
+        } else {
+          ++summary.rejected;
+        }
+        summary.answers.push_back(a);
+        break;
+      }
+      case TraceOp::Kind::kInsert:
+        engine.insert_edge(op.u, op.v);
+        ++summary.inserts;
+        break;
+      case TraceOp::Kind::kRemove:
+        engine.remove_edge(op.u, op.v);
+        ++summary.removes;
+        break;
+      case TraceOp::Kind::kPublish: {
+        const auto pub_start = std::chrono::steady_clock::now();
+        engine.publish_inserts();
+        summary.publish_wall_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          pub_start)
+                .count();
+        ++summary.publishes;
+        break;
+      }
     }
   }
   summary.wall_seconds = std::chrono::duration<double>(

@@ -6,7 +6,8 @@
 //   dist <src> <dst> [@engine] point-to-point distance query
 //   reach <src> <dst> [@engine] reachability query
 //   insert <u> <v>             buffer one edge insertion
-//   publish                    publish buffered inserts as a new epoch
+//   remove <u> <v>             buffer one edge removal
+//   publish                    publish buffered writes as a new epoch
 //   # ...                      comment (blank lines are skipped)
 //
 // The optional trailing `@name` token pins an engine override (see
@@ -34,11 +35,11 @@ namespace bfsx::serve {
 class QueryEngine;
 
 struct TraceOp {
-  enum class Kind { kQuery, kInsert, kPublish };
+  enum class Kind { kQuery, kInsert, kRemove, kPublish };
   Kind kind = Kind::kQuery;
   Query query;            ///< kQuery only
-  graph::vid_t u = 0;     ///< kInsert only
-  graph::vid_t v = 0;     ///< kInsert only
+  graph::vid_t u = 0;     ///< kInsert / kRemove only
+  graph::vid_t v = 0;     ///< kInsert / kRemove only
 };
 
 /// Parses a trace; throws std::runtime_error naming the 1-based line
@@ -61,9 +62,12 @@ struct TraceGenOptions {
   double hot_fraction = 0.5;
   int hot_set = 16;
   /// Every `insert_every` queries, append one edge insertion between
-  /// two existing vertices (0 disables); every `publish_every`, a
-  /// publish op.
+  /// two existing vertices (0 disables); every `remove_every`, the
+  /// removal of an edge the base graph has (so removals actually bite
+  /// — removing a random non-edge is a publish-time no-op); every
+  /// `publish_every`, a publish op.
   std::int64_t insert_every = 0;
+  std::int64_t remove_every = 0;
   std::int64_t publish_every = 0;
   std::uint64_t seed = 42;
 };
@@ -72,23 +76,54 @@ struct TraceGenOptions {
 [[nodiscard]] std::vector<TraceOp> generate_query_trace(
     const graph::CsrGraph& g, const TraceGenOptions& opts);
 
+/// One served answer recorded by a lockstep replay, in query
+/// submission order. The bfs_checksum folds a kBfs traversal's level
+/// map so two replays can be compared cell-for-cell without keeping
+/// every map alive.
+struct ReplayAnswer {
+  bool ok = false;
+  QueryKind kind = QueryKind::kDistance;
+  std::int32_t distance = -1;
+  bool reachable = false;
+  std::uint64_t epoch = 0;
+  std::uint64_t bfs_checksum = 0;
+};
+
 struct ReplaySummary {
   std::int64_t queries = 0;   ///< query ops submitted
   std::int64_t served = 0;    ///< resolved with an answer
   std::int64_t rejected = 0;
   std::int64_t cache_hits = 0;
   std::int64_t inserts = 0;
+  std::int64_t removes = 0;
   std::int64_t publishes = 0;
   /// Per-served-query submit-to-answer latency, submission order.
   std::vector<double> latencies;
+  /// Lockstep replays only (empty for the open-loop client): every
+  /// query's recorded answer, submission order.
+  std::vector<ReplayAnswer> answers;
   double wall_seconds = 0.0;
+  /// Wall-clock spent inside publish_inserts() calls — the write
+  /// path's end-to-end cost (graph publish + landmark re-arm), the
+  /// number the churn bench curves.
+  double publish_wall_seconds = 0.0;
 };
 
 /// Replays `ops` against a live engine: queries are submitted as fast
-/// as the admission queue accepts (an open-loop client), insert and
-/// publish ops are applied inline from the replay thread, and all
-/// futures are collected at the end.
+/// as the admission queue accepts (an open-loop client), insert /
+/// remove / publish ops are applied inline from the replay thread, and
+/// all futures are collected at the end.
 ReplaySummary replay_trace(QueryEngine& engine,
                            const std::vector<TraceOp>& ops);
+
+/// Like replay_trace, but waits for each query's answer before issuing
+/// the next op, and records every answer. This pins each query to a
+/// deterministic epoch (the open-loop client races publishes, so
+/// query-to-epoch assignment is nondeterministic there) — it is how
+/// bench_serve proves delta-epoch answers bit-equal to full-rebuild
+/// answers over an identical trace. Throughput numbers from a lockstep
+/// replay measure latency, not capacity.
+ReplaySummary replay_trace_lockstep(QueryEngine& engine,
+                                    const std::vector<TraceOp>& ops);
 
 }  // namespace bfsx::serve

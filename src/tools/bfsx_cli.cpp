@@ -575,10 +575,11 @@ int cmd_predict(const Args& args) {
 int cmd_serve(const Args& args) {
   args.check_known(with_graph_keys(
       {"replay", "make-trace", "queries", "bfs-fraction", "reach-fraction",
-       "hot-fraction", "hot-set", "insert-every", "publish-every",
-       "trace-seed", "workers", "batch-max", "cache", "landmarks",
-       "queue-cap", "fallback-engine", "m", "n", "trace-out",
-       "trace-format"}));
+       "hot-fraction", "hot-set", "insert-every", "remove-every",
+       "publish-every", "trace-seed", "workers", "batch-max", "cache",
+       "landmarks", "queue-cap", "fallback-engine", "m", "n", "trace-out",
+       "trace-format", "delta", "compact-threshold", "repair", "lockstep",
+       "metrics"}));
   const auto make = args.get("make-trace");
   const auto replay = args.get("replay");
   if (make.has_value() == replay.has_value()) {
@@ -599,6 +600,7 @@ int cmd_serve(const Args& args) {
     topt.hot_fraction = args.get_double("hot-fraction", topt.hot_fraction);
     topt.hot_set = args.get_int("hot-set", topt.hot_set);
     topt.insert_every = args.get_int("insert-every", 0);
+    topt.remove_every = args.get_int("remove-every", 0);
     topt.publish_every = args.get_int("publish-every", 0);
     topt.seed = static_cast<std::uint64_t>(args.get_int("trace-seed", 42));
     const std::vector<serve::TraceOp> ops =
@@ -619,6 +621,10 @@ int cmd_serve(const Args& args) {
   sopt.num_landmarks = args.get_int("landmarks", 16);
   sopt.policy = {args.get_double("m", 14.0), args.get_double("n", 24.0)};
   sopt.fallback_engine = args.get_or("fallback-engine", "native-hybrid");
+  sopt.delta_publish = args.get_bool("delta", true);
+  sopt.compact_threshold =
+      args.get_double("compact-threshold", sopt.compact_threshold);
+  sopt.repair_cache = args.get_bool("repair", true);
   sopt.sink = sink.get();
   // Default capacity fits the whole trace (the replay client is
   // open-loop); pass an explicit --queue-cap to see backpressure
@@ -633,7 +639,12 @@ int cmd_serve(const Args& args) {
               ops.size(), sopt.workers, sopt.batch_max,
               sopt.cache_enabled ? "on" : "off", sopt.num_landmarks);
 
-  const serve::ReplaySummary sum = serve::replay_trace(engine, ops);
+  const bool lockstep = args.get_bool("lockstep", false);
+  const serve::ReplaySummary sum =
+      lockstep ? serve::replay_trace_lockstep(engine, ops)
+               : serve::replay_trace(engine, ops);
+  obs::Registry metrics;
+  engine.export_metrics(metrics);
   engine.shutdown();
   const serve::ServeStats st = engine.stats();
   const obs::Percentiles lat = obs::compute_percentiles(sum.latencies);
@@ -648,11 +659,19 @@ int cmd_serve(const Args& args) {
               static_cast<long long>(st.single_queries),
               static_cast<long long>(st.dispatches),
               static_cast<long long>(st.max_batch));
-  if (sum.inserts > 0 || sum.publishes > 0) {
-    std::printf("writes: %lld inserts, %lld publishes (final epoch %llu)\n",
-                static_cast<long long>(sum.inserts),
-                static_cast<long long>(sum.publishes),
-                static_cast<unsigned long long>(engine.current_epoch()));
+  if (sum.inserts > 0 || sum.removes > 0 || sum.publishes > 0) {
+    std::printf(
+        "writes: %lld inserts, %lld removes, %lld publishes "
+        "(%lld delta / %lld full; final epoch %llu)\n",
+        static_cast<long long>(sum.inserts),
+        static_cast<long long>(sum.removes),
+        static_cast<long long>(sum.publishes),
+        static_cast<long long>(st.delta_publishes),
+        static_cast<long long>(st.full_publishes),
+        static_cast<unsigned long long>(engine.current_epoch()));
+    std::printf("cache re-arms: %lld repaired, %lld rebuilt\n",
+                static_cast<long long>(st.cache_repairs),
+                static_cast<long long>(st.cache_rebuilds));
   }
   std::printf("throughput: %.0f queries/s over %.3f s\n",
               sum.wall_seconds > 0.0
@@ -661,6 +680,9 @@ int cmd_serve(const Args& args) {
               sum.wall_seconds);
   std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
               lat.p50 * 1e3, lat.p95 * 1e3, lat.p99 * 1e3, lat.max * 1e3);
+  if (args.get_bool("metrics", false)) {
+    std::printf("%s", metrics.format().c_str());
+  }
   if (const auto out = args.get("trace-out")) {
     std::printf("query events (%s, schema %s) written to %s\n",
                 args.get_or("trace-format", "jsonl").c_str(),
@@ -693,10 +715,13 @@ int usage() {
       "  train     [--out FILE] [--batch serial|parallel]\n"
       "  predict   --model FILE [--scale N ...] [--td-arch cpu] [--bu-arch gpu]\n"
       "  serve     --make-trace FILE [--queries N] [--hot-fraction F]\n"
-      "            [--insert-every K --publish-every K] [--trace-seed S]\n"
+      "            [--insert-every K --remove-every K --publish-every K]\n"
+      "            [--trace-seed S]\n"
       "            or: --replay FILE [--workers N] [--batch-max 1..64]\n"
       "            [--cache on|off] [--landmarks K] [--queue-cap N]\n"
       "            [--fallback-engine NAME] [--trace-out FILE]\n"
+      "            [--delta on|off] [--compact-threshold F] [--repair on|off]\n"
+      "            [--lockstep] [--metrics]\n"
       "\nengines (--engine NAME):\n%s"
       "\noptions accept '--key value', '--key=value', and bare boolean "
       "'--flag';\nrepeating or misspelling an option is an error\n",

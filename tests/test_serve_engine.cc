@@ -339,5 +339,206 @@ TEST(ServeEngine, QueryEventsCoverEveryStage) {
   EXPECT_TRUE(saw_cache_hit);
 }
 
+TEST(ServeEngine, DeltaEpochAnswersAreBitEqualToReference) {
+  graph::EdgeList edges = rmat_edges(9, 33);
+  graph::EdgeList oracle_edges = edges;
+
+  ServeOptions opts;
+  opts.workers = 2;
+  opts.num_landmarks = 8;
+  ASSERT_TRUE(opts.delta_publish);  // the default publish policy
+  QueryEngine engine(std::move(edges), opts);
+
+  const std::vector<graph::Edge> batch = {{1, 2}, {3, 500}, {7, 350}};
+  for (const graph::Edge& e : batch) {
+    engine.insert_edge(e.src, e.dst);
+    oracle_edges.edges.push_back(e);
+  }
+  EXPECT_EQ(engine.publish_inserts(), 1u);
+  EXPECT_EQ(engine.stats().delta_publishes, 1);
+  EXPECT_EQ(engine.stats().full_publishes, 0);
+  // Insert-only publish: the landmark cache was repaired in place
+  // (the one rebuild is the constructor's initial arm).
+  EXPECT_EQ(engine.stats().cache_repairs, 1);
+  EXPECT_EQ(engine.stats().cache_rebuilds, 1);
+
+  const graph::CsrGraph oracle = oracle_graph(oracle_edges);
+  for (const graph::vid_t root : graph::sample_roots(oracle, 6, 77)) {
+    Query bfs_q;
+    bfs_q.kind = QueryKind::kBfs;
+    bfs_q.source = root;
+    const QueryResult r = engine.submit(bfs_q).get();
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.epoch, 1u);
+    expect_matches_reference(oracle, r);
+
+    Query dist_q;
+    dist_q.kind = QueryKind::kDistance;
+    dist_q.source = root;
+    dist_q.target = 500;
+    expect_matches_reference(oracle, engine.submit(dist_q).get());
+  }
+}
+
+TEST(ServeEngine, EngineOverridesDispatchOnDeltaEpochs) {
+  graph::EdgeList edges = rmat_edges(8, 5);
+  graph::EdgeList oracle_edges = edges;
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.cache_enabled = false;
+  QueryEngine engine(std::move(edges), opts);
+
+  engine.insert_edge(0, 9);
+  oracle_edges.edges.push_back({0, 9});
+  engine.publish_inserts();
+  ASSERT_EQ(engine.stats().delta_publishes, 1);
+
+  const graph::CsrGraph oracle = oracle_graph(oracle_edges);
+  for (const char* name : {"td", "bu", "hybrid", "native-td", "ref"}) {
+    Query q;
+    q.kind = QueryKind::kBfs;
+    q.source = 3;
+    q.engine = name;
+    const QueryResult r = engine.submit(q).get();
+    ASSERT_TRUE(r.ok) << name;
+    EXPECT_EQ(r.epoch, 1u) << name;
+    EXPECT_EQ(r.batch_lanes, 0) << name;  // single-source path
+    expect_matches_reference(oracle, r);
+  }
+  EXPECT_EQ(engine.stats().single_queries, 5);
+}
+
+TEST(ServeEngine, VertexGrowthServesTheGrownGraphEndToEnd) {
+  // 0-1-2 path; insert an edge to a vertex past the current count.
+  graph::EdgeList edges;
+  edges.num_vertices = 3;
+  edges.edges = {{0, 1}, {1, 2}};
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.num_landmarks = 4;
+  QueryEngine engine(edges, opts);
+  ASSERT_EQ(engine.num_vertices(), 3);
+
+  engine.insert_edge(2, 5);
+  engine.publish_inserts();
+  EXPECT_EQ(engine.num_vertices(), 6);
+  EXPECT_EQ(engine.stats().cache_repairs, 1);
+
+  edges.num_vertices = 6;
+  edges.edges.push_back({2, 5});
+  const graph::CsrGraph grown = graph::build_csr(edges);
+
+  // Queries touching the grown vertex are admitted and exact — both
+  // through the batch path and through the repaired landmark cache.
+  Query q;
+  q.kind = QueryKind::kDistance;
+  q.source = 0;
+  q.target = 5;
+  const QueryResult r = engine.submit(q).get();
+  ASSERT_TRUE(r.ok);
+  expect_matches_reference(grown, r);
+  EXPECT_EQ(r.distance, 3);  // 0-1-2-5
+
+  Query from_new;
+  from_new.kind = QueryKind::kBfs;
+  from_new.source = 5;
+  expect_matches_reference(grown, engine.submit(from_new).get());
+}
+
+TEST(ServeEngine, RemovalsServeExactlyAndRebuildTheCache) {
+  // Cycle 0-1-2-3-0 plus chord 0-2; remove the chord.
+  graph::EdgeList edges;
+  edges.num_vertices = 4;
+  edges.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.num_landmarks = 4;
+  QueryEngine engine(edges, opts);
+
+  engine.remove_edge(0, 2);
+  engine.publish_inserts();
+  EXPECT_EQ(engine.stats().edges_removed, 1);
+  // Removals can raise distances: repair is unsound, so the engine
+  // must have rebuilt the cache from scratch (on top of the
+  // constructor's initial arm).
+  EXPECT_EQ(engine.stats().cache_repairs, 0);
+  EXPECT_EQ(engine.stats().cache_rebuilds, 2);
+
+  edges.edges.pop_back();
+  const graph::CsrGraph pruned = graph::build_csr(edges);
+  Query q;
+  q.kind = QueryKind::kDistance;
+  q.source = 0;
+  q.target = 2;
+  const QueryResult r = engine.submit(q).get();
+  ASSERT_TRUE(r.ok);
+  expect_matches_reference(pruned, r);
+  EXPECT_EQ(r.distance, 2);  // the chord is gone
+}
+
+TEST(ServeEngine, ExportMetricsReflectsEpochHealth) {
+  graph::EdgeList edges = rmat_edges(8, 13);
+  ServeOptions opts;
+  opts.workers = 1;
+  QueryEngine engine(std::move(edges), opts);
+
+  engine.insert_edge(0, 5);
+  engine.publish_inserts();
+  engine.insert_edge(1, 6);  // left pending on purpose
+  engine.drain();
+
+  obs::Registry metrics;
+  engine.export_metrics(metrics);
+  EXPECT_EQ(metrics.counter("serve.epochs.live"), 1);
+  EXPECT_EQ(metrics.counter("serve.epochs.retired"), 1);
+  EXPECT_EQ(metrics.counter("serve.epochs.pending_inserts"), 1);
+  EXPECT_EQ(metrics.counter("serve.epochs.pending_removes"), 0);
+  EXPECT_EQ(metrics.counter("serve.publish.delta"), 1);
+  EXPECT_EQ(metrics.counter("serve.publish.full"), 0);
+  EXPECT_EQ(metrics.counter("serve.cache.repairs"), 1);
+
+  // The publish-duration histogram accounts for every publish exactly
+  // once, and the timer carries the accumulated wall-clock.
+  std::int64_t histogram_total = 0;
+  for (const char* bucket :
+       {"serve.publish.le_1ms", "serve.publish.le_10ms",
+        "serve.publish.le_100ms", "serve.publish.le_1s",
+        "serve.publish.le_10s", "serve.publish.le_inf"}) {
+    histogram_total += metrics.counter(bucket);
+  }
+  EXPECT_EQ(histogram_total, 1);
+  EXPECT_GE(metrics.timer("serve.publish").seconds, 0.0);
+  EXPECT_EQ(metrics.timer("serve.publish").count, 1);
+}
+
+TEST(ServeEngine, EnqueueEventsCarryTheObservedEpoch) {
+  graph::EdgeList edges = rmat_edges(8, 3);
+  obs::MemorySink sink;
+  ServeOptions opts;
+  opts.workers = 1;
+  opts.cache_enabled = false;
+  opts.sink = &sink;
+  QueryEngine engine(std::move(edges), opts);
+
+  Query q;
+  q.kind = QueryKind::kBfs;
+  q.source = 1;
+  (void)engine.submit(q).get();
+  engine.insert_edge(0, 7);
+  engine.publish_inserts();
+  (void)engine.submit(q).get();
+  engine.shutdown();
+
+  std::vector<std::uint64_t> enqueue_epochs;
+  for (const obs::QueryEvent& e : sink.queries) {
+    if (e.stage == obs::QueryEvent::Stage::kEnqueue) {
+      enqueue_epochs.push_back(e.epoch);
+    }
+  }
+  ASSERT_EQ(enqueue_epochs.size(), 2u);
+  EXPECT_EQ(enqueue_epochs[0], 0u);
+  EXPECT_EQ(enqueue_epochs[1], 1u);
+}
+
 }  // namespace
 }  // namespace bfsx::serve

@@ -1,5 +1,6 @@
-// serve::GraphEpochs: snapshot isolation, retirement, and vertex-set
-// growth across publishes.
+// serve::GraphEpochs: snapshot isolation, retirement, vertex-set
+// growth, and the incremental delta-publish policy (overlay sharing,
+// last-op-wins canonicalisation, compaction, removals).
 #include "serve/epochs.h"
 
 #include <gtest/gtest.h>
@@ -113,6 +114,162 @@ TEST(GraphEpochs, MovedPinUnpinsExactlyOnce) {
   epochs.publish();
   // Had any pin leaked, epoch 0 would still be live.
   EXPECT_EQ(epochs.live_epochs(), 1u);
+}
+
+/// path4 is tiny: one symmetrized insert patches 2 of 4 rows, over
+/// the default 0.25 fold threshold. Delta-shape tests pin a threshold
+/// that never self-compacts so the overlay is observable.
+EpochOptions never_compact() {
+  EpochOptions opts;
+  opts.compact_threshold = 2.0;
+  return opts;
+}
+
+TEST(GraphEpochs, DeltaPublishSharesTheFlatBase) {
+  GraphEpochs epochs(path4(), never_compact());
+  const GraphEpochs::Pin flat0 = epochs.pin();
+  ASSERT_FALSE(flat0.graph().is_delta());
+  const graph::CsrGraph* base = flat0.graph().flat();
+
+  epochs.buffer_insert(0, 3);
+  epochs.publish();
+  const GraphEpochs::Pin pin = epochs.pin();
+  ASSERT_TRUE(pin.graph().is_delta());
+  EXPECT_EQ(pin.graph().flat(), nullptr);
+  ASSERT_NE(pin.graph().delta(), nullptr);
+  // The overlay patches the epoch-0 flat CSR — same object, no copy.
+  EXPECT_EQ(pin.graph().delta()->base_ptr().get(), base);
+  EXPECT_EQ(pin.graph().delta()->patched_rows(), 2);  // rows 0 and 3
+  EXPECT_EQ(epochs.delta_publishes(), 1u);
+  EXPECT_EQ(epochs.full_publishes(), 1u);  // the initial build
+
+  const PublishInfo info = epochs.last_publish();
+  EXPECT_EQ(info.epoch, 1u);
+  EXPECT_TRUE(info.delta);
+  EXPECT_FALSE(info.compacted);
+  EXPECT_EQ(info.raw_ops, 1u);
+  EXPECT_EQ(info.applied_inserts, 1u);
+  EXPECT_EQ(info.applied_removes, 0u);
+  EXPECT_EQ(info.deduped_ops, 0u);
+  EXPECT_EQ(info.patched_rows, 2);
+  EXPECT_GE(info.seconds, 0.0);
+}
+
+TEST(GraphEpochs, DeltaPublishDisabledRestoresFullRebuilds) {
+  EpochOptions opts;
+  opts.delta_publish = false;
+  GraphEpochs epochs(path4(), opts);
+  epochs.buffer_insert(0, 2);
+  epochs.publish();
+  EXPECT_FALSE(epochs.pin().graph().is_delta());
+  EXPECT_EQ(epochs.delta_publishes(), 0u);
+  EXPECT_EQ(epochs.full_publishes(), 2u);
+  EXPECT_FALSE(epochs.last_publish().delta);
+  EXPECT_TRUE(epochs.last_publish().compacted);
+}
+
+TEST(GraphEpochs, CompactionThresholdFoldsWideBatches) {
+  EpochOptions opts;
+  opts.compact_threshold = 0.6;
+  GraphEpochs epochs(path4(), opts);
+  // Touch every row: 4 patched rows out of 4 >= 0.6 -> fold to flat.
+  epochs.buffer_insert(0, 2);
+  epochs.buffer_insert(1, 3);
+  epochs.publish();
+  EXPECT_FALSE(epochs.pin().graph().is_delta());
+  const PublishInfo info = epochs.last_publish();
+  EXPECT_FALSE(info.delta);
+  EXPECT_TRUE(info.compacted);
+  // The pre-fold overlay shape survives in the breakdown — it is the
+  // evidence of why the publish compacted.
+  EXPECT_EQ(info.patched_rows, 4);
+  EXPECT_DOUBLE_EQ(info.patched_fraction, 1.0);
+
+  // A one-row touch stays under the threshold and publishes a delta
+  // against the newly compacted base.
+  epochs.buffer_insert(0, 3);
+  epochs.publish();
+  ASSERT_TRUE(epochs.pin().graph().is_delta());
+  EXPECT_EQ(epochs.pin().graph().delta()->base_ptr()->num_edges(), 10);
+}
+
+TEST(GraphEpochs, PublishFullAlwaysCompacts) {
+  GraphEpochs epochs(path4(), never_compact());
+  epochs.buffer_insert(0, 3);
+  epochs.publish();
+  ASSERT_TRUE(epochs.pin().graph().is_delta());
+  const graph::eid_t edges = epochs.pin().graph().num_edges();
+
+  EXPECT_EQ(epochs.publish_full(), 2u);
+  const GraphEpochs::Pin pin = epochs.pin();
+  EXPECT_FALSE(pin.graph().is_delta());
+  EXPECT_EQ(pin.graph().num_edges(), edges);
+  EXPECT_TRUE(epochs.last_publish().compacted);
+}
+
+TEST(GraphEpochs, BufferedRemoveDeletesTheEdge) {
+  GraphEpochs epochs(path4(), never_compact());
+  const graph::eid_t before = epochs.pin().graph().num_edges();
+  epochs.buffer_remove(1, 2);
+  EXPECT_EQ(epochs.pending_removes(), 1u);
+  epochs.publish();
+  const GraphEpochs::Pin pin = epochs.pin();
+  EXPECT_EQ(pin.graph().num_edges(), before - 2);  // both directions
+  ASSERT_TRUE(pin.graph().is_delta());
+  EXPECT_FALSE(pin.graph().delta()->has_edge(1, 2));
+  EXPECT_FALSE(pin.graph().delta()->has_edge(2, 1));
+  EXPECT_EQ(epochs.last_publish().applied_removes, 1u);
+
+  // Compaction reclaims the dead edge's storage in the flat rebuild.
+  epochs.publish_full();
+  EXPECT_EQ(epochs.pin().graph().num_edges(), before - 2);
+  EXPECT_EQ(epochs.pin().graph().flat()->num_edges(), before - 2);
+}
+
+TEST(GraphEpochs, RemovingAnAbsentEdgeIsANoOp) {
+  GraphEpochs epochs(path4());
+  const graph::eid_t before = epochs.pin().graph().num_edges();
+  epochs.buffer_remove(0, 3);
+  epochs.publish();
+  EXPECT_EQ(epochs.pin().graph().num_edges(), before);
+  ASSERT_TRUE(epochs.pin().graph().is_delta());
+  // An effective no-op must not burn a patch slot either.
+  EXPECT_EQ(epochs.pin().graph().delta()->patched_rows(), 0);
+}
+
+TEST(GraphEpochs, NegativeRemoveThrows) {
+  GraphEpochs epochs(path4());
+  EXPECT_THROW(epochs.buffer_remove(-1, 2), std::invalid_argument);
+  EXPECT_THROW(epochs.buffer_remove(0, -5), std::invalid_argument);
+}
+
+TEST(GraphEpochs, AdversarialBatchCanonicalisesLastOpWins) {
+  GraphEpochs epochs(path4(), never_compact());
+  const graph::eid_t before = epochs.pin().graph().num_edges();
+  // Duplicate inserts of the same edge, an insert-then-remove pair,
+  // and a remove-then-insert pair, all in one batch.
+  epochs.buffer_insert(0, 3);
+  epochs.buffer_insert(0, 3);  // dup
+  epochs.buffer_insert(0, 2);
+  epochs.buffer_remove(0, 2);  // cancels the insert above
+  epochs.buffer_remove(1, 2);
+  epochs.buffer_insert(1, 2);  // re-inserts the existing edge: no-op
+  EXPECT_EQ(epochs.pending_inserts(), 4u);
+  EXPECT_EQ(epochs.pending_removes(), 2u);
+  epochs.publish();
+
+  const PublishInfo info = epochs.last_publish();
+  EXPECT_EQ(info.raw_ops, 6u);
+  EXPECT_EQ(info.deduped_ops, 3u);  // one dup + the two superseded ops
+  EXPECT_EQ(info.applied_inserts, 2u);  // (0,3) and (1,2)
+  EXPECT_EQ(info.applied_removes, 1u);  // (0,2)
+  const GraphEpochs::Pin pin = epochs.pin();
+  ASSERT_TRUE(pin.graph().is_delta());
+  EXPECT_TRUE(pin.graph().delta()->has_edge(0, 3));
+  EXPECT_TRUE(pin.graph().delta()->has_edge(1, 2));
+  EXPECT_FALSE(pin.graph().delta()->has_edge(0, 2));
+  // Net effect: exactly one undirected edge added.
+  EXPECT_EQ(pin.graph().num_edges(), before + 2);
 }
 
 TEST(GraphEpochs, ConcurrentPinnersDuringPublishes) {
